@@ -1,0 +1,109 @@
+package memfwd
+
+import (
+	"memfwd/internal/core"
+	"memfwd/internal/fprof"
+	"memfwd/internal/mp"
+	"memfwd/internal/ooc"
+	"memfwd/internal/opt"
+)
+
+// Re-exported forwarding-mechanism types (internal/core).
+type (
+	// TrapEvent describes one forwarded reference, delivered to a
+	// user-level trap handler (Section 3.2).
+	TrapEvent = core.Event
+	// TrapHandler is installed with Machine.SetTrap.
+	TrapHandler = core.TrapHandler
+	// RefKind distinguishes loads from stores in trap events.
+	RefKind = core.Kind
+)
+
+// Trap event reference kinds.
+const (
+	RefLoad  RefKind = core.Load
+	RefStore RefKind = core.Store
+)
+
+// Re-exported layout-optimization types (internal/opt).
+type (
+	// Pool hands out relocation targets from contiguous memory.
+	Pool = opt.Pool
+	// ListDesc describes a linked list's node layout for ListLinearize.
+	ListDesc = opt.ListDesc
+	// TreeDesc describes a tree's node layout for SubtreeCluster.
+	TreeDesc = opt.TreeDesc
+)
+
+// NewPool creates a relocation-target pool with chunkBytes arenas.
+func NewPool(m *Machine, chunkBytes uint64) *Pool { return opt.NewPool(m, chunkBytes) }
+
+// Relocate moves nWords words from src to tgt, leaving forwarding
+// addresses behind (Figure 4a).
+func Relocate(m *Machine, src, tgt Addr, nWords int) { opt.Relocate(m, src, tgt, nWords) }
+
+// ListLinearize packs the list whose head pointer is stored at
+// headHandle into consecutive pool addresses (Figure 4b). Returns the
+// number of nodes relocated.
+func ListLinearize(m *Machine, p *Pool, headHandle Addr, d ListDesc) int {
+	return opt.ListLinearize(m, p, headHandle, d)
+}
+
+// SubtreeCluster packs the tree rooted at the pointer stored in
+// rootHandle into clusterBytes-sized balanced clusters (Figure 9).
+// Returns the number of nodes relocated.
+func SubtreeCluster(m *Machine, p *Pool, rootHandle Addr, d TreeDesc, clusterBytes uint64) int {
+	return opt.SubtreeCluster(m, p, rootHandle, d, clusterBytes)
+}
+
+// ColorPool allocates relocation targets constrained to one cache
+// region (color), for the conflict-avoidance optimization of
+// Section 2.2.
+type ColorPool = opt.ColorPool
+
+// NewColorPool creates a coloring pool for a cache whose one-way span
+// is waySizeBytes, split into colors regions.
+func NewColorPool(m *Machine, waySizeBytes uint64, colors int) *ColorPool {
+	return opt.NewColorPool(m, waySizeBytes, colors)
+}
+
+// ColorRelocate moves the nBytes object at addr into the given color's
+// cache region, forwarding-safe. Returns the new address.
+func ColorRelocate(m *Machine, p *ColorPool, addr Addr, nBytes uint64, color int) Addr {
+	return opt.ColorRelocate(m, p, addr, nBytes, color)
+}
+
+// Profiler is the Section 3.2 forwarding profiler: attach it to a
+// machine and it records, per static site, every reference that needed
+// the forwarding safety net.
+type Profiler = fprof.Profiler
+
+// AttachProfiler installs a forwarding profiler on m (replacing any
+// trap handler).
+func AttachProfiler(m *Machine) *Profiler { return fprof.Attach(m) }
+
+// Multiprocessor extension (Section 2.2's false-sharing application).
+type (
+	// System is a small cache-coherent shared-memory multiprocessor.
+	System = mp.System
+	// SystemConfig sizes a System.
+	SystemConfig = mp.Config
+	// SystemCPU is one processor of a System.
+	SystemCPU = mp.CPU
+)
+
+// NewSystem builds a multiprocessor (zero config fields defaulted).
+func NewSystem(cfg SystemConfig) *System { return mp.New(cfg) }
+
+// Out-of-core extension (Section 2.2's closing observation: relocation
+// improves locality within pages, and hence on disk).
+type (
+	// PagedStore is a page-grained, fault-counting view of tagged
+	// memory with forwarding.
+	PagedStore = ooc.Store
+	// PagedConfig sizes a PagedStore.
+	PagedConfig = ooc.Config
+)
+
+// NewPagedStore builds an out-of-core store (zero fields defaulted).
+func NewPagedStore(cfg PagedConfig) *PagedStore { return ooc.New(cfg) }

@@ -1,0 +1,114 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section (Table 1, Figures 5, 6a, 6b, 7, 8, 9, 10a-d) and
+// prints them as text tables.
+//
+// Usage:
+//
+//	figures                 # everything
+//	figures -only fig5      # one experiment: table1, fig5, fig6, fig7,
+//	                        # fig8, fig9, fig10
+//	figures -scale 2        # larger workloads
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"memfwd"
+)
+
+func main() {
+	var (
+		only   = flag.String("only", "", "run a single experiment (table1, fig5, fig6, fig7, fig8, fig9, fig10, ext)")
+		seed   = flag.Int64("seed", 9, "workload seed")
+		scale  = flag.Int("scale", 1, "workload scale factor")
+		asJSON = flag.Bool("json", false, "emit raw runs as JSON instead of tables (fig5/fig6/fig7/fig10)")
+	)
+	flag.Parse()
+
+	o := memfwd.Options{Seed: *seed, Scale: *scale}
+	want := func(name string) bool { return *only == "" || *only == name }
+	section := func(name string) {
+		fmt.Fprintf(os.Stderr, "[figures] running %s...\n", name)
+	}
+
+	start := time.Now()
+
+	if want("table1") {
+		section("table1")
+		fmt.Println(memfwd.RunTable1(o))
+	}
+
+	if want("fig5") || want("fig6") {
+		section("fig5/fig6")
+		lr := memfwd.RunLocality(o)
+		if *asJSON {
+			emitJSON(lr.Runs)
+		} else {
+			if want("fig5") {
+				fmt.Println(lr.Figure5Table())
+			}
+			if want("fig6") {
+				fmt.Println(lr.Figure6aTable())
+				fmt.Println(lr.Figure6bTable())
+			}
+		}
+	}
+
+	if want("fig7") {
+		section("fig7")
+		pr := memfwd.RunPrefetch(o)
+		if *asJSON {
+			var runs []memfwd.Run
+			for _, rs := range pr.Runs {
+				for _, r := range rs {
+					runs = append(runs, r)
+				}
+			}
+			emitJSON(runs)
+		} else {
+			fmt.Println(pr.Table())
+		}
+	}
+
+	if want("fig8") {
+		section("fig8")
+		fmt.Println(memfwd.Figure8Layout())
+	}
+
+	if want("fig9") {
+		section("fig9")
+		fmt.Println(memfwd.Figure9Layout(128))
+	}
+
+	if want("fig10") {
+		section("fig10")
+		sr := memfwd.RunSMV(o)
+		if *asJSON {
+			emitJSON([]memfwd.Run{sr.N, sr.L, sr.Perf})
+		} else {
+			for _, t := range sr.Tables() {
+				fmt.Println(t)
+			}
+		}
+	}
+
+	if want("ext") {
+		section("ext (false sharing)")
+		fmt.Println(memfwd.RunFalseSharing())
+	}
+
+	fmt.Fprintf(os.Stderr, "[figures] done in %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func emitJSON(v interface{}) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,84 @@
+// Command memfwd-sim runs one benchmark application on the simulated
+// machine and prints the full measurement record.
+//
+// Usage:
+//
+//	memfwd-sim -app health -line 64 -opt -prefetch -block 4 -seed 9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"memfwd"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "health", "application name (see -list)")
+		list     = flag.Bool("list", false, "list applications and exit")
+		line     = flag.Int("line", 32, "cache line size in bytes")
+		optOn    = flag.Bool("opt", false, "enable the locality optimization")
+		prefetch = flag.Bool("prefetch", false, "enable software prefetching")
+		block    = flag.Int("block", 1, "prefetch block size in lines")
+		seed     = flag.Int64("seed", 9, "workload seed")
+		scale    = flag.Int("scale", 1, "workload scale factor")
+		perfect  = flag.Bool("perfect", false, "perfect forwarding (Figure 10 Perf)")
+		profile  = flag.Bool("profile", false, "attach the Section 3.2 forwarding profiler and print its report")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range memfwd.Apps() {
+			fmt.Printf("%-10s %s\n           optimization: %s\n", a.Name, a.Description, a.Optimization)
+		}
+		return
+	}
+
+	a, ok := memfwd.AppByName(*appName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown application %q (use -list)\n", *appName)
+		os.Exit(2)
+	}
+
+	m := memfwd.NewMachine(memfwd.MachineConfig{
+		LineSize:          *line,
+		PerfectForwarding: *perfect,
+	})
+	var prof *memfwd.Profiler
+	if *profile {
+		prof = memfwd.AttachProfiler(m)
+	}
+	res := a.Run(m, memfwd.AppConfig{
+		Opt:           *optOn,
+		Prefetch:      *prefetch,
+		PrefetchBlock: *block,
+		Seed:          *seed,
+		Scale:         *scale,
+	})
+	st := m.Finalize()
+
+	fmt.Printf("app=%s line=%dB opt=%v prefetch=%v(block %d) seed=%d scale=%d\n",
+		a.Name, *line, *optOn, *prefetch, *block, *seed, *scale)
+	fmt.Printf("checksum            %d\n", res.Checksum)
+	fmt.Printf("cycles              %d\n", st.Cycles)
+	fmt.Printf("instructions        %d (loads %d, stores %d)\n", st.Instructions, st.Loads, st.Stores)
+	fmt.Printf("slots busy/ld/st/in %d / %d / %d / %d\n", st.Slots[0], st.Slots[1], st.Slots[2], st.Slots[3])
+	fmt.Printf("L1 load misses      %d (partial %d, full %d)\n",
+		st.L1.Misses(0), st.L1.PartialMisses[0], st.L1.FullMisses[0])
+	fmt.Printf("L1 store misses     %d\n", st.L1.Misses(1))
+	fmt.Printf("L2 misses           %d\n", st.L2.Misses(0)+st.L2.Misses(1))
+	fmt.Printf("bandwidth L1<->L2   %d bytes\n", st.BytesL1L2)
+	fmt.Printf("bandwidth L2<->mem  %d bytes\n", st.BytesL2Mem)
+	fmt.Printf("loads forwarded     %d (%.2f%%), stores forwarded %d (%.2f%%)\n",
+		st.LoadsForwarded(), 100*float64(st.LoadsForwarded())/float64(st.Loads),
+		st.StoresForwarded(), 100*float64(st.StoresForwarded())/float64(st.Stores))
+	fmt.Printf("dep speculation     %d violations, %d bypasses\n", st.DepViolations, st.DepBypasses)
+	fmt.Printf("relocated objects   %d, space overhead %d bytes\n", res.Relocated, res.SpaceOverhead)
+	fmt.Printf("heap peak           %d bytes, pages touched %d\n", st.HeapPeak, st.PagesTouched)
+	if prof != nil {
+		fmt.Println()
+		fmt.Println(prof.Report())
+	}
+}

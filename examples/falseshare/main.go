@@ -1,0 +1,62 @@
+// Falseshare: the multiprocessor application of memory forwarding from
+// Section 2.2 of the paper — curing false sharing by relocation.
+//
+// Four processors each increment their own counter; all four counters
+// were allocated into one cache line, so every store invalidates the
+// other processors' copies even though no data is actually shared.
+// Relocating each counter to its own line fixes the ping-pong — and
+// memory forwarding makes the relocation safe even though the worker
+// threads keep using their original pointers.
+//
+// Run with: go run ./examples/falseshare
+package main
+
+import (
+	"fmt"
+
+	"memfwd"
+)
+
+const rounds = 1000
+
+func run(relocate bool) (inv, falseInv uint64, cycles int64) {
+	s := memfwd.NewSystem(memfwd.SystemConfig{Processors: 4, LineSize: 64})
+
+	base := s.Heap.Alloc(4 * 8)
+	counters := make([]memfwd.Addr, 4)
+	for i := range counters {
+		counters[i] = base + memfwd.Addr(i*8)
+	}
+
+	if relocate {
+		// The cure: one line per counter, forwarding left behind.
+		s.RelocatePadded(counters)
+	}
+
+	// Lock-step worker rounds: each processor bumps its own counter
+	// through its ORIGINAL pointer.
+	for r := 0; r < rounds; r++ {
+		for i, c := range s.CPUs {
+			v := c.LoadWord(counters[i])
+			c.StoreWord(counters[i], v+1)
+			c.Inst(6)
+		}
+	}
+	for i, c := range s.CPUs {
+		if v := c.LoadWord(counters[i]); v != rounds {
+			panic(fmt.Sprintf("cpu %d counter = %d", i, v))
+		}
+	}
+	return s.Stats.Invalidations, s.Stats.FalseInvalidations, s.Cycles()
+}
+
+func main() {
+	inv0, f0, c0 := run(false)
+	inv1, f1, c1 := run(true)
+
+	fmt.Printf("%-26s %14s %14s %12s\n", "", "invalidations", "false-sharing", "cycles")
+	fmt.Printf("%-26s %14d %14d %12d\n", "packed counters", inv0, f0, c0)
+	fmt.Printf("%-26s %14d %14d %12d\n", "relocated (padded)", inv1, f1, c1)
+	fmt.Printf("\nspeedup from curing false sharing: %.2fx\n", float64(c0)/float64(c1))
+	fmt.Println("worker pointers were never updated; forwarding kept every count exact")
+}

@@ -1,0 +1,78 @@
+// Outofcore: the paper's closing Section 2.2 observation — relocation
+// improves spatial locality "within pages (and hence on disk) for
+// out-of-core applications", and forwarding keeps it safe.
+//
+// A linked structure is scattered across ~300 virtual pages while only
+// 16 pages fit in memory; traversals thrash. Linearizing the list packs
+// it into a handful of pages. A pointer taken before the move still
+// works afterwards — it just faults its old page back in.
+//
+// Run with: go run ./examples/outofcore
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"memfwd"
+)
+
+const (
+	nodeBytes = 32
+	nextOff   = 8
+	nNodes    = 300
+)
+
+func traverse(s *memfwd.PagedStore, head memfwd.Addr) uint64 {
+	var sum uint64
+	p := memfwd.Addr(s.LoadWord(head))
+	for p != 0 {
+		sum += s.LoadWord(p)
+		p = memfwd.Addr(s.LoadWord(p + nextOff))
+	}
+	return sum
+}
+
+func main() {
+	s := memfwd.NewPagedStore(memfwd.PagedConfig{ResidentPages: 16})
+	rng := rand.New(rand.NewSource(1))
+
+	head := s.Heap.Alloc(8)
+	prev := head
+	for i := 0; i < nNodes; i++ {
+		s.Heap.Alloc(uint64(3000 + rng.Intn(3000))) // scatter widely
+		n := s.Heap.Alloc(nodeBytes)
+		s.StoreWord(n, uint64(i))
+		s.StoreWord(prev, uint64(n))
+		prev = n + nextOff
+	}
+	stale := memfwd.Addr(s.LoadWord(head)) // keep a pre-move pointer
+
+	want := traverse(s, head)
+	pre := s.Stats
+	traverse(s, head)
+	fragFaults, fragTime := s.Stats.Faults-pre.Faults, s.Stats.Time-pre.Time
+
+	s.LinearizeList(head, nodeBytes, nextOff)
+
+	if traverse(s, head) != want {
+		panic("linearization changed results")
+	}
+	pre = s.Stats
+	traverse(s, head)
+	denseFaults, denseTime := s.Stats.Faults-pre.Faults, s.Stats.Time-pre.Time
+
+	fmt.Printf("%-24s %10s %14s\n", "", "faults", "modeled time")
+	fmt.Printf("%-24s %10d %14d\n", "scattered traversal", fragFaults, fragTime)
+	fmt.Printf("%-24s %10d %14d\n", "linearized traversal", denseFaults, denseTime)
+	if denseFaults == 0 {
+		fmt.Printf("\nlinearized list now fits the resident set: zero steady-state faults\n")
+	} else {
+		fmt.Printf("\nspeedup: %.1fx fewer faults\n", float64(fragFaults)/float64(denseFaults))
+	}
+
+	if v := s.LoadWord(stale); v != 0 {
+		panic("stale pointer broke")
+	}
+	fmt.Println("pre-move pointer still reads node 0 (one extra fault, no wrong answer)")
+}

@@ -1,0 +1,58 @@
+// Quickstart: the memory-forwarding mechanism in five minutes.
+//
+// This example reproduces the paper's Figure 1 walk-through on the
+// simulated machine: it relocates a small object, shows that stale
+// pointers still read the right data through the forwarding chain, and
+// installs a user-level trap that observes the forwarded access.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"memfwd"
+)
+
+func main() {
+	m := memfwd.NewMachine(memfwd.MachineConfig{LineSize: 64})
+
+	// Allocate an "object" of four 64-bit words and fill it.
+	obj := m.Malloc(32)
+	for i := 0; i < 4; i++ {
+		m.StoreWord(obj+memfwd.Addr(i*8), uint64(100+i))
+	}
+	fmt.Printf("object at   %#x\n", obj)
+
+	// A second reference to the object that we will *not* update — the
+	// stray pointer that makes relocation unsafe without forwarding.
+	stray := obj + 16 // points into the middle of the object
+
+	// Relocate the object to fresh, contiguous storage.
+	pool := memfwd.NewPool(m, 1<<12)
+	tgt := pool.Alloc(32)
+	memfwd.Relocate(m, obj, tgt, 4)
+	fmt.Printf("relocated to %#x\n", tgt)
+
+	// A user-level trap observes every reference that needed the
+	// forwarding safety net (Section 3.2 of the paper).
+	m.SetTrap(func(ev memfwd.TrapEvent) {
+		fmt.Printf("trap: %v of %#x forwarded to %#x (%d hop)\n",
+			ev.Kind, ev.Initial, ev.Final, ev.Hops)
+	})
+
+	// The stray pointer still works: the hardware forwards it.
+	v := m.LoadWord(stray)
+	fmt.Printf("read through stale pointer: %d (want 102)\n", v)
+
+	// Direct access to the new location needs no forwarding.
+	v2 := m.LoadWord(tgt + 16)
+	fmt.Printf("read at new location:       %d\n", v2)
+
+	// Pointer comparisons remain correct when taken on final addresses.
+	fmt.Printf("same object? %v\n", m.PtrEqual(stray, tgt+16))
+
+	st := m.Finalize()
+	fmt.Printf("\nstats: %d loads, %d forwarded, %d cycles\n",
+		st.Loads, st.LoadsForwarded(), st.Cycles)
+}

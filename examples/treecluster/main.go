@@ -1,0 +1,101 @@
+// Treecluster: the paper's Figure 9 scenario — subtree clustering.
+//
+// A binary tree is built in pre-order into a fragmented heap, then
+// relocated so each cache-line-sized cluster holds a subtree in the
+// most balanced form. The example traverses the tree with random
+// root-to-leaf descents before and after clustering and reports the
+// cache behaviour at a long line size, where clustering pays off.
+//
+// Run with: go run ./examples/treecluster
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"memfwd"
+)
+
+const (
+	nodeBytes = 24 // value, left, right
+	leftOff   = 8
+	rightOff  = 16
+	depth     = 14
+	nDescents = 30000
+)
+
+func build(m *memfwd.Machine, rng *rand.Rand, handle memfwd.Addr, d int, next *uint64) {
+	if d == 0 {
+		return
+	}
+	m.Malloc(uint64(16 + rng.Intn(5)*8)) // scatter
+	n := m.Malloc(nodeBytes)
+	*next++
+	m.StoreWord(n, *next)
+	m.StorePtr(handle, n)
+	build(m, rng, n+leftOff, d-1, next)
+	build(m, rng, n+rightOff, d-1, next)
+}
+
+// descend walks one random root-to-leaf path.
+func descend(m *memfwd.Machine, rootHandle memfwd.Addr, bits uint64) uint64 {
+	var sum uint64
+	p := m.LoadPtr(rootHandle)
+	for p != 0 {
+		m.Inst(3)
+		sum += m.LoadWord(p)
+		if bits&1 == 1 {
+			p = m.LoadPtr(p + rightOff)
+		} else {
+			p = m.LoadPtr(p + leftOff)
+		}
+		bits >>= 1
+	}
+	return sum
+}
+
+func main() {
+	const lineSize = 256
+	m := memfwd.NewMachine(memfwd.MachineConfig{LineSize: lineSize})
+	rng := rand.New(rand.NewSource(7))
+
+	rootHandle := m.Malloc(8)
+	var id uint64
+	build(m, rng, rootHandle, depth, &id)
+	fmt.Printf("built tree with %d nodes\n", id)
+
+	phase := func() (uint64, int64) {
+		s := *m.Snapshot()
+		return s.L1.Misses(0), s.Cycles
+	}
+
+	m0, c0 := phase()
+	var before uint64
+	for i := 0; i < nDescents; i++ {
+		before += descend(m, rootHandle, rng.Uint64())
+	}
+	m1, c1 := phase()
+
+	pool := memfwd.NewPool(m, 1<<20)
+	n := memfwd.SubtreeCluster(m, pool, rootHandle,
+		memfwd.TreeDesc{NodeBytes: nodeBytes, ChildOffs: []uint64{leftOff, rightOff}}, lineSize)
+	m2, c2 := phase()
+
+	rng2 := rand.New(rand.NewSource(7)) // same descent pattern
+	_ = rng2
+	var after uint64
+	rngB := rand.New(rand.NewSource(99))
+	for i := 0; i < nDescents; i++ {
+		after += descend(m, rootHandle, rngB.Uint64())
+	}
+	m3, c3 := phase()
+
+	fmt.Printf("clustered %d nodes (%d-byte clusters)\n\n", n, lineSize)
+	fmt.Printf("%-24s %12s %12s\n", "", "load misses", "cycles")
+	fmt.Printf("%-24s %12d %12d\n", "scattered descents", m1-m0, c1-c0)
+	fmt.Printf("%-24s %12d %12d\n", "clustering (one-time)", m2-m1, c2-c1)
+	fmt.Printf("%-24s %12d %12d\n", "clustered descents", m3-m2, c3-c2)
+	fmt.Printf("\ndescent speedup: %.2fx\n", float64(c1-c0)/float64(c3-c2))
+	_ = before
+	_ = after
+}

@@ -1,0 +1,448 @@
+package memfwd
+
+import (
+	"fmt"
+
+	"memfwd/internal/opt"
+	"memfwd/internal/report"
+)
+
+// Variant names one bar of the paper's figures.
+type Variant string
+
+// The run variants used across the evaluation figures.
+const (
+	VariantN    Variant = "N"    // original layout
+	VariantL    Variant = "L"    // locality-optimized layout
+	VariantNP   Variant = "NP"   // original + software prefetch
+	VariantLP   Variant = "LP"   // optimized + software prefetch
+	VariantPerf Variant = "Perf" // optimized + perfect forwarding
+)
+
+// Run is one measured application execution. The struct is
+// JSON-encodable so harnesses can export raw series
+// (cmd/figures -json).
+type Run struct {
+	App     string
+	Line    int
+	Variant Variant
+	Block   int `json:",omitempty"` // prefetch block size in lines
+	Stats   *Stats
+	Result  AppResult
+}
+
+// Speedup returns base.Cycles / r.Cycles.
+func (r Run) Speedup(base Run) float64 {
+	return float64(base.Stats.Cycles) / float64(r.Stats.Cycles)
+}
+
+// Options parameterizes the experiment runners.
+type Options struct {
+	Seed   int64
+	Scale  int
+	Lines  []int // cache line sizes for the sweep
+	Blocks []int // prefetch block sizes to sweep (best is reported)
+}
+
+// Norm applies the defaults used throughout the paper's evaluation.
+func (o Options) Norm() Options {
+	if o.Seed == 0 {
+		o.Seed = 9
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if len(o.Lines) == 0 {
+		o.Lines = []int{32, 64, 128}
+	}
+	if len(o.Blocks) == 0 {
+		o.Blocks = []int{1, 2, 4, 8}
+	}
+	return o
+}
+
+// localityApps are the seven applications of Figure 5 (SMV is studied
+// separately in Figure 10).
+func localityApps() []App {
+	var out []App
+	for _, a := range apps {
+		if a.Name != "smv" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// RunOne executes one (app, line, variant) cell and returns its Run.
+func RunOne(a App, line int, v Variant, block int, o Options) Run {
+	o = o.Norm()
+	mc := MachineConfig{LineSize: line}
+	cfg := AppConfig{Seed: o.Seed, Scale: o.Scale}
+	switch v {
+	case VariantL:
+		cfg.Opt = true
+	case VariantNP:
+		cfg.Prefetch = true
+		cfg.PrefetchBlock = block
+	case VariantLP:
+		cfg.Opt = true
+		cfg.Prefetch = true
+		cfg.PrefetchBlock = block
+	case VariantPerf:
+		cfg.Opt = true
+		mc.PerfectForwarding = true
+	}
+	m := NewMachine(mc)
+	res := a.Run(m, cfg)
+	return Run{App: a.Name, Line: line, Variant: v, Block: block, Stats: m.Finalize(), Result: res}
+}
+
+// LocalityRuns is the Figure 5/6 measurement matrix: the seven locality
+// applications, each at every line size, unoptimized and optimized.
+type LocalityRuns struct {
+	Lines []int
+	Runs  []Run
+}
+
+// Get returns the run for (app, line, variant).
+func (lr *LocalityRuns) Get(appName string, line int, v Variant) (Run, bool) {
+	for _, r := range lr.Runs {
+		if r.App == appName && r.Line == line && r.Variant == v {
+			return r, true
+		}
+	}
+	return Run{}, false
+}
+
+// RunLocality executes the full matrix behind Figures 5, 6(a) and 6(b).
+func RunLocality(o Options) *LocalityRuns {
+	o = o.Norm()
+	lr := &LocalityRuns{Lines: o.Lines}
+	for _, a := range localityApps() {
+		for _, line := range o.Lines {
+			for _, v := range []Variant{VariantN, VariantL} {
+				lr.Runs = append(lr.Runs, RunOne(a, line, v, 0, o))
+			}
+		}
+	}
+	return lr
+}
+
+// Figure5Table renders execution time decomposed into the paper's four
+// graduation-slot categories, normalized to each app's N case at the
+// smallest line size, with the per-line-size speedup of L over N.
+func (lr *LocalityRuns) Figure5Table() *report.Table {
+	t := report.New(
+		"Figure 5: execution time of locality optimizations (normalized slots; speedup = N/L per line size)",
+		"app", "line", "case", "norm.time", "busy", "load stall", "store stall", "inst stall", "speedup")
+	for _, a := range localityApps() {
+		base, _ := lr.Get(a.Name, lr.Lines[0], VariantN)
+		baseSlots := float64(base.Stats.Cycles) * 4
+		for _, line := range lr.Lines {
+			n, _ := lr.Get(a.Name, line, VariantN)
+			l, _ := lr.Get(a.Name, line, VariantL)
+			for _, r := range []Run{n, l} {
+				sp := ""
+				if r.Variant == VariantL {
+					sp = fmt.Sprintf("(%+.0f%%)", 100*(l.Speedup(n)-1))
+				}
+				t.Add(a.Name, fmt.Sprint(line), string(r.Variant),
+					report.Ratio(float64(r.Stats.Cycles)*4, baseSlots),
+					report.Ratio(float64(r.Stats.Slots[0]), baseSlots),
+					report.Ratio(float64(r.Stats.Slots[1]), baseSlots),
+					report.Ratio(float64(r.Stats.Slots[2]), baseSlots),
+					report.Ratio(float64(r.Stats.Slots[3]), baseSlots),
+					sp)
+			}
+		}
+	}
+	return t
+}
+
+// Figure6aTable renders load D-cache misses, split into partial and
+// full misses, normalized to the N case at the smallest line size.
+func (lr *LocalityRuns) Figure6aTable() *report.Table {
+	t := report.New(
+		"Figure 6(a): load D-cache misses (normalized to N at smallest line)",
+		"app", "line", "case", "norm.misses", "partial", "full")
+	for _, a := range localityApps() {
+		base, _ := lr.Get(a.Name, lr.Lines[0], VariantN)
+		bm := float64(base.Stats.L1.Misses(0))
+		for _, line := range lr.Lines {
+			for _, v := range []Variant{VariantN, VariantL} {
+				r, _ := lr.Get(a.Name, line, v)
+				t.Add(a.Name, fmt.Sprint(line), string(v),
+					report.Ratio(float64(r.Stats.L1.Misses(0)), bm),
+					report.Ratio(float64(r.Stats.L1.PartialMisses[0]), bm),
+					report.Ratio(float64(r.Stats.L1.FullMisses[0]), bm))
+			}
+		}
+	}
+	return t
+}
+
+// Figure6bTable renders memory-hierarchy bandwidth: bytes moved between
+// the primary and secondary caches and between the secondary cache and
+// memory, normalized to the N case at the smallest line size.
+func (lr *LocalityRuns) Figure6bTable() *report.Table {
+	t := report.New(
+		"Figure 6(b): bandwidth consumption (normalized to N at smallest line)",
+		"app", "line", "case", "norm.total", "L1<->L2", "L2<->mem")
+	for _, a := range localityApps() {
+		base, _ := lr.Get(a.Name, lr.Lines[0], VariantN)
+		bb := float64(base.Stats.BytesL1L2 + base.Stats.BytesL2Mem)
+		for _, line := range lr.Lines {
+			for _, v := range []Variant{VariantN, VariantL} {
+				r, _ := lr.Get(a.Name, line, v)
+				t.Add(a.Name, fmt.Sprint(line), string(v),
+					report.Ratio(float64(r.Stats.BytesL1L2+r.Stats.BytesL2Mem), bb),
+					report.Ratio(float64(r.Stats.BytesL1L2), bb),
+					report.Ratio(float64(r.Stats.BytesL2Mem), bb))
+			}
+		}
+	}
+	return t
+}
+
+// PrefetchRuns is the Figure 7 matrix: N, NP, L, LP at a fixed 32-byte
+// line, where NP and LP use the best prefetch block size from the
+// sweep, exactly as the paper reports them.
+type PrefetchRuns struct {
+	Runs map[string]map[Variant]Run
+}
+
+// RunPrefetch executes the Figure 7 experiment.
+func RunPrefetch(o Options) *PrefetchRuns {
+	o = o.Norm()
+	const line = 32
+	pr := &PrefetchRuns{Runs: make(map[string]map[Variant]Run)}
+	for _, a := range localityApps() {
+		rs := make(map[Variant]Run)
+		rs[VariantN] = RunOne(a, line, VariantN, 0, o)
+		rs[VariantL] = RunOne(a, line, VariantL, 0, o)
+		for _, v := range []Variant{VariantNP, VariantLP} {
+			var best Run
+			for _, blk := range o.Blocks {
+				r := RunOne(a, line, v, blk, o)
+				if best.Stats == nil || r.Stats.Cycles < best.Stats.Cycles {
+					best = r
+				}
+			}
+			rs[v] = best
+		}
+		pr.Runs[a.Name] = rs
+	}
+	return pr
+}
+
+// Table renders Figure 7.
+func (pr *PrefetchRuns) Table() *report.Table {
+	t := report.New(
+		"Figure 7: interaction with software prefetching (32B lines; NP/LP use best block size)",
+		"app", "case", "block", "norm.time", "speedup vs N")
+	for _, a := range localityApps() {
+		rs := pr.Runs[a.Name]
+		n := rs[VariantN]
+		for _, v := range []Variant{VariantN, VariantNP, VariantL, VariantLP} {
+			r := rs[v]
+			blk := ""
+			if v == VariantNP || v == VariantLP {
+				blk = fmt.Sprint(r.Block)
+			}
+			t.Add(a.Name, string(v), blk,
+				report.Ratio(float64(r.Stats.Cycles), float64(n.Stats.Cycles)),
+				fmt.Sprintf("%.2f", r.Speedup(n)))
+		}
+	}
+	return t
+}
+
+// SMVRuns is the Figure 10 experiment: SMV under N, L, and Perf.
+type SMVRuns struct {
+	N, L, Perf Run
+}
+
+// RunSMV executes the Figure 10 experiment at the given line size.
+func RunSMV(o Options) *SMVRuns {
+	o = o.Norm()
+	a := MustApp("smv")
+	const line = 32
+	return &SMVRuns{
+		N:    RunOne(a, line, VariantN, 0, o),
+		L:    RunOne(a, line, VariantL, 0, o),
+		Perf: RunOne(a, line, VariantPerf, 0, o),
+	}
+}
+
+// Tables renders Figure 10's four panels.
+func (sr *SMVRuns) Tables() []*report.Table {
+	runs := []Run{sr.N, sr.L, sr.Perf}
+
+	a := report.New("Figure 10(a): SMV execution time (normalized to N)",
+		"case", "norm.time", "busy", "load stall", "store stall", "inst stall")
+	baseSlots := float64(sr.N.Stats.Cycles) * 4
+	for _, r := range runs {
+		a.Add(string(r.Variant),
+			report.Ratio(float64(r.Stats.Cycles)*4, baseSlots),
+			report.Ratio(float64(r.Stats.Slots[0]), baseSlots),
+			report.Ratio(float64(r.Stats.Slots[1]), baseSlots),
+			report.Ratio(float64(r.Stats.Slots[2]), baseSlots),
+			report.Ratio(float64(r.Stats.Slots[3]), baseSlots))
+	}
+
+	b := report.New("Figure 10(b): SMV D-cache misses (normalized to N)",
+		"case", "load misses", "store misses")
+	bl := float64(sr.N.Stats.L1.Misses(0))
+	bs := float64(sr.N.Stats.L1.Misses(1))
+	for _, r := range runs {
+		b.Add(string(r.Variant),
+			report.Ratio(float64(r.Stats.L1.Misses(0)), bl),
+			report.Ratio(float64(r.Stats.L1.Misses(1)), bs))
+	}
+
+	c := report.New("Figure 10(c): fraction of references forwarded (by hops)",
+		"case", "loads 1 hop", "loads 2+ hops", "stores 1 hop", "stores 2+ hops")
+	for _, r := range runs {
+		st := r.Stats
+		l1 := float64(st.LoadsFwdByHops[1]) / float64(st.Loads)
+		l2 := float64(st.LoadsForwarded()-st.LoadsFwdByHops[1]) / float64(st.Loads)
+		s1 := float64(st.StoresFwdByHops[1]) / float64(st.Stores)
+		s2 := float64(st.StoresForwarded()-st.StoresFwdByHops[1]) / float64(st.Stores)
+		c.Add(string(r.Variant), report.Pct(l1), report.Pct(l2), report.Pct(s1), report.Pct(s2))
+	}
+
+	d := report.New("Figure 10(d): average cycles per load/store, forwarding vs ordinary",
+		"case", "load avg", "load fwd part", "store avg", "store fwd part")
+	for _, r := range runs {
+		st := r.Stats
+		d.Add(string(r.Variant),
+			fmt.Sprintf("%.2f", float64(st.LoadCycles)/float64(st.Loads)),
+			fmt.Sprintf("%.2f", float64(st.LoadFwdCycles)/float64(st.Loads)),
+			fmt.Sprintf("%.2f", float64(st.StoreCycles)/float64(st.Stores)),
+			fmt.Sprintf("%.2f", float64(st.StoreFwdCycles)/float64(st.Stores)))
+	}
+	return []*report.Table{a, b, c, d}
+}
+
+// RunTable1 regenerates Table 1: each application, the optimization
+// applied, and the measured space overhead of relocation.
+func RunTable1(o Options) *report.Table {
+	o = o.Norm()
+	t := report.New("Table 1: applications and optimizations",
+		"app", "optimization", "relocated objs", "space overhead", "insts (opt run)")
+	for _, a := range apps {
+		r := RunOne(a, 128, VariantL, 0, o)
+		t.Add(a.Name, a.Optimization, fmt.Sprint(r.Result.Relocated),
+			report.KB(r.Result.SpaceOverhead), fmt.Sprint(r.Stats.Instructions))
+	}
+	return t
+}
+
+// Figure8Layout demonstrates the eqntott layout transformation on a
+// miniature structure: records and their arrays scattered before, one
+// contiguous chunk per record after, in hash order (Figure 8).
+func Figure8Layout() *report.Table {
+	m := NewMachine(MachineConfig{})
+	pool := opt.NewPool(m, 1<<12)
+	t := report.New("Figure 8: eqntott PTERM layout before/after relocation",
+		"slot", "record before", "array before", "record after", "array after", "contiguous")
+
+	type rec struct{ r, a Addr }
+	var before []rec
+	for i := 0; i < 4; i++ {
+		r := m.Malloc(24)
+		m.Malloc(40) // scatter
+		arr := m.Malloc(32)
+		m.StorePtr(r+8, arr)
+		before = append(before, rec{r, arr})
+	}
+	var prevEnd Addr
+	for i, rc := range before {
+		chunk := pool.Alloc(24 + 32)
+		opt.Relocate(m, rc.r, chunk, 3)
+		opt.Relocate(m, rc.a, chunk+24, 4)
+		m.StorePtr(chunk+8, chunk+24)
+		contig := i == 0 || chunk == prevEnd
+		prevEnd = chunk + 56
+		t.Addf(i, fmt.Sprintf("%#x", rc.r), fmt.Sprintf("%#x", rc.a),
+			fmt.Sprintf("%#x", chunk), fmt.Sprintf("%#x", chunk+24), contig)
+	}
+	return t
+}
+
+// Figure9Layout demonstrates subtree clustering on a small binary tree:
+// node addresses before (creation order) and after (balanced clusters).
+func Figure9Layout(clusterBytes uint64) *report.Table {
+	m := NewMachine(MachineConfig{})
+	pool := opt.NewPool(m, 1<<12)
+	t := report.New("Figure 9: subtree clustering layout",
+		"node", "before", "after", "cluster#")
+
+	// Build a depth-3 complete binary tree, pre-order, scattered.
+	desc := opt.TreeDesc{NodeBytes: 24, ChildOffs: []uint64{8, 16}}
+	rootHandle := m.Malloc(8)
+	var nodes []Addr
+	var build func(handle Addr, d int)
+	build = func(handle Addr, d int) {
+		if d == 0 {
+			return
+		}
+		m.Malloc(40)
+		n := m.Malloc(24)
+		m.StoreWord(n, uint64(len(nodes)+1))
+		m.StorePtr(handle, n)
+		nodes = append(nodes, n)
+		build(n+8, d-1)
+		build(n+16, d-1)
+	}
+	build(rootHandle, 3)
+	opt.SubtreeCluster(m, pool, rootHandle, desc, clusterBytes)
+
+	// Re-walk breadth-first to report new addresses.
+	queue := []Addr{m.LoadPtr(rootHandle)}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n == 0 {
+			continue
+		}
+		t.Addf(m.LoadWord(n), fmt.Sprintf("%#x", nodes[m.LoadWord(n)-1]),
+			fmt.Sprintf("%#x", n), uint64(n)/clusterBytes%1000)
+		queue = append(queue, m.LoadPtr(n+8), m.LoadPtr(n+16))
+	}
+	return t
+}
+
+// RunFalseSharing demonstrates the multiprocessor false-sharing
+// application of Section 2.2 on the mp extension: four processors
+// increment per-processor counters that share one cache line, then the
+// counters are relocated one-per-line (forwarding-safe) and the
+// ping-pong disappears.
+func RunFalseSharing() *report.Table {
+	t := report.New("Extension: false sharing cured by forwarding-safe relocation (Section 2.2)",
+		"layout", "invalidations", "false-sharing", "cycles", "speedup")
+	run := func(relocate bool) (Stats uint64, falseInv uint64, cycles int64) {
+		s := NewSystem(SystemConfig{Processors: 4, LineSize: 64})
+		base := s.Heap.Alloc(4 * 8)
+		counters := make([]Addr, 4)
+		for i := range counters {
+			counters[i] = base + Addr(i*8)
+		}
+		if relocate {
+			s.RelocatePadded(counters)
+		}
+		for r := 0; r < 1000; r++ {
+			for i, c := range s.CPUs {
+				v := c.LoadWord(counters[i])
+				c.StoreWord(counters[i], v+1)
+				c.Inst(6)
+			}
+		}
+		return s.Stats.Invalidations, s.Stats.FalseInvalidations, s.Cycles()
+	}
+	i0, f0, c0 := run(false)
+	i1, f1, c1 := run(true)
+	t.Addf("packed (one line)", i0, f0, c0, "")
+	t.Addf("relocated (one line each)", i1, f1, c1, report.Ratio(float64(c0), float64(c1)))
+	return t
+}

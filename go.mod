@@ -1,0 +1,3 @@
+module memfwd
+
+go 1.22

@@ -1,0 +1,39 @@
+package memfwd
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden tests pin the deterministic layout demonstrations (Figures 8
+// and 9) byte for byte. Regenerate with:
+//
+//	UPDATE_GOLDEN=1 go test -run TestGolden .
+var update = os.Getenv("UPDATE_GOLDEN") != ""
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestGoldenFigure8(t *testing.T) {
+	checkGolden(t, "figure8.golden", Figure8Layout().String())
+}
+
+func TestGoldenFigure9(t *testing.T) {
+	checkGolden(t, "figure9.golden", Figure9Layout(128).String())
+}

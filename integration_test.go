@@ -1,0 +1,161 @@
+package memfwd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// shadowObject mirrors one guest object: its current values and every
+// address that has ever referred to it (the original allocation plus
+// each relocation target). Any alias must read and write the live data.
+type shadowObject struct {
+	words   []uint64
+	aliases []Addr
+	relocs  int
+}
+
+// TestRelocationStorm drives a random interleaving of allocations,
+// relocations (through random stale aliases), reads, writes, pointer
+// comparisons, and frees, checking every observable value against a
+// host-side shadow model. This is the end-to-end safety property the
+// paper's mechanism exists to guarantee: no matter how data moves, no
+// reference ever observes a wrong value.
+func TestRelocationStorm(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			relocationStorm(t, seed, 4000)
+		})
+	}
+}
+
+func relocationStorm(t *testing.T, seed int64, steps int) {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMachine(MachineConfig{LineSize: 64})
+	pool := NewPool(m, 1<<16)
+
+	var objs []*shadowObject
+	alive := func() *shadowObject {
+		if len(objs) == 0 {
+			return nil
+		}
+		return objs[rng.Intn(len(objs))]
+	}
+	alias := func(o *shadowObject) Addr {
+		return o.aliases[rng.Intn(len(o.aliases))]
+	}
+
+	for step := 0; step < steps; step++ {
+		switch op := rng.Intn(100); {
+		case op < 15 || len(objs) == 0: // allocate
+			n := 1 + rng.Intn(6)
+			a := m.Malloc(uint64(n * 8))
+			o := &shadowObject{words: make([]uint64, n), aliases: []Addr{a}}
+			for i := range o.words {
+				v := rng.Uint64()
+				o.words[i] = v
+				m.StoreWord(a+Addr(i*8), v)
+			}
+			objs = append(objs, o)
+
+		case op < 25: // relocate via a random alias
+			o := alive()
+			if o.relocs >= 10 {
+				break
+			}
+			src := alias(o)
+			tgt := pool.Alloc(uint64(len(o.words) * 8))
+			Relocate(m, src, tgt, len(o.words))
+			o.aliases = append(o.aliases, tgt)
+			o.relocs++
+
+		case op < 55: // read via a random alias, random width
+			o := alive()
+			i := rng.Intn(len(o.words))
+			a := alias(o) + Addr(i*8)
+			switch rng.Intn(3) {
+			case 0:
+				if got := m.LoadWord(a); got != o.words[i] {
+					t.Fatalf("step %d: word read %#x != shadow %#x", step, got, o.words[i])
+				}
+			case 1:
+				off := Addr(rng.Intn(2) * 4)
+				want := uint32(o.words[i] >> (8 * off))
+				if got := m.Load32(a + off); got != want {
+					t.Fatalf("step %d: u32 read %#x != shadow %#x", step, got, want)
+				}
+			default:
+				off := Addr(rng.Intn(8))
+				want := uint8(o.words[i] >> (8 * off))
+				if got := m.Load8(a + off); got != want {
+					t.Fatalf("step %d: byte read %#x != shadow %#x", step, got, want)
+				}
+			}
+
+		case op < 80: // write via a random alias
+			o := alive()
+			i := rng.Intn(len(o.words))
+			a := alias(o) + Addr(i*8)
+			if rng.Intn(2) == 0 {
+				v := rng.Uint64()
+				m.StoreWord(a, v)
+				o.words[i] = v
+			} else {
+				off := Addr(rng.Intn(2) * 4)
+				v := rng.Uint32()
+				m.Store32(a+off, v)
+				mask := uint64(0xFFFFFFFF) << (8 * off)
+				o.words[i] = (o.words[i] &^ mask) | uint64(v)<<(8*off)
+			}
+
+		case op < 90: // pointer comparisons across aliases
+			o := alive()
+			a1, a2 := alias(o), alias(o)
+			if !m.PtrEqual(a1, a2) {
+				t.Fatalf("step %d: aliases %#x and %#x of one object compare unequal", step, a1, a2)
+			}
+			if len(objs) > 1 {
+				o2 := objs[rng.Intn(len(objs))]
+				if o2 != o {
+					i := rng.Intn(minInt(len(o.words), len(o2.words)))
+					if m.PtrEqual(alias(o)+Addr(i*8), alias(o2)+Addr(i*8)) {
+						t.Fatalf("step %d: distinct objects compare equal", step)
+					}
+				}
+			}
+
+		default: // free via a random alias
+			if len(objs) < 4 {
+				break
+			}
+			i := rng.Intn(len(objs))
+			m.Free(objs[i].aliases[rng.Intn(len(objs[i].aliases))])
+			objs = append(objs[:i], objs[i+1:]...)
+		}
+	}
+
+	// Full sweep: every alias of every live object reads correctly.
+	for _, o := range objs {
+		for _, a := range o.aliases {
+			for i, want := range o.words {
+				if got := m.LoadWord(a + Addr(i*8)); got != want {
+					t.Fatalf("final sweep: alias %#x word %d = %#x, want %#x", a, i, got, want)
+				}
+			}
+		}
+	}
+	st := m.Finalize()
+	if st.CyclesDetected != 0 {
+		t.Fatalf("storm created a forwarding cycle")
+	}
+	if st.LoadsForwarded() == 0 {
+		t.Fatal("storm never exercised forwarding")
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

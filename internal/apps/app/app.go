@@ -1,0 +1,115 @@
+// Package app defines the common harness contract for the paper's
+// eight benchmark applications (Table 1). Each application is a guest
+// program over the simulated machine: all of its data lives in
+// simulated memory and every instruction and reference is charged.
+//
+// Each concrete application package exports a single app.App value; the
+// top-level memfwd package assembles the registry.
+package app
+
+import (
+	"math/rand"
+
+	"memfwd/internal/mem"
+	"memfwd/internal/sim"
+)
+
+// Config selects one run variant of an application.
+type Config struct {
+	// Opt enables the locality optimization (the paper's L/LP bars);
+	// false is the original layout (N/NP bars).
+	Opt bool
+
+	// Prefetch enables software prefetching at the application's
+	// profiled top miss sites (Section 5.2).
+	Prefetch bool
+
+	// PrefetchBlock is the block-prefetch size in cache lines; the
+	// harness sweeps it and reports the best per case, as the paper
+	// does. Zero means 1.
+	PrefetchBlock int
+
+	// Static selects static placement (Section 1 of the paper): the
+	// optimized layout is built directly at allocation time instead of
+	// by relocation, so there is no relocation cost and no forwarding —
+	// but also no ability to adapt to dynamic behaviour. Supported by
+	// eqntott (whose optimization runs once); apps whose layouts must
+	// adapt at run time ignore it.
+	Static bool
+
+	// Seed drives the workload generator; identical seeds produce
+	// identical reference streams.
+	Seed int64
+
+	// Scale multiplies the default workload size (1 = standard).
+	Scale int
+}
+
+// Norm returns cfg with defaults applied.
+func (c Config) Norm() Config {
+	if c.PrefetchBlock <= 0 {
+		c.PrefetchBlock = 1
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Result is what one application run reports back.
+type Result struct {
+	// Checksum is a functional digest of the computation; optimized
+	// and unoptimized variants of the same workload must agree.
+	Checksum uint64
+
+	// Relocated counts objects moved by the optimization.
+	Relocated int
+
+	// SpaceOverhead is the relocation-target memory consumed, in
+	// bytes (Table 1's "Space Overhead" column).
+	SpaceOverhead uint64
+}
+
+// App describes one benchmark application.
+type App struct {
+	// Name as used in the paper (e.g. "health", "smv").
+	Name string
+
+	// Description and Optimization fill Table 1's columns.
+	Description  string
+	Optimization string
+
+	// Run executes the workload on m under cfg.
+	Run func(m *sim.Machine, cfg Config) Result
+}
+
+// NewRand returns the deterministic workload generator for a seed.
+// Workload generation runs on the host; only the resulting guest
+// behaviour is simulated.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// FragmentHeap ages the machine's heap the way a long-lived C process
+// does before the measured phase begins: it allocates count blocks of
+// blockBytes, then frees a random (1-keepFrac) subset in random order,
+// leaving the allocator's free lists shuffled. Subsequent allocations
+// of that size class land at effectively random addresses, which is the
+// fragmentation regime the paper's applications run in (their inputs
+// execute hundreds of millions of instructions before and during the
+// measured phases). The aging itself is untimed: it models pre-existing
+// heap state, not work done by the application.
+func FragmentHeap(m *sim.Machine, blockBytes uint64, count int, keepFrac float64, rng *rand.Rand) {
+	blocks := make([]mem.Addr, count)
+	for i := range blocks {
+		blocks[i] = m.Alloc.Alloc(blockBytes)
+	}
+	rng.Shuffle(count, func(i, j int) { blocks[i], blocks[j] = blocks[j], blocks[i] })
+	nFree := int(float64(count) * (1 - keepFrac))
+	for _, a := range blocks[:nFree] {
+		m.Alloc.Free(a)
+	}
+}

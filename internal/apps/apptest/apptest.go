@@ -1,0 +1,76 @@
+// Package apptest provides the shared conformance checks every
+// benchmark application must satisfy: functional equivalence between
+// the optimized and unoptimized variants, determinism, seed
+// sensitivity, and prefetch-variant safety.
+package apptest
+
+import (
+	"testing"
+
+	"memfwd/internal/apps/app"
+	"memfwd/internal/sim"
+)
+
+// Run executes one configuration on a default machine with 128-byte
+// lines — the size at which every application's optimization is active
+// (BH's subtree clustering needs long lines).
+func Run(a app.App, cfg app.Config) (app.Result, *sim.Stats) {
+	return RunOn(sim.Config{LineSize: 128}, a, cfg)
+}
+
+// RunOn executes one configuration on a machine built from mc.
+func RunOn(mc sim.Config, a app.App, cfg app.Config) (app.Result, *sim.Stats) {
+	m := sim.New(mc)
+	r := a.Run(m, cfg)
+	return r, m.Finalize()
+}
+
+// Conformance runs the checks shared by all eight applications.
+func Conformance(t *testing.T, a app.App) {
+	t.Helper()
+
+	base, baseStats := Run(a, app.Config{Seed: 11})
+	optR, optStats := Run(a, app.Config{Seed: 11, Opt: true})
+
+	if base.Checksum != optR.Checksum {
+		t.Errorf("%s: optimized checksum %d != unoptimized %d", a.Name, optR.Checksum, base.Checksum)
+	}
+	if optR.Relocated == 0 {
+		t.Errorf("%s: optimization relocated nothing", a.Name)
+	}
+	if optR.SpaceOverhead == 0 {
+		t.Errorf("%s: no relocation space overhead recorded", a.Name)
+	}
+	if baseStats.Loads == 0 || baseStats.Cycles == 0 {
+		t.Errorf("%s: empty run (loads=%d cycles=%d)", a.Name, baseStats.Loads, baseStats.Cycles)
+	}
+
+	// Determinism: same seed, same machine => identical cycles.
+	r2, s2 := Run(a, app.Config{Seed: 11, Opt: true})
+	if r2.Checksum != optR.Checksum || s2.Cycles != optStats.Cycles {
+		t.Errorf("%s: nondeterministic (chk %d vs %d, cyc %d vs %d)",
+			a.Name, r2.Checksum, optR.Checksum, s2.Cycles, optStats.Cycles)
+	}
+
+	// Seed sensitivity.
+	r3, _ := Run(a, app.Config{Seed: 12})
+	if r3.Checksum == base.Checksum {
+		t.Errorf("%s: seed does not affect the workload", a.Name)
+	}
+
+	// Prefetch variants must not change results.
+	rp, _ := Run(a, app.Config{Seed: 11, Prefetch: true, PrefetchBlock: 4})
+	rlp, _ := Run(a, app.Config{Seed: 11, Opt: true, Prefetch: true, PrefetchBlock: 4})
+	if rp.Checksum != base.Checksum || rlp.Checksum != base.Checksum {
+		t.Errorf("%s: prefetch variants changed results", a.Name)
+	}
+
+	// The slot partition invariant holds on real workloads.
+	var slots uint64
+	for _, v := range optStats.Slots {
+		slots += v
+	}
+	if slots != uint64(optStats.Cycles)*4 {
+		t.Errorf("%s: slots %d != 4*cycles %d", a.Name, slots, optStats.Cycles*4)
+	}
+}

@@ -1,0 +1,127 @@
+package bh
+
+import (
+	"testing"
+
+	"memfwd/internal/apps/app"
+	"memfwd/internal/apps/apptest"
+	"memfwd/internal/mem"
+	"memfwd/internal/sim"
+)
+
+func TestConformance(t *testing.T) { apptest.Conformance(t, App) }
+
+func TestPackUnpack(t *testing.T) {
+	x, y, z := uint64(123), uint64(65535), uint64(7)
+	gx, gy, gz := unpack(pack(x, y, z))
+	if gx != x || gy != y || gz != z {
+		t.Fatalf("got (%d,%d,%d)", gx, gy, gz)
+	}
+}
+
+func TestOctant(t *testing.T) {
+	c := pack(100, 100, 100)
+	if o := octant(pack(150, 50, 100), c); o != 4|1 {
+		t.Fatalf("octant = %d", o)
+	}
+	if o := octant(pack(0, 0, 0), c); o != 0 {
+		t.Fatalf("octant = %d", o)
+	}
+}
+
+func TestClusteringNeedsLongLines(t *testing.T) {
+	// The paper: 78-byte cells need >=256B lines for meaningful
+	// clustering. Speedup at 256B should exceed speedup at 64B.
+	speedup := func(ls int) float64 {
+		_, n := apptest.RunOn(sim.Config{LineSize: ls}, App, app.Config{Seed: 5})
+		_, l := apptest.RunOn(sim.Config{LineSize: ls}, App, app.Config{Seed: 5, Opt: true})
+		return float64(n.Cycles) / float64(l.Cycles)
+	}
+	s64, s256 := speedup(64), speedup(256)
+	if s256 <= s64 {
+		t.Errorf("clustering should pay off at long lines: 64B %.2f, 256B %.2f", s64, s256)
+	}
+	if s256 < 1.0 {
+		t.Errorf("256B speedup %.2f < 1", s256)
+	}
+}
+
+// peek reads a guest word functionally (through forwarding, untimed).
+func peek(m *sim.Machine, a uint64) uint64 {
+	f, _, err := m.Fwd.Resolve(mem.Addr(a), nil)
+	if err != nil {
+		panic(err)
+	}
+	return m.Mem.ReadWord(mem.WordAlign(f))
+}
+
+// TestMassConservation checks, after every build+summarize, that the
+// root cell's summarized mass equals the sum of all body masses that
+// were inserted (minus any depth-clamped drops, which must be rare) —
+// in both layouts, through relocated cells.
+func TestMassConservation(t *testing.T) {
+	for _, optOn := range []bool{false, true} {
+		checked := 0
+		DebugTree = func(m *sim.Machine, rootHandle, bodyList mem.Addr) {
+			var bodyMass uint64
+			nBodies := 0
+			for p := bodyList; p != 0; p = mem.Addr(peek(m, uint64(p)+bNext)) {
+				bodyMass += peek(m, uint64(p)+bMass)
+				nBodies++
+			}
+			root := mem.Addr(peek(m, uint64(rootHandle)))
+			rootMass := peek(m, uint64(root)+cMass)
+			if rootMass > bodyMass {
+				t.Fatalf("opt=%v: root mass %d exceeds total body mass %d", optOn, rootMass, bodyMass)
+			}
+			// Depth clamping may drop co-located bodies; tolerate <2%.
+			if bodyMass-rootMass > bodyMass/50 {
+				t.Fatalf("opt=%v: root mass %d vs body mass %d: too much lost", optOn, rootMass, bodyMass)
+			}
+			checked++
+		}
+		apptest.Run(App, app.Config{Seed: 13, Opt: optOn})
+		DebugTree = nil
+		if checked == 0 {
+			t.Fatal("hook never fired")
+		}
+	}
+}
+
+// TestTreeWellFormed walks the final octree and checks structure: every
+// child reachable once, kinds valid, and (optimized case) clustered
+// cells still form a proper tree.
+func TestTreeWellFormed(t *testing.T) {
+	DebugTree = func(m *sim.Machine, rootHandle, bodyList mem.Addr) {
+		seen := map[uint64]bool{}
+		var walk func(p mem.Addr)
+		nodes := 0
+		walk = func(p mem.Addr) {
+			if p == 0 {
+				return
+			}
+			f, _, _ := m.Fwd.Resolve(p, nil)
+			if seen[uint64(f)] {
+				t.Fatalf("node %#x reachable twice", p)
+			}
+			seen[uint64(f)] = true
+			nodes++
+			kind := peek(m, uint64(p)+cKind)
+			switch kind {
+			case kindBody:
+			case kindCell:
+				for o := 0; o < 8; o++ {
+					walk(mem.Addr(peek(m, uint64(p)+cChild0+uint64(o*8))))
+				}
+			default:
+				t.Fatalf("bad kind %d at %#x", kind, p)
+			}
+		}
+		walk(mem.Addr(peek(m, uint64(rootHandle))))
+		if nodes < 100 {
+			t.Fatalf("suspiciously small tree: %d nodes", nodes)
+		}
+	}
+	defer func() { DebugTree = nil }()
+	apptest.Run(App, app.Config{Seed: 13, Opt: true})
+}

@@ -1,0 +1,105 @@
+package compress
+
+import (
+	"testing"
+
+	"memfwd/internal/apps/app"
+	"memfwd/internal/apps/apptest"
+	"memfwd/internal/sim"
+)
+
+func TestConformance(t *testing.T) { apptest.Conformance(t, App) }
+
+func TestInterleavingHurtsShortLinesHelpsLongLines(t *testing.T) {
+	// The paper's exceptional case: the optimized layout loses at 32B
+	// lines and wins at 128B.
+	speedup := func(ls int) float64 {
+		_, n := apptest.RunOn(sim.Config{LineSize: ls}, App, app.Config{Seed: 5})
+		_, l := apptest.RunOn(sim.Config{LineSize: ls}, App, app.Config{Seed: 5, Opt: true})
+		return float64(n.Cycles) / float64(l.Cycles)
+	}
+	s32, s128 := speedup(32), speedup(128)
+	if s32 >= 1.0 {
+		t.Errorf("32B speedup %.2f: interleaving should hurt short lines", s32)
+	}
+	if s128 <= 1.0 {
+		t.Errorf("128B speedup %.2f: interleaving should win long lines", s128)
+	}
+}
+
+func TestCompressionActuallyCompresses(t *testing.T) {
+	r, _ := apptest.Run(App, app.Config{Seed: 3})
+	outCount := r.Checksum >> 32 // packed in the checksum's high bits
+	if outCount == 0 {
+		t.Fatal("no output codes emitted")
+	}
+}
+
+// lzwDecode mirrors the encoder's dictionary discipline (including the
+// silent deterministic clears) and reconstructs the original input.
+func lzwDecode(codes []uint64) []byte {
+	dict := make(map[uint64][]byte)
+	nextCode := uint64(firstFree)
+	var out []byte
+	var prev []byte
+	fresh := true // next code starts a segment (after start or clear)
+	for _, code := range codes {
+		var cur []byte
+		switch {
+		case code < 256:
+			cur = []byte{byte(code)}
+		case code == nextCode && !fresh:
+			// KwKwK: the entry being defined right now.
+			cur = append(append([]byte{}, prev...), prev[0])
+		default:
+			cur = dict[code]
+		}
+		out = append(out, cur...)
+		if !fresh {
+			if nextCode < maxCode {
+				entry := append(append([]byte{}, prev...), cur[0])
+				dict[nextCode] = entry
+				nextCode++
+			} else {
+				dict = make(map[uint64][]byte)
+				nextCode = firstFree
+				fresh = true
+				prev = nil
+				// The code just decoded becomes the new segment start.
+				prev = cur
+				continue
+			}
+		}
+		fresh = false
+		prev = cur
+	}
+	return out
+}
+
+// TestRoundTrip decodes the emitted LZW stream and compares it with the
+// original input byte for byte — full functional validation of the
+// compressor, in both layouts.
+func TestRoundTrip(t *testing.T) {
+	for _, optOn := range []bool{false, true} {
+		var input []byte
+		var codes []uint64
+		DebugInput = func(b []byte) { input = append([]byte{}, b...) }
+		DebugEmit = func(c uint64) { codes = append(codes, c) }
+		m := sim.New(sim.Config{})
+		App.Run(m, app.Config{Seed: 21, Opt: optOn})
+		DebugInput, DebugEmit = nil, nil
+
+		got := lzwDecode(codes)
+		if len(got) != len(input) {
+			t.Fatalf("opt=%v: decoded %d bytes, want %d", optOn, len(got), len(input))
+		}
+		for i := range got {
+			if got[i] != input[i] {
+				t.Fatalf("opt=%v: byte %d = %q, want %q", optOn, i, got[i], input[i])
+			}
+		}
+		if len(codes) >= len(input) {
+			t.Fatalf("opt=%v: no compression (%d codes for %d bytes)", optOn, len(codes), len(input))
+		}
+	}
+}

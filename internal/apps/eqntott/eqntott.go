@@ -1,0 +1,214 @@
+// Package eqntott reproduces the PTERM data structure of SPEC eqntott
+// as the paper describes it in Section 5.3 (Figure 8): a hash table
+// whose entries point to PTERM records, each of which points to a
+// separately allocated array of short integers. The hot loop (cmppt)
+// walks the table in hash order comparing PTERM bit-vectors.
+//
+// The optimization relocates each PTERM record together with its short
+// array into a single chunk, and places the chunks at contiguous
+// addresses in increasing hash-index order — invoked exactly once,
+// immediately after the hash table is constructed (Figure 8b).
+package eqntott
+
+import (
+	"math/rand"
+
+	"memfwd/internal/apps/app"
+	"memfwd/internal/mem"
+	"memfwd/internal/opt"
+	"memfwd/internal/sim"
+)
+
+// PTERM record layout (24 bytes).
+const (
+	tIndex = 0
+	tPtand = 8 // pointer to the short array
+	tNext  = 16
+	tBytes = 24
+)
+
+// Each PTERM's bit-vector: 16 shorts (32 bytes).
+const (
+	nShorts    = 16
+	arrayBytes = nShorts * 2
+)
+
+// DebugTable, when non-nil, observes (machine, bucketsBase, nBuckets)
+// after construction and any packing (test support).
+var DebugTable func(m *sim.Machine, buckets mem.Addr, nBkts int)
+
+// App is the registry entry.
+var App = app.App{
+	Name:         "eqntott",
+	Description:  "SPEC eqntott PTERM kernel: hash table of PTERM records, each pointing to a separate short-integer array, compared repeatedly in hash order",
+	Optimization: "pack each PTERM record with its short array into one chunk, chunks contiguous in hash order, once after table construction (Figure 8)",
+	Run:          run,
+}
+
+type state struct {
+	m       *sim.Machine
+	cfg     app.Config
+	rng     *rand.Rand
+	pool    *opt.Pool
+	buckets mem.Addr // bucket-head pointer array
+	nBkts   int
+	block   int
+	reloc   int
+}
+
+func run(m *sim.Machine, cfg app.Config) app.Result {
+	cfg = cfg.Norm()
+	s := &state{
+		m:     m,
+		cfg:   cfg,
+		rng:   app.NewRand(cfg.Seed),
+		pool:  opt.NewPool(m, 1<<17),
+		block: cfg.PrefetchBlock,
+		nBkts: 256,
+	}
+	nTerms := 2600 * cfg.Scale
+	passes := 22
+
+	app.FragmentHeap(m, tBytes, 8000, 0.15, s.rng)
+	app.FragmentHeap(m, arrayBytes, 8000, 0.15, s.rng)
+
+	s.buckets = m.Malloc(uint64(s.nBkts) * 8)
+	if cfg.Static {
+		// Static placement (Section 1): the packed layout is chosen at
+		// allocation time. No relocation, no forwarding — but only
+		// possible because this optimization never needs to adapt.
+		s.buildTableStatic(nTerms)
+	} else {
+		s.buildTable(nTerms)
+		if cfg.Opt {
+			s.packTable()
+		}
+	}
+	if DebugTable != nil {
+		DebugTable(m, s.buckets, s.nBkts)
+	}
+
+	probe := s.makeProbe()
+	var checksum uint64
+	for p := 0; p < passes; p++ {
+		checksum += s.cmpptPass(probe, p)
+	}
+
+	return app.Result{
+		Checksum:      checksum,
+		Relocated:     s.reloc,
+		SpaceOverhead: s.pool.BytesUsed,
+	}
+}
+
+// buildTable inserts nTerms PTERMs at their buckets' heads. Records and
+// arrays come from the aged heap, so they scatter (Figure 8a).
+func (s *state) buildTable(nTerms int) {
+	m := s.m
+	for i := 0; i < nTerms; i++ {
+		arr := m.Malloc(arrayBytes)
+		for k := 0; k < nShorts; k++ {
+			m.Store16(arr+mem.Addr(k*2), uint16(s.rng.Intn(3))) // 0, 1, or don't-care
+		}
+		rec := m.Malloc(tBytes)
+		m.StoreWord(rec+tIndex, uint64(i))
+		m.StorePtr(rec+tPtand, arr)
+		h := s.buckets + mem.Addr(i%s.nBkts*8)
+		m.StorePtr(rec+tNext, m.LoadPtr(h))
+		m.StorePtr(h, rec)
+	}
+}
+
+// buildTableStatic allocates each record+array pair directly as one
+// chunk from a contiguous pool — the static-placement alternative the
+// paper contrasts with relocation. Chain order within buckets matches
+// buildTable's (head insertion), so results are identical.
+func (s *state) buildTableStatic(nTerms int) {
+	m := s.m
+	for i := 0; i < nTerms; i++ {
+		chunk := s.pool.Alloc(tBytes + arrayBytes)
+		rec := chunk
+		arr := chunk + tBytes
+		for k := 0; k < nShorts; k++ {
+			m.Store16(arr+mem.Addr(k*2), uint16(s.rng.Intn(3)))
+		}
+		m.StoreWord(rec+tIndex, uint64(i))
+		m.StorePtr(rec+tPtand, arr)
+		h := s.buckets + mem.Addr(i%s.nBkts*8)
+		m.StorePtr(rec+tNext, m.LoadPtr(h))
+		m.StorePtr(h, rec)
+		s.reloc++ // statically placed objects, for accounting
+	}
+}
+
+// packTable is the Figure 8(b) relocation: for every bucket in hash
+// order, each chain record and its short array move into one contiguous
+// chunk; chunk order follows the chain order. The chain links and the
+// record-to-array pointer are updated; any pointer the program failed
+// to update would still work via forwarding.
+func (s *state) packTable() {
+	m := s.m
+	for b := 0; b < s.nBkts; b++ {
+		handle := s.buckets + mem.Addr(b*8)
+		rec := m.LoadPtr(handle)
+		for rec != 0 {
+			m.Inst(4)
+			chunk := s.pool.Alloc(tBytes + arrayBytes)
+			newRec := chunk
+			newArr := chunk + tBytes
+			arr := m.LoadPtr(rec + tPtand)
+			opt.Relocate(m, rec, newRec, tBytes/8)
+			opt.Relocate(m, arr, newArr, arrayBytes/8)
+			m.StorePtr(newRec+tPtand, newArr)
+			m.StorePtr(handle, newRec)
+			handle = newRec + tNext
+			rec = m.LoadPtr(handle)
+			s.reloc += 2
+		}
+	}
+}
+
+// makeProbe builds the PTERM bit-vector that every pass compares
+// against.
+func (s *state) makeProbe() mem.Addr {
+	m := s.m
+	probe := m.Malloc(arrayBytes)
+	for k := 0; k < nShorts; k++ {
+		m.Store16(probe+mem.Addr(k*2), uint16(k%3))
+	}
+	return probe
+}
+
+// cmpptPass walks every bucket chain in hash order, comparing each
+// PTERM's shorts against the probe with early exit — eqntott's cmppt.
+func (s *state) cmpptPass(probe mem.Addr, salt int) uint64 {
+	m := s.m
+	var tally uint64
+	for b := 0; b < s.nBkts; b++ {
+		rec := m.LoadPtr(s.buckets + mem.Addr(b*8))
+		for rec != 0 {
+			m.Inst(6)
+			next := m.LoadPtr(rec + tNext)
+			if s.cfg.Prefetch && next != 0 {
+				m.Prefetch(next, s.block)
+			}
+			arr := m.LoadPtr(rec + tPtand)
+			idx := m.LoadWord(rec + tIndex)
+			// Compare until mismatch (cmppt's early exit).
+			for k := 0; k < nShorts; k++ {
+				m.Inst(4)
+				a := m.Load16(arr + mem.Addr(k*2))
+				p := m.Load16(probe + mem.Addr(k*2))
+				if a != p {
+					tally += uint64(k) + idx%7 + uint64(salt%3)
+					break
+				}
+				if k == nShorts-1 {
+					tally += 100
+				}
+			}
+			rec = next
+		}
+	}
+	return tally
+}

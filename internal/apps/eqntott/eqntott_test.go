@@ -1,0 +1,141 @@
+package eqntott
+
+import (
+	"testing"
+
+	"memfwd/internal/apps/app"
+	"memfwd/internal/apps/apptest"
+	"memfwd/internal/mem"
+	"memfwd/internal/sim"
+)
+
+func TestConformance(t *testing.T) { apptest.Conformance(t, App) }
+
+func TestPackingHelpsMostAtLongLines(t *testing.T) {
+	speedup := func(ls int) float64 {
+		_, n := apptest.RunOn(sim.Config{LineSize: ls}, App, app.Config{Seed: 5})
+		_, l := apptest.RunOn(sim.Config{LineSize: ls}, App, app.Config{Seed: 5, Opt: true})
+		return float64(n.Cycles) / float64(l.Cycles)
+	}
+	s64, s128 := speedup(64), speedup(128)
+	if s128 <= s64 {
+		t.Errorf("speedup should grow with line size: 64B %.2f, 128B %.2f", s64, s128)
+	}
+	if s128 < 1.2 {
+		t.Errorf("128B speedup %.2f too small for record+array packing", s128)
+	}
+}
+
+func TestNoForwardingAfterCompletePointerUpdate(t *testing.T) {
+	// The relocation happens once, immediately after construction, and
+	// every pointer is updated — so no reference should ever forward.
+	_, s := apptest.Run(App, app.Config{Seed: 5, Opt: true})
+	if s.LoadsForwarded() != 0 || s.StoresForwarded() != 0 {
+		t.Fatalf("forwarding occurred: %d loads, %d stores",
+			s.LoadsForwarded(), s.StoresForwarded())
+	}
+}
+
+func peek(m *sim.Machine, a mem.Addr) uint64 {
+	f, _, err := m.Fwd.Resolve(a, nil)
+	if err != nil {
+		panic(err)
+	}
+	return m.Mem.ReadWord(mem.WordAlign(f))
+}
+
+// TestPackedLayoutContiguous verifies the Figure 8(b) structure after
+// the real application's packing pass: walking each bucket chain, every
+// record sits immediately before its own short array, and successive
+// chain records occupy successive chunks.
+func TestPackedLayoutContiguous(t *testing.T) {
+	var buckets mem.Addr
+	var nBkts int
+	DebugTable = func(m *sim.Machine, b mem.Addr, n int) { buckets, nBkts = b, n }
+	defer func() { DebugTable = nil }()
+
+	m := sim.New(sim.Config{})
+	App.Run(m, app.Config{Seed: 5, Opt: true})
+
+	const chunk = tBytes + arrayBytes
+	pairs, contiguous := 0, 0
+	for b := 0; b < nBkts; b++ {
+		rec := mem.Addr(peek(m, buckets+mem.Addr(b*8)))
+		var prev mem.Addr
+		for rec != 0 {
+			arr := mem.Addr(peek(m, rec+tPtand))
+			if arr != rec+tBytes {
+				t.Fatalf("bucket %d: array %#x not adjacent to record %#x", b, arr, rec)
+			}
+			if prev != 0 {
+				pairs++
+				if rec == prev+chunk {
+					contiguous++
+				}
+			}
+			prev = rec
+			rec = mem.Addr(peek(m, rec+tNext))
+		}
+	}
+	if pairs == 0 {
+		t.Fatal("no chains with multiple records")
+	}
+	if contiguous != pairs {
+		t.Fatalf("only %d/%d successive chain records contiguous", contiguous, pairs)
+	}
+}
+
+// TestUnpackedLayoutScattered confirms the Figure 8(a) baseline: in the
+// original layout, records and their arrays are not adjacent.
+func TestUnpackedLayoutScattered(t *testing.T) {
+	var buckets mem.Addr
+	DebugTable = func(m *sim.Machine, b mem.Addr, n int) { buckets = b }
+	defer func() { DebugTable = nil }()
+
+	m := sim.New(sim.Config{})
+	App.Run(m, app.Config{Seed: 5})
+
+	adjacent, total := 0, 0
+	for b := 0; b < 16; b++ {
+		rec := mem.Addr(peek(m, buckets+mem.Addr(b*8)))
+		for rec != 0 {
+			arr := mem.Addr(peek(m, rec+tPtand))
+			total++
+			if arr == rec+tBytes {
+				adjacent++
+			}
+			rec = mem.Addr(peek(m, rec+tNext))
+		}
+	}
+	if total == 0 {
+		t.Fatal("empty table")
+	}
+	if adjacent*4 > total {
+		t.Fatalf("baseline suspiciously packed: %d/%d adjacent", adjacent, total)
+	}
+}
+
+// TestStaticPlacementOrdering is the Section 1 contrast measured:
+// static placement (packed chunks, allocation order) beats the original
+// layout, but loses to relocation — because relocation runs after the
+// table is built and can pack chunks in the bucket-chain order the hot
+// loop actually traverses, which static placement cannot know at
+// allocation time. That adaptivity is the paper's argument for
+// relocation over placement.
+func TestStaticPlacementOrdering(t *testing.T) {
+	rn, sn := apptest.Run(App, app.Config{Seed: 5})
+	rl, sl := apptest.Run(App, app.Config{Seed: 5, Opt: true})
+	rs, ss := apptest.Run(App, app.Config{Seed: 5, Static: true})
+	if rl.Checksum != rs.Checksum || rn.Checksum != rs.Checksum {
+		t.Fatalf("static placement diverged: N=%d L=%d S=%d", rn.Checksum, rl.Checksum, rs.Checksum)
+	}
+	if ss.Cycles >= sn.Cycles {
+		t.Fatalf("static placement (%d) should beat the original layout (%d)", ss.Cycles, sn.Cycles)
+	}
+	if sl.Cycles >= ss.Cycles {
+		t.Fatalf("relocation (%d) should beat static placement (%d): it packs in traversal order", sl.Cycles, ss.Cycles)
+	}
+	if ss.LoadsForwarded() != 0 {
+		t.Fatal("static placement must never forward")
+	}
+}

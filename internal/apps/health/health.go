@@ -1,0 +1,293 @@
+// Package health reproduces the Olden "health" benchmark: a simulation
+// of the Columbian health-care system. Villages form a 4-ary tree; each
+// village keeps three linked lists of patients (waiting, assess,
+// inside) that are traversed every time step and mutated constantly, so
+// the lists fragment across the heap. The paper's optimization is
+// periodic list linearization (Section 5.3), which gave health a more
+// than twofold speedup at 128-byte lines.
+package health
+
+import (
+	"math/rand"
+
+	"memfwd/internal/apps/app"
+	"memfwd/internal/mem"
+	"memfwd/internal/opt"
+	"memfwd/internal/sim"
+)
+
+// Village layout (80 bytes).
+const (
+	vParent  = 0
+	vChild0  = 8 // four children at 8, 16, 24, 32
+	vWaiting = 40
+	vAssess  = 48
+	vInside  = 56
+	vCounter = 64
+	vID      = 72
+	vBytes   = 80
+)
+
+// Patient layout (40 bytes, matching the several-field Olden record).
+const (
+	pID        = 0
+	pRemaining = 8
+	pHops      = 16
+	pNext      = 24
+	pBytes     = 40
+)
+
+var listDesc = opt.ListDesc{NodeBytes: pBytes, NextOff: pNext}
+
+// linearizePeriod is the number of simulation steps between
+// linearizations of a given village's lists ("the linearization process
+// can be invoked ... periodically to adapt to the changing structure",
+// Section 2.2).
+const linearizePeriod = 12
+
+// DebugStepHook, when non-nil, is invoked after every simulation step
+// with the machine and the village addresses (test support only).
+var DebugStepHook func(m *sim.Machine, villages []mem.Addr)
+
+// DebugVillageHook, when non-nil, is invoked after each village's
+// sub-step with (step, villageIndex) (test support only).
+var DebugVillageHook func(m *sim.Machine, step, village int, addr mem.Addr)
+
+// App is the registry entry.
+var App = app.App{
+	Name:         "health",
+	Description:  "Columbian health-care simulation (Olden): 4-ary village tree with waiting/assess/inside patient lists",
+	Optimization: "periodic list linearization of the per-village patient lists",
+	Run:          run,
+}
+
+type state struct {
+	m        *sim.Machine
+	cfg      app.Config
+	rng      *rand.Rand
+	pool     *opt.Pool
+	villages []mem.Addr // pre-order
+	nextID   uint64
+	checksum uint64
+	reloc    int
+	block    int
+	step     int
+	sites    struct{ traverse int }
+}
+
+func run(m *sim.Machine, cfg app.Config) app.Result {
+	cfg = cfg.Norm()
+	s := &state{
+		m:     m,
+		cfg:   cfg,
+		rng:   app.NewRand(cfg.Seed),
+		pool:  opt.NewPool(m, 1<<16),
+		block: cfg.PrefetchBlock,
+	}
+	s.sites.traverse = m.Site("health.traverse")
+	m.SetSite(s.sites.traverse)
+
+	depth := 4
+	steps := 50 * cfg.Scale
+
+	// The paper's applications run in a heap aged by hundreds of
+	// millions of instructions; patient records land at effectively
+	// random addresses. Model that state before the measured phase.
+	app.FragmentHeap(m, pBytes, 10000, 0.15, s.rng)
+
+	root := s.buildVillage(0, depth)
+	_ = root
+
+	// Seed initial patients so steady state arrives quickly.
+	for _, v := range s.villages {
+		for i := 0; i < 2; i++ {
+			s.append(v+vWaiting, v, s.newPatient(3+s.rng.Intn(6)))
+		}
+	}
+
+	for t := 0; t < steps; t++ {
+		s.step = t
+		for vi, v := range s.villages {
+			s.stepVillage(v)
+			if DebugVillageHook != nil {
+				DebugVillageHook(m, t, vi, v)
+			}
+		}
+		if DebugStepHook != nil {
+			DebugStepHook(m, s.villages)
+		}
+	}
+
+	// Fold the remaining population into the checksum.
+	for _, v := range s.villages {
+		for _, off := range []mem.Addr{vWaiting, vAssess, vInside} {
+			p := m.LoadPtr(v + off)
+			for p != 0 {
+				s.checksum += m.LoadWord(p+pID) + m.LoadWord(p+pRemaining)
+				p = m.LoadPtr(p + pNext)
+			}
+		}
+	}
+
+	return app.Result{
+		Checksum:      s.checksum,
+		Relocated:     s.reloc,
+		SpaceOverhead: s.pool.BytesUsed,
+	}
+}
+
+// buildVillage allocates the village tree in depth-first order, as the
+// original program does.
+func (s *state) buildVillage(parent mem.Addr, depth int) mem.Addr {
+	m := s.m
+	v := m.Malloc(vBytes)
+	m.StorePtr(v+vParent, parent)
+	m.StoreWord(v+vID, uint64(len(s.villages)))
+	s.villages = append(s.villages, v)
+	if depth > 1 {
+		for c := 0; c < 4; c++ {
+			child := s.buildVillage(v, depth-1)
+			m.StorePtr(v+vChild0+mem.Addr(c*8), child)
+		}
+	}
+	return v
+}
+
+func (s *state) newPatient(remaining int) mem.Addr {
+	m := s.m
+	s.nextID++
+	p := m.Malloc(pBytes)
+	m.StoreWord(p+pID, s.nextID)
+	m.StoreWord(p+pRemaining, uint64(remaining))
+	return p
+}
+
+// append walks to the tail of the list at headHandle and links the
+// patient there (the original code keeps tails implicit, paying a full
+// traversal per insert). The owning village's op counter is bumped.
+func (s *state) append(headHandle, village, patient mem.Addr) {
+	m := s.m
+	h := headHandle
+	p := m.LoadPtr(h)
+	for p != 0 {
+		m.Inst(3)
+		h = p + pNext
+		p = m.LoadPtr(h)
+	}
+	m.StorePtr(h, patient)
+	m.StorePtr(patient+pNext, 0)
+	s.bumpCounter(village)
+}
+
+func (s *state) bumpCounter(village mem.Addr) {
+	m := s.m
+	c := m.LoadWord(village + vCounter)
+	m.StoreWord(village+vCounter, c+1)
+}
+
+// stepVillage advances one village by one time step: discharge from
+// inside, graduate from assess, admit from waiting, and generate new
+// arrivals at leaves.
+func (s *state) stepVillage(v mem.Addr) {
+	m := s.m
+
+	// Inside: treat, discharge at zero.
+	h := v + vInside
+	p := m.LoadPtr(h)
+	for p != 0 {
+		m.Inst(5)
+		next := m.LoadPtr(p + pNext)
+		if s.cfg.Prefetch && next != 0 {
+			m.Prefetch(next, s.block)
+		}
+		r := m.LoadWord(p + pRemaining)
+		if r <= 1 {
+			s.checksum += m.LoadWord(p + pID)
+			m.StorePtr(h, next)
+			m.Free(p)
+			s.bumpCounter(v)
+		} else {
+			m.StoreWord(p+pRemaining, r-1)
+			h = p + pNext
+		}
+		p = next
+	}
+
+	// Assess: when done, either refer up to the parent's waiting list
+	// or admit into this village.
+	h = v + vAssess
+	p = m.LoadPtr(h)
+	for p != 0 {
+		m.Inst(5)
+		next := m.LoadPtr(p + pNext)
+		if s.cfg.Prefetch && next != 0 {
+			m.Prefetch(next, s.block)
+		}
+		r := m.LoadWord(p + pRemaining)
+		if r <= 1 {
+			m.StorePtr(h, next)
+			s.bumpCounter(v)
+			id := m.LoadWord(p + pID)
+			hops := m.LoadWord(p + pHops)
+			parent := m.LoadPtr(v + vParent)
+			if parent != 0 && (id+hops)%4 != 0 {
+				// Referred up: patients concentrate toward the root,
+				// giving upper villages the long lists Olden health is
+				// known for.
+				m.StoreWord(p+pHops, hops+1)
+				s.append(parent+vWaiting, parent, p)
+			} else {
+				m.StoreWord(p+pRemaining, uint64(8+id%8))
+				s.append(v+vInside, v, p)
+			}
+		} else {
+			m.StoreWord(p+pRemaining, r-1)
+			h = p + pNext
+		}
+		p = next
+	}
+
+	// Waiting: check every waiting patient (the per-step visit walks
+	// the whole list, as Olden health does), then admit the head into
+	// assessment. Waiting lists grow long and keep a stable order,
+	// which is exactly the structure linearization exploits.
+	p = m.LoadPtr(v + vWaiting)
+	for p != 0 {
+		m.Inst(5)
+		next := m.LoadPtr(p + pNext)
+		if s.cfg.Prefetch && next != 0 {
+			m.Prefetch(next, s.block)
+		}
+		w := m.LoadWord(p + pRemaining) // "how long waiting" check
+		m.StoreWord(p+pRemaining, w+1)
+		p = next
+	}
+	head := m.LoadPtr(v + vWaiting)
+	if head != 0 {
+		m.StorePtr(v+vWaiting, m.LoadPtr(head+pNext))
+		s.bumpCounter(v)
+		m.StoreWord(head+pRemaining, uint64(4+m.LoadWord(head+pID)%4))
+		s.append(v+vAssess, v, head)
+	}
+
+	// Leaves generate new arrivals.
+	if m.LoadPtr(v+vChild0) == 0 {
+		for k := 0; k < 2; k++ {
+			if s.rng.Intn(4) != 0 {
+				s.append(v+vWaiting, v, s.newPatient(2+s.rng.Intn(4)))
+			}
+		}
+	}
+
+	// The locality optimization: periodically linearize this village's
+	// lists (staggered across villages so relocation work spreads out).
+	if s.cfg.Opt {
+		vid := int(m.LoadWord(v + vID))
+		if (s.step+vid)%linearizePeriod == linearizePeriod-1 {
+			for _, off := range []mem.Addr{vWaiting, vAssess, vInside} {
+				s.reloc += opt.ListLinearize(m, s.pool, v+off, listDesc)
+			}
+			m.StoreWord(v+vCounter, 0)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package health
+
+import (
+	"testing"
+
+	"memfwd/internal/apps/app"
+	"memfwd/internal/mem"
+	"memfwd/internal/sim"
+)
+
+func runCfg(cfg app.Config) (app.Result, *sim.Stats) {
+	m := sim.New(sim.Config{})
+	r := App.Run(m, cfg)
+	return r, m.Finalize()
+}
+
+func TestOptimizedMatchesUnoptimized(t *testing.T) {
+	base, _ := runCfg(app.Config{Seed: 7})
+	opt, _ := runCfg(app.Config{Seed: 7, Opt: true})
+	if base.Checksum != opt.Checksum {
+		t.Fatalf("checksum diverged: %d vs %d", base.Checksum, opt.Checksum)
+	}
+	if opt.Relocated == 0 {
+		t.Fatal("optimization relocated nothing")
+	}
+	if opt.SpaceOverhead == 0 {
+		t.Fatal("no space overhead recorded")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a, sa := runCfg(app.Config{Seed: 3, Opt: true})
+	b, sb := runCfg(app.Config{Seed: 3, Opt: true})
+	if a.Checksum != b.Checksum {
+		t.Fatal("checksum not deterministic")
+	}
+	if sa.Cycles != sb.Cycles {
+		t.Fatalf("cycles not deterministic: %d vs %d", sa.Cycles, sb.Cycles)
+	}
+}
+
+func TestSeedChangesWorkload(t *testing.T) {
+	a, _ := runCfg(app.Config{Seed: 1})
+	b, _ := runCfg(app.Config{Seed: 2})
+	if a.Checksum == b.Checksum {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestPrefetchVariantsStayFunctional(t *testing.T) {
+	base, _ := runCfg(app.Config{Seed: 5})
+	pf, _ := runCfg(app.Config{Seed: 5, Prefetch: true, PrefetchBlock: 2})
+	both, _ := runCfg(app.Config{Seed: 5, Opt: true, Prefetch: true, PrefetchBlock: 4})
+	if base.Checksum != pf.Checksum || base.Checksum != both.Checksum {
+		t.Fatal("prefetch variants changed results")
+	}
+}
+
+func TestOptimizationReducesMisses(t *testing.T) {
+	_, sBase := runCfg(app.Config{Seed: 9})
+	_, sOpt := runCfg(app.Config{Seed: 9, Opt: true})
+	if sOpt.L1.Misses(0) >= sBase.L1.Misses(0) {
+		t.Fatalf("linearization did not cut load misses: %d -> %d",
+			sBase.L1.Misses(0), sOpt.L1.Misses(0))
+	}
+}
+
+func TestForwardingRareWhenPointersUpdated(t *testing.T) {
+	// Health updates every pointer it holds, so the forwarding safety
+	// net should almost never fire (Section 5.4's observation).
+	_, s := runCfg(app.Config{Seed: 9, Opt: true})
+	if s.Loads == 0 {
+		t.Fatal("no loads recorded")
+	}
+	frac := float64(s.LoadsForwarded()) / float64(s.Loads)
+	if frac > 0.001 {
+		t.Fatalf("forwarded load fraction %.4f, want ~0", frac)
+	}
+}
+
+func peek(m *sim.Machine, a mem.Addr) uint64 {
+	f, _, err := m.Fwd.Resolve(a, nil)
+	if err != nil {
+		panic(err)
+	}
+	return m.Mem.ReadWord(mem.WordAlign(f))
+}
+
+// TestListsWellFormedEveryStep walks all village lists after every
+// simulation step and checks the structural invariants that the early
+// development of this reproduction actually caught bugs against: no
+// patient appears on two lists (by final address), no list cycles, and
+// every id is positive.
+func TestListsWellFormedEveryStep(t *testing.T) {
+	for _, optOn := range []bool{false, true} {
+		steps := 0
+		DebugStepHook = func(m *sim.Machine, villages []mem.Addr) {
+			steps++
+			if steps%5 != 0 { // every 5th step keeps the test quick
+				return
+			}
+			seen := map[mem.Addr]bool{}
+			for _, v := range villages {
+				for _, off := range []mem.Addr{40, 48, 56} {
+					p := mem.Addr(peek(m, v+off))
+					hops := 0
+					for p != 0 {
+						f, _, err := m.Fwd.Resolve(p, nil)
+						if err != nil {
+							t.Fatalf("opt=%v: %v", optOn, err)
+						}
+						fa := mem.WordAlign(f)
+						if seen[fa] {
+							t.Fatalf("opt=%v step %d: node %#x on two lists", optOn, steps, fa)
+						}
+						seen[fa] = true
+						if id := peek(m, p+pID); id == 0 {
+							t.Fatalf("opt=%v step %d: zero id (corrupt node) at %#x", optOn, steps, p)
+						}
+						if hops++; hops > 1<<20 {
+							t.Fatalf("opt=%v step %d: list cycle", optOn, steps)
+						}
+						p = mem.Addr(peek(m, p+pNext))
+					}
+				}
+			}
+		}
+		_, _ = runCfg(app.Config{Seed: 11, Opt: optOn})
+		DebugStepHook = nil
+		if steps == 0 {
+			t.Fatal("hook never fired")
+		}
+	}
+}
+
+// TestScaleGrowsWork confirms the Scale knob scales the workload.
+func TestScaleGrowsWork(t *testing.T) {
+	_, s1 := runCfg(app.Config{Seed: 3, Scale: 1})
+	_, s2 := runCfg(app.Config{Seed: 3, Scale: 2})
+	if s2.Loads < s1.Loads*3/2 {
+		t.Fatalf("Scale=2 loads %d not much larger than Scale=1 %d", s2.Loads, s1.Loads)
+	}
+}

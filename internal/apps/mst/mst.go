@@ -1,0 +1,209 @@
+// Package mst reproduces the Olden "mst" benchmark: a minimum spanning
+// tree computed over a graph whose adjacency structure is a per-vertex
+// hash table of edge records chained into bucket lists. The inner loop
+// performs hash lookups that chase bucket chains, so the paper applies
+// list linearization to the chains (Section 5.3), packing each vertex's
+// edge records contiguously in bucket order after the graph is built.
+package mst
+
+import (
+	"math/rand"
+
+	"memfwd/internal/apps/app"
+	"memfwd/internal/mem"
+	"memfwd/internal/opt"
+	"memfwd/internal/sim"
+)
+
+// Vertex layout (guest): bucket-head pointer array, one word per bucket.
+const nBuckets = 4
+
+// Edge record layout (24 bytes).
+const (
+	eKey    = 0 // neighbour vertex id
+	eWeight = 8
+	eNext   = 16
+	eBytes  = 24
+)
+
+var chainDesc = opt.ListDesc{NodeBytes: eBytes, NextOff: eNext}
+
+// DebugEdge, when non-nil, observes every inserted edge (test support:
+// a host-side reference MST is computed over the same graph).
+var DebugEdge func(a, b int, w uint64)
+
+// App is the registry entry.
+var App = app.App{
+	Name:         "mst",
+	Description:  "minimum spanning tree (Olden): per-vertex hash tables of edge records in bucket chains",
+	Optimization: "list linearization of every vertex's bucket chains, once after graph construction",
+	Run:          run,
+}
+
+type state struct {
+	m     *sim.Machine
+	cfg   app.Config
+	rng   *rand.Rand
+	pool  *opt.Pool
+	verts []mem.Addr // bucket arrays, one per vertex
+	block int
+	reloc int
+}
+
+func run(m *sim.Machine, cfg app.Config) app.Result {
+	cfg = cfg.Norm()
+	s := &state{
+		m:     m,
+		cfg:   cfg,
+		rng:   app.NewRand(cfg.Seed),
+		pool:  opt.NewPool(m, 1<<16),
+		block: cfg.PrefetchBlock,
+	}
+
+	nVerts := 192 * cfg.Scale
+	degree := 8
+
+	app.FragmentHeap(m, eBytes, 8000, 0.15, s.rng)
+
+	s.build(nVerts, degree)
+
+	if cfg.Opt {
+		// Pack each vertex's chains contiguously in bucket order so a
+		// lookup scan touches dense lines.
+		for _, v := range s.verts {
+			for b := 0; b < nBuckets; b++ {
+				s.reloc += opt.ListLinearize(m, s.pool, v+mem.Addr(b*8), chainDesc)
+			}
+		}
+	}
+
+	weight := s.prim(nVerts)
+
+	return app.Result{
+		Checksum:      weight,
+		Relocated:     s.reloc,
+		SpaceOverhead: s.pool.BytesUsed,
+	}
+}
+
+// edgeWeight is a symmetric deterministic weight for the pair (a, b).
+func edgeWeight(a, b int) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	h := uint64(a)*2654435761 + uint64(b)*40503
+	return h%1000 + 1
+}
+
+func (s *state) bucket(v mem.Addr, key int) mem.Addr {
+	return v + mem.Addr((uint64(key)*2654435761>>20)%nBuckets*8)
+}
+
+// build allocates vertices and inserts degree edges per vertex into
+// both endpoints' hash tables (insert at bucket head, as Olden does).
+func (s *state) build(nVerts, degree int) {
+	m := s.m
+	s.verts = make([]mem.Addr, nVerts)
+	for i := range s.verts {
+		s.verts[i] = m.Malloc(nBuckets * 8)
+	}
+	for a := 0; a < nVerts; a++ {
+		for d := 0; d < degree/2; d++ {
+			b := s.rng.Intn(nVerts)
+			if b == a {
+				b = (a + 1) % nVerts
+			}
+			w := edgeWeight(a, b)
+			s.insert(a, b, w)
+			s.insert(b, a, w)
+		}
+	}
+	// Guarantee connectivity with a ring.
+	for a := 0; a < nVerts; a++ {
+		b := (a + 1) % nVerts
+		w := edgeWeight(a, b)
+		if s.lookup(a, b) == 0 {
+			s.insert(a, b, w)
+			s.insert(b, a, w)
+		}
+	}
+}
+
+// insert prepends an edge record to vertex a's chain for key b unless
+// already present.
+func (s *state) insert(a, b int, w uint64) {
+	if s.lookup(a, b) != 0 {
+		return
+	}
+	m := s.m
+	h := s.bucket(s.verts[a], b)
+	e := m.Malloc(eBytes)
+	m.StoreWord(e+eKey, uint64(b))
+	m.StoreWord(e+eWeight, w)
+	m.StorePtr(e+eNext, m.LoadPtr(h))
+	m.StorePtr(h, e)
+	if DebugEdge != nil {
+		DebugEdge(a, b, w)
+	}
+}
+
+// lookup returns the weight of edge (a, b), or 0 when absent, walking
+// a's bucket chain — the benchmark's hot loop.
+func (s *state) lookup(a, b int) uint64 {
+	m := s.m
+	m.Inst(7) // hash computation
+	p := m.LoadPtr(s.bucket(s.verts[a], b))
+	for p != 0 {
+		m.Inst(4)
+		next := m.LoadPtr(p + eNext)
+		if s.cfg.Prefetch && next != 0 {
+			m.Prefetch(next, s.block)
+		}
+		if m.LoadWord(p+eKey) == uint64(b) {
+			return m.LoadWord(p + eWeight)
+		}
+		p = next
+	}
+	return 0
+}
+
+// prim computes the MST weight with the Olden-style O(V^2) loop: each
+// round scans every remaining vertex, refreshing its distance via a
+// hash lookup against the most recently added vertex.
+func (s *state) prim(nVerts int) uint64 {
+	m := s.m
+	const inf = ^uint64(0)
+	// Per-vertex scalars live in guest arrays, as in the original.
+	dist := m.Malloc(uint64(nVerts) * 8)
+	inTree := m.Malloc(uint64(nVerts))
+	for v := 0; v < nVerts; v++ {
+		m.StoreWord(dist+mem.Addr(v*8), inf)
+	}
+	m.Store8(inTree, 1)
+	last := 0
+	var total uint64
+	for added := 1; added < nVerts; added++ {
+		bestV, bestD := -1, inf
+		for v := 0; v < nVerts; v++ {
+			m.Inst(6)
+			if m.Load8(inTree+mem.Addr(v)) != 0 {
+				continue
+			}
+			dv := m.LoadWord(dist + mem.Addr(v*8))
+			if w := s.lookup(v, last); w != 0 && w < dv {
+				dv = w
+				m.StoreWord(dist+mem.Addr(v*8), dv)
+			}
+			if dv < bestD {
+				bestV, bestD = v, dv
+			}
+		}
+		if bestV < 0 {
+			break
+		}
+		m.Store8(inTree+mem.Addr(bestV), 1)
+		total += bestD
+		last = bestV
+	}
+	return total
+}

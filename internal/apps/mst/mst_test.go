@@ -1,0 +1,97 @@
+package mst
+
+import (
+	"testing"
+
+	"memfwd/internal/apps/app"
+	"memfwd/internal/apps/apptest"
+	"memfwd/internal/sim"
+)
+
+func TestConformance(t *testing.T) { apptest.Conformance(t, App) }
+
+func TestLinearizationReducesMissesAndCycles(t *testing.T) {
+	for _, ls := range []int{64, 128} {
+		_, n := apptest.RunOn(sim.Config{LineSize: ls}, App, app.Config{Seed: 5})
+		_, l := apptest.RunOn(sim.Config{LineSize: ls}, App, app.Config{Seed: 5, Opt: true})
+		if l.L1.Misses(0) >= n.L1.Misses(0) {
+			t.Errorf("line %d: misses %d -> %d (no reduction)", ls, n.L1.Misses(0), l.L1.Misses(0))
+		}
+		if l.Cycles >= n.Cycles {
+			t.Errorf("line %d: cycles %d -> %d (no speedup)", ls, n.Cycles, l.Cycles)
+		}
+	}
+}
+
+func TestMSTWeightPositiveAndConnected(t *testing.T) {
+	r, _ := apptest.Run(App, app.Config{Seed: 3})
+	if r.Checksum == 0 {
+		t.Fatal("MST weight zero: graph disconnected or lookup broken")
+	}
+}
+
+func TestForwardingRare(t *testing.T) {
+	_, s := apptest.Run(App, app.Config{Seed: 5, Opt: true})
+	if frac := float64(s.LoadsForwarded()) / float64(s.Loads); frac > 0.001 {
+		t.Fatalf("forwarded load fraction %.4f, want ~0", frac)
+	}
+}
+
+// TestAgainstReferencePrim recomputes the MST weight with a textbook
+// host-side Prim over the exact edge set the guest built, and requires
+// the guest result (through all the simulated hash tables, and through
+// relocation in the optimized variant) to match.
+func TestAgainstReferencePrim(t *testing.T) {
+	for _, optOn := range []bool{false, true} {
+		type edge struct {
+			b int
+			w uint64
+		}
+		adj := map[int][]edge{}
+		maxV := 0
+		DebugEdge = func(a, b int, w uint64) {
+			adj[a] = append(adj[a], edge{b, w})
+			if a > maxV {
+				maxV = a
+			}
+			if b > maxV {
+				maxV = b
+			}
+		}
+		r, _ := apptest.Run(App, app.Config{Seed: 17, Opt: optOn})
+		DebugEdge = nil
+
+		n := maxV + 1
+		const inf = ^uint64(0)
+		dist := make([]uint64, n)
+		inTree := make([]bool, n)
+		for i := range dist {
+			dist[i] = inf
+		}
+		inTree[0] = true
+		last := 0
+		var want uint64
+		for added := 1; added < n; added++ {
+			for _, e := range adj[last] {
+				if !inTree[e.b] && e.w < dist[e.b] {
+					dist[e.b] = e.w
+				}
+			}
+			best, bestD := -1, inf
+			for v := 0; v < n; v++ {
+				if !inTree[v] && dist[v] < bestD {
+					best, bestD = v, dist[v]
+				}
+			}
+			if best < 0 {
+				t.Fatal("reference graph disconnected")
+			}
+			inTree[best] = true
+			want += bestD
+			last = best
+		}
+		if r.Checksum != want {
+			t.Fatalf("opt=%v: guest MST weight %d != reference %d", optOn, r.Checksum, want)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package radiosity reproduces the list-processing kernel of the
+// hierarchical radiosity application from the paper's Table 1: every
+// patch keeps a linked interaction list that is traversed on each
+// energy-gathering iteration and refined (entries removed, subdivided
+// entries inserted) between iterations, fragmenting the lists. The
+// optimization is periodic list linearization of the interaction lists
+// (Section 5.3).
+package radiosity
+
+import (
+	"math/rand"
+
+	"memfwd/internal/apps/app"
+	"memfwd/internal/mem"
+	"memfwd/internal/opt"
+	"memfwd/internal/sim"
+)
+
+// Patch layout (32 bytes): energy accumulator, incoming energy, the
+// interaction-list head, and the mutation counter that drives
+// linearization.
+const (
+	pEnergy   = 0
+	pGathered = 8
+	pInter    = 16
+	pCounter  = 24
+	pEmit     = 32 // constant emission term
+	pBytes    = 40
+)
+
+// Interaction entry layout (32 bytes): form factor, the index of the
+// source patch, a visibility term, and the next pointer.
+const (
+	iFF    = 0
+	iSrc   = 8
+	iVis   = 16
+	iNext  = 24
+	iBytes = 32
+)
+
+var interDesc = opt.ListDesc{NodeBytes: iBytes, NextOff: iNext}
+
+// linearizeThreshold mirrors the VIS-style mutation-count trigger
+// (Section 5.3 sets it to 50).
+const linearizeThreshold = 50
+
+// App is the registry entry.
+var App = app.App{
+	Name:         "radiosity",
+	Description:  "hierarchical radiosity kernel: per-patch interaction lists traversed every gathering iteration and refined between iterations",
+	Optimization: "periodic list linearization of the interaction lists, triggered by a per-list mutation counter",
+	Run:          run,
+}
+
+type state struct {
+	m       *sim.Machine
+	cfg     app.Config
+	rng     *rand.Rand
+	pool    *opt.Pool
+	patches []mem.Addr
+	block   int
+	reloc   int
+}
+
+func run(m *sim.Machine, cfg app.Config) app.Result {
+	cfg = cfg.Norm()
+	s := &state{
+		m:     m,
+		cfg:   cfg,
+		rng:   app.NewRand(cfg.Seed),
+		pool:  opt.NewPool(m, 1<<16),
+		block: cfg.PrefetchBlock,
+	}
+
+	nPatches := 160 * cfg.Scale
+	iters := 24
+
+	app.FragmentHeap(m, iBytes, 12000, 0.15, s.rng)
+
+	s.buildScene(nPatches)
+
+	for it := 0; it < iters; it++ {
+		for pi, p := range s.patches {
+			s.gather(p)
+			if it%2 == 1 {
+				s.refine(p, pi)
+			}
+			if s.cfg.Opt {
+				if m.LoadWord(p+pCounter) >= linearizeThreshold {
+					s.reloc += opt.ListLinearize(m, s.pool, p+pInter, interDesc)
+					m.StoreWord(p+pCounter, 0)
+				}
+			}
+		}
+		// Commit gathered energy: radiosity = emission + reflected
+		// gathered energy (sequential pass over patch records).
+		for _, p := range s.patches {
+			m.Inst(2)
+			g := m.LoadWord(p + pGathered)
+			em := m.LoadWord(p + pEmit)
+			m.StoreWord(p+pEnergy, em+g/2)
+			m.StoreWord(p+pGathered, 0)
+		}
+	}
+
+	var sum uint64
+	for _, p := range s.patches {
+		sum += m.LoadWord(p + pEnergy)
+	}
+	return app.Result{
+		Checksum:      sum,
+		Relocated:     s.reloc,
+		SpaceOverhead: s.pool.BytesUsed,
+	}
+}
+
+// buildScene allocates patches and their initial interaction lists.
+// Interactions are inserted across patches in interleaved order so the
+// lists start out scattered, as a real build does.
+func (s *state) buildScene(nPatches int) {
+	m := s.m
+	s.patches = make([]mem.Addr, nPatches)
+	for i := range s.patches {
+		p := m.Malloc(pBytes)
+		m.StoreWord(p+pEnergy, uint64(1000+i))
+		m.StoreWord(p+pEmit, uint64(1000+i))
+		s.patches[i] = p
+	}
+	perPatch := 24
+	for k := 0; k < perPatch; k++ {
+		for i, p := range s.patches {
+			src := s.rng.Intn(nPatches)
+			s.addInteraction(p, src, uint64(50+((i+k)%100)))
+		}
+	}
+}
+
+// addInteraction prepends an interaction entry to p's list.
+func (s *state) addInteraction(p mem.Addr, src int, ff uint64) {
+	m := s.m
+	e := m.Malloc(iBytes)
+	m.StoreWord(e+iFF, ff)
+	m.StoreWord(e+iSrc, uint64(src))
+	m.StoreWord(e+iVis, ff/2+1)
+	m.StorePtr(e+iNext, m.LoadPtr(p+pInter))
+	m.StorePtr(p+pInter, e)
+	c := m.LoadWord(p + pCounter)
+	m.StoreWord(p+pCounter, c+1)
+}
+
+// gather walks p's interaction list accumulating incoming energy — the
+// hot traversal the optimization accelerates.
+func (s *state) gather(p mem.Addr) {
+	m := s.m
+	var acc uint64
+	e := m.LoadPtr(p + pInter)
+	for e != 0 {
+		m.Inst(7)
+		next := m.LoadPtr(e + iNext)
+		if s.cfg.Prefetch && next != 0 {
+			m.Prefetch(next, s.block)
+		}
+		ff := m.LoadWord(e + iFF)
+		src := m.LoadWord(e + iSrc)
+		vis := m.LoadWord(e + iVis)
+		srcE := m.LoadWord(s.patches[src%uint64(len(s.patches))] + pEnergy)
+		acc += ff * srcE / (256 * (vis + 1))
+		e = next
+	}
+	g := m.LoadWord(p + pGathered)
+	m.StoreWord(p+pGathered, g+acc)
+}
+
+// refine models hierarchical subdivision: drop the head interaction and
+// insert two finer-grained replacements, fragmenting the list.
+func (s *state) refine(p mem.Addr, pi int) {
+	m := s.m
+	head := m.LoadPtr(p + pInter)
+	if head == 0 {
+		return
+	}
+	ff := m.LoadWord(head + iFF)
+	src := m.LoadWord(head + iSrc)
+	m.StorePtr(p+pInter, m.LoadPtr(head+iNext))
+	m.Free(head)
+	c := m.LoadWord(p + pCounter)
+	m.StoreWord(p+pCounter, c+1)
+	s.addInteraction(p, int(src), ff/2+1)
+	s.addInteraction(p, (int(src)+pi+1)%len(s.patches), ff/2+1)
+}

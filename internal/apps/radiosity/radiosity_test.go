@@ -1,0 +1,46 @@
+package radiosity
+
+import (
+	"testing"
+
+	"memfwd/internal/apps/app"
+	"memfwd/internal/apps/apptest"
+	"memfwd/internal/sim"
+)
+
+func TestConformance(t *testing.T) { apptest.Conformance(t, App) }
+
+func TestEnergyNonZero(t *testing.T) {
+	r, _ := apptest.Run(App, app.Config{Seed: 3})
+	if r.Checksum == 0 {
+		t.Fatal("radiosity converged to zero energy; checksum is vacuous")
+	}
+}
+
+func TestLinearizationHelpsAtLongLines(t *testing.T) {
+	_, n := apptest.RunOn(sim.Config{LineSize: 128}, App, app.Config{Seed: 5})
+	_, l := apptest.RunOn(sim.Config{LineSize: 128}, App, app.Config{Seed: 5, Opt: true})
+	if l.Cycles >= n.Cycles {
+		t.Errorf("128B: cycles %d -> %d (no speedup)", n.Cycles, l.Cycles)
+	}
+}
+
+// TestRefinementGrowsLists: refinement replaces one interaction with
+// two, so total interaction work must grow across iterations — the
+// fragmentation source the optimization periodically repairs.
+func TestRefinementGrowsLists(t *testing.T) {
+	_, s1 := apptest.Run(App, app.Config{Seed: 3})
+	// More loads than a no-refinement bound: initial 160 patches * 24
+	// interactions * 24 iters * ~5 loads would be ~460k; growth pushes
+	// well past it.
+	if s1.Loads < 500000 {
+		t.Fatalf("loads %d suggest refinement never grew the lists", s1.Loads)
+	}
+}
+
+func TestCounterTriggersRepeatedly(t *testing.T) {
+	r, _ := apptest.Run(App, app.Config{Seed: 3, Opt: true})
+	if r.Relocated < 2000 {
+		t.Fatalf("only %d relocations; periodic linearization looks dead", r.Relocated)
+	}
+}

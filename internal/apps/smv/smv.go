@@ -1,0 +1,239 @@
+// Package smv reproduces the BDD kernel of the SMV model checker, the
+// paper's forwarding-overhead case study (Section 5.4): BDD nodes are
+// reachable both through a hash table (the unique table, an array of
+// buckets pointing to linked lists) and through the binary-tree low/high
+// pointers of other BDD nodes.
+//
+// The optimization linearizes the hash-bucket lists, which updates the
+// bucket heads and chain links — but the program cannot update the tree
+// pointers held inside other BDD nodes, so every access through a
+// low/high pointer dereferences a one-hop forwarding address. SMV is
+// the one application where the forwarding safety net fires constantly
+// (the paper measures 7.7% of loads and 1.7% of stores taking one hop).
+package smv
+
+import (
+	"math/rand"
+
+	"memfwd/internal/apps/app"
+	"memfwd/internal/mem"
+	"memfwd/internal/opt"
+	"memfwd/internal/sim"
+)
+
+// BDD node layout (40 bytes).
+const (
+	nVar   = 0
+	nLow   = 8
+	nHigh  = 16
+	nNext  = 24 // unique-table chain
+	nMark  = 32 // visit marker written during evaluation sweeps
+	nBytes = 40
+)
+
+var chainDesc = opt.ListDesc{NodeBytes: nBytes, NextOff: nNext}
+
+// App is the registry entry.
+var App = app.App{
+	Name:         "smv",
+	Description:  "SMV model-checker BDD kernel: nodes linked through both a hash table (unique table) and binary-tree low/high pointers",
+	Optimization: "linearize the unique-table bucket lists; tree pointers cannot be updated, so forwarding actually occurs (Section 5.4)",
+	Run:          run,
+}
+
+const nBuckets = 512
+
+// DebugTable, when non-nil, observes (machine, bucketsBase, nBuckets)
+// after the build (and optional linearization) completes (test
+// support).
+var DebugTable func(m *sim.Machine, buckets mem.Addr, n int)
+
+type state struct {
+	m       *sim.Machine
+	cfg     app.Config
+	rng     *rand.Rand
+	pool    *opt.Pool
+	buckets mem.Addr
+	nodes   []mem.Addr // creation-order node handles (old addresses)
+	block   int
+	reloc   int
+
+	// Static reference sites for the forwarding profiler.
+	siteEval, siteLookup int
+}
+
+func run(m *sim.Machine, cfg app.Config) app.Result {
+	cfg = cfg.Norm()
+	s := &state{
+		m:     m,
+		cfg:   cfg,
+		rng:   app.NewRand(cfg.Seed),
+		pool:  opt.NewPool(m, 1<<17),
+		block: cfg.PrefetchBlock,
+	}
+
+	nMk := 6000 * cfg.Scale
+	nEvals := 4000 * cfg.Scale
+
+	s.siteEval = m.Site("smv.eval.tree")
+	s.siteLookup = m.Site("smv.lookup.chain")
+
+	app.FragmentHeap(m, nBytes, 12000, 0.15, s.rng)
+
+	s.buckets = m.Malloc(nBuckets * 8)
+
+	// Terminal nodes (false, true).
+	for v := uint64(0); v < 2; v++ {
+		t := m.Malloc(nBytes)
+		m.StoreWord(t+nVar, ^uint64(0)-v)
+		s.nodes = append(s.nodes, t)
+	}
+
+	// Build phase: mk() with random structure grows the unique table.
+	for i := 0; i < nMk; i++ {
+		v := uint64(s.rng.Intn(256))
+		low := s.nodes[s.rng.Intn(len(s.nodes))]
+		high := s.nodes[s.rng.Intn(len(s.nodes))]
+		s.mk(v, low, high)
+	}
+
+	// The optimization: linearize every bucket chain once, after the
+	// table is built. Tree pointers (low/high fields of other nodes)
+	// still hold old addresses afterwards.
+	if cfg.Opt {
+		for b := 0; b < nBuckets; b++ {
+			s.reloc += opt.ListLinearize(m, s.pool, s.buckets+mem.Addr(b*8), chainDesc)
+		}
+	}
+
+	if DebugTable != nil {
+		DebugTable(m, s.buckets, nBuckets)
+	}
+
+	// Evaluation phase: tree walks through low/high pointers (these
+	// forward when optimized) interleaved with unique-table lookups
+	// (these go straight to the new copies).
+	var checksum uint64
+	for e := 0; e < nEvals; e++ {
+		start := s.nodes[s.rng.Intn(len(s.nodes))]
+		input := uint64(s.rng.Int63())
+		checksum += s.eval(start, input, e)
+		// Hash-side work between evaluations.
+		for k := 0; k < 5; k++ {
+			v := uint64(s.rng.Intn(256))
+			low := s.nodes[s.rng.Intn(len(s.nodes))]
+			high := s.nodes[s.rng.Intn(len(s.nodes))]
+			s.lookup(v, low, high)
+		}
+	}
+
+	return app.Result{
+		Checksum:      checksum,
+		Relocated:     s.reloc,
+		SpaceOverhead: s.pool.BytesUsed,
+	}
+}
+
+func (s *state) hash(v uint64, low, high mem.Addr) mem.Addr {
+	h := v*31 + uint64(low)*2654435761 + uint64(high)*40503
+	return s.buckets + mem.Addr(h%nBuckets*8)
+}
+
+// lookup walks the bucket chain for (v, low, high); chain links are
+// up-to-date after linearization, so this path does not forward.
+// Node identity (the low/high comparisons) must respect relocation:
+// the stored pointers may be old addresses while the probe pointers are
+// new ones, so the comparison uses final addresses — the
+// compiler-inserted transformation of Section 2.1.
+func (s *state) lookup(v uint64, low, high mem.Addr) mem.Addr {
+	m := s.m
+	m.SetSite(s.siteLookup)
+	m.Inst(5)
+	p := m.LoadPtr(s.hash(v, low, high))
+	for p != 0 {
+		m.Inst(4)
+		next := m.LoadPtr(p + nNext)
+		if s.cfg.Prefetch && next != 0 {
+			m.Prefetch(next, s.block)
+		}
+		if m.LoadWord(p+nVar) == v &&
+			s.ptrEqual(m.LoadPtr(p+nLow), low) &&
+			s.ptrEqual(m.LoadPtr(p+nHigh), high) {
+			return p
+		}
+		p = next
+	}
+	return 0
+}
+
+// ptrEqual compares node identities. The binary compiled for the
+// optimized run carries the compiler-inserted final-address comparison
+// (Section 2.1); the original binary compares raw pointers.
+func (s *state) ptrEqual(a, b mem.Addr) bool {
+	if s.cfg.Opt {
+		// Compiler-inserted sequence with its fast path: raw equality
+		// implies final-address equality (forwarding chains are
+		// functions of the address), so only unequal pointers pay the
+		// final-address lookup.
+		s.m.Inst(2)
+		if a == b {
+			return true
+		}
+		return s.m.PtrEqual(a, b)
+	}
+	s.m.Inst(1)
+	return a == b
+}
+
+// mk returns the unique node for (v, low, high), creating it if needed.
+func (s *state) mk(v uint64, low, high mem.Addr) mem.Addr {
+	m := s.m
+	if n := s.lookup(v, low, high); n != 0 {
+		return n
+	}
+	n := m.Malloc(nBytes)
+	m.StoreWord(n+nVar, v)
+	m.StorePtr(n+nLow, low)
+	m.StorePtr(n+nHigh, high)
+	h := s.hash(v, low, high)
+	m.StorePtr(n+nNext, m.LoadPtr(h))
+	m.StorePtr(h, n)
+	s.nodes = append(s.nodes, n)
+	return n
+}
+
+// eval walks down from start through low/high pointers until it reaches
+// a terminal, marking nodes as it goes. Every node access on this path
+// uses a tree pointer that the optimization could not update, so these
+// loads (and the marker stores) forward.
+func (s *state) eval(start mem.Addr, input uint64, tag int) uint64 {
+	m := s.m
+	m.SetSite(s.siteEval)
+	p := start
+	var out uint64
+	for depth := 0; depth < 24; depth++ {
+		m.Inst(8)
+		v := m.LoadWord(p + nVar)
+		if v > 1<<32 { // terminal
+			out += ^v
+			break
+		}
+		out = out*2 + (input>>(v&63))&1
+		// Mark the visit (a store through the tree pointer) on a
+		// sampled subset of evaluations.
+		if depth == 0 && tag%2 == 0 {
+			m.StoreWord(p+nMark, uint64(tag))
+		}
+		var next mem.Addr
+		if (input>>(v&63))&1 == 1 {
+			next = m.LoadPtr(p + nHigh)
+		} else {
+			next = m.LoadPtr(p + nLow)
+		}
+		if next == 0 {
+			break
+		}
+		p = next
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package smv
+
+import (
+	"testing"
+
+	"memfwd/internal/apps/app"
+	"memfwd/internal/apps/apptest"
+	"memfwd/internal/mem"
+	"memfwd/internal/sim"
+)
+
+func TestConformance(t *testing.T) { apptest.Conformance(t, App) }
+
+func TestForwardingActuallyOccurs(t *testing.T) {
+	// SMV is the paper's forwarding-overhead case: ~7.7% of loads and
+	// ~1.7% of stores take one hop (Figure 10c). Accept a loose band.
+	_, s := apptest.Run(App, app.Config{Seed: 5, Opt: true})
+	fl := float64(s.LoadsForwarded()) / float64(s.Loads)
+	fs := float64(s.StoresForwarded()) / float64(s.Stores)
+	if fl < 0.02 || fl > 0.20 {
+		t.Errorf("forwarded load fraction %.4f outside [0.02, 0.20]", fl)
+	}
+	if fs < 0.005 || fs > 0.10 {
+		t.Errorf("forwarded store fraction %.4f outside [0.005, 0.10]", fs)
+	}
+	// All forwarding is single-hop: the table was linearized once.
+	if s.LoadsFwdByHops[2] != 0 {
+		t.Errorf("multi-hop forwarding after a single linearization: %v", s.LoadsFwdByHops[:4])
+	}
+}
+
+func TestUnoptimizedNeverForwards(t *testing.T) {
+	_, s := apptest.Run(App, app.Config{Seed: 5})
+	if s.LoadsForwarded() != 0 {
+		t.Fatal("unoptimized run forwarded loads")
+	}
+}
+
+func TestPerfectForwardingBeatsRealForwarding(t *testing.T) {
+	// Figure 10a's ordering: L (real forwarding) is slower than Perf.
+	_, l := apptest.RunOn(sim.Config{}, App, app.Config{Seed: 5, Opt: true})
+	_, p := apptest.RunOn(sim.Config{PerfectForwarding: true}, App, app.Config{Seed: 5, Opt: true})
+	if p.Cycles >= l.Cycles {
+		t.Errorf("Perf (%d) should beat L (%d)", p.Cycles, l.Cycles)
+	}
+	if p.LoadsForwarded() != 0 {
+		t.Errorf("perfect forwarding reported %d forwarded loads", p.LoadsForwarded())
+	}
+}
+
+func TestPerfFunctionallyIdentical(t *testing.T) {
+	rl, _ := apptest.RunOn(sim.Config{}, App, app.Config{Seed: 7, Opt: true})
+	rp, _ := apptest.RunOn(sim.Config{PerfectForwarding: true}, App, app.Config{Seed: 7, Opt: true})
+	if rl.Checksum != rp.Checksum {
+		t.Fatalf("Perf diverged: %d vs %d", rl.Checksum, rp.Checksum)
+	}
+}
+
+func peek(m *sim.Machine, a mem.Addr) uint64 {
+	f, _, err := m.Fwd.Resolve(a, nil)
+	if err != nil {
+		panic(err)
+	}
+	return m.Mem.ReadWord(mem.WordAlign(f))
+}
+
+// TestUniqueTableInvariant walks the whole unique table and checks that
+// no two nodes share (var, low, high) — comparing pointer identities by
+// FINAL address, which is the only comparison that is meaningful after
+// relocation (Section 2.1). Verified for both layouts.
+func TestUniqueTableInvariant(t *testing.T) {
+	for _, optOn := range []bool{false, true} {
+		var buckets mem.Addr
+		var nBkts int
+		DebugTable = func(m *sim.Machine, b mem.Addr, n int) { buckets, nBkts = b, n }
+		m := sim.New(sim.Config{})
+		App.Run(m, app.Config{Seed: 5, Opt: optOn})
+		DebugTable = nil
+
+		final := func(a mem.Addr) mem.Addr {
+			f, _, err := m.Fwd.Resolve(a, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return mem.WordAlign(f)
+		}
+		type key struct {
+			v         uint64
+			low, high mem.Addr
+		}
+		seen := map[key]mem.Addr{}
+		nodes := 0
+		for b := 0; b < nBkts; b++ {
+			p := mem.Addr(peek(m, buckets+mem.Addr(b*8)))
+			for p != 0 {
+				k := key{
+					v:    peek(m, p+nVar),
+					low:  final(mem.Addr(peek(m, p+nLow))),
+					high: final(mem.Addr(peek(m, p+nHigh))),
+				}
+				if prev, dup := seen[k]; dup {
+					t.Fatalf("opt=%v: duplicate node (%d,%#x,%#x) at %#x and %#x",
+						optOn, k.v, k.low, k.high, prev, p)
+				}
+				seen[k] = p
+				nodes++
+				p = mem.Addr(peek(m, p+nNext))
+			}
+		}
+		if nodes < 1000 {
+			t.Fatalf("opt=%v: unique table suspiciously small: %d", optOn, nodes)
+		}
+	}
+}
+
+// TestLinearizedChainsContiguous checks the optimized layout: within a
+// bucket, successive chain nodes occupy successive pool addresses.
+func TestLinearizedChainsContiguous(t *testing.T) {
+	var buckets mem.Addr
+	var nBkts int
+	DebugTable = func(m *sim.Machine, b mem.Addr, n int) { buckets, nBkts = b, n }
+	defer func() { DebugTable = nil }()
+	m := sim.New(sim.Config{})
+	App.Run(m, app.Config{Seed: 5, Opt: true})
+
+	pairs, contiguous := 0, 0
+	for b := 0; b < nBkts; b++ {
+		p := mem.Addr(peek(m, buckets+mem.Addr(b*8)))
+		var prev mem.Addr
+		for p != 0 {
+			if prev != 0 {
+				pairs++
+				if p == prev+nBytes {
+					contiguous++
+				}
+			}
+			prev = p
+			p = mem.Addr(peek(m, p+nNext))
+		}
+	}
+	if pairs == 0 || contiguous != pairs {
+		t.Fatalf("chains not linearized: %d/%d contiguous", contiguous, pairs)
+	}
+}

@@ -1,0 +1,218 @@
+// Package vis reproduces the list behaviour of VIS as described in
+// Section 5.3 of the paper: a large application built on a generic
+// linked-list library, with traversal-dominated workloads, frequent
+// insertions and deletions, and library functions that return pointers
+// to list elements which client code may hold across linearizations
+// (the hazard memory forwarding makes safe).
+//
+// The paper's optimization is implemented verbatim: each list head
+// record carries a counter of insert/delete operations since the last
+// linearization; when it exceeds a threshold of 50, the library
+// linearizes that list and resets the counter.
+package vis
+
+import (
+	"math/rand"
+
+	"memfwd/internal/apps/app"
+	"memfwd/internal/mem"
+	"memfwd/internal/opt"
+	"memfwd/internal/sim"
+)
+
+// List head record (32 bytes): head pointer, element count, and the
+// op counter the paper adds for the optimization.
+const (
+	hHead    = 0
+	hCount   = 8
+	hCounter = 16
+	hBytes   = 32
+)
+
+// List node (16 bytes).
+const (
+	nVal   = 0
+	nNext  = 8
+	nBytes = 16
+)
+
+var nodeDesc = opt.ListDesc{NodeBytes: nBytes, NextOff: nNext}
+
+// linearizeThreshold is "arbitrarily set to 50 in our experiments"
+// (Section 5.3).
+const linearizeThreshold = 50
+
+// App is the registry entry.
+var App = app.App{
+	Name:         "vis",
+	Description:  "VIS list-library kernel: many generic linked lists under a traversal-heavy op mix with inserts, deletes, and escaped element pointers",
+	Optimization: "library-internal list linearization when a per-list op counter exceeds 50",
+	Run:          run,
+}
+
+type state struct {
+	m     *sim.Machine
+	cfg   app.Config
+	rng   *rand.Rand
+	pool  *opt.Pool
+	block int
+	reloc int
+}
+
+func run(m *sim.Machine, cfg app.Config) app.Result {
+	cfg = cfg.Norm()
+	s := &state{
+		m:     m,
+		cfg:   cfg,
+		rng:   app.NewRand(cfg.Seed),
+		pool:  opt.NewPool(m, 1<<17),
+		block: cfg.PrefetchBlock,
+	}
+
+	nLists := 80
+	initLen := 44
+	ops := 10000 * cfg.Scale
+
+	app.FragmentHeap(m, nBytes, 30000, 0.15, s.rng)
+
+	lists := make([]mem.Addr, nLists)
+	val := uint64(1)
+	for i := range lists {
+		lists[i] = m.Malloc(hBytes)
+		for k := 0; k < initLen; k++ {
+			s.insertTail(lists[i], val)
+			val++
+		}
+	}
+
+	// Escaped element pointers: library calls return pointers to list
+	// elements, which clients stash and dereference much later — the
+	// stray-pointer hazard that memory forwarding makes safe.
+	strays := make([]mem.Addr, 0, 64)
+
+	var checksum uint64
+	for op := 0; op < ops; op++ {
+		li := s.rng.Intn(nLists)
+		l := lists[li]
+		switch r := s.rng.Intn(100); {
+		case r < 72:
+			checksum += s.traverse(l)
+		case r < 84:
+			s.insertTail(l, val)
+			val++
+		case r < 94:
+			// Clients only delete from the non-escaped lists, so an
+			// escaped element pointer never dangles (dereferencing a
+			// freed element is undefined in C with or without
+			// forwarding).
+			if li >= nLists/4 {
+				s.deleteAt(l, s.rng.Intn(initLen))
+			}
+		case r < 98:
+			if li >= nLists/4 {
+				break
+			}
+			if p := s.elementAt(l, s.rng.Intn(initLen)); p != 0 {
+				if len(strays) < cap(strays) {
+					strays = append(strays, p)
+				} else {
+					strays[s.rng.Intn(len(strays))] = p
+				}
+			}
+		default:
+			if len(strays) > 0 {
+				p := strays[s.rng.Intn(len(strays))]
+				checksum += s.m.LoadWord(p + nVal) // may be forwarded
+			}
+		}
+		if s.cfg.Opt {
+			s.maybeLinearize(l)
+		}
+	}
+
+	return app.Result{
+		Checksum:      checksum,
+		Relocated:     s.reloc,
+		SpaceOverhead: s.pool.BytesUsed,
+	}
+}
+
+// bumpOps implements the library's counter-and-reset policy.
+func (s *state) bumpOps(l mem.Addr) {
+	m := s.m
+	c := m.LoadWord(l + hCounter)
+	m.StoreWord(l+hCounter, c+1)
+}
+
+func (s *state) maybeLinearize(l mem.Addr) {
+	m := s.m
+	if m.LoadWord(l+hCounter) >= linearizeThreshold {
+		s.reloc += opt.ListLinearize(m, s.pool, l+hHead, nodeDesc)
+		m.StoreWord(l+hCounter, 0)
+	}
+}
+
+// insertTail appends a node (the library walks to the tail).
+func (s *state) insertTail(l mem.Addr, v uint64) {
+	m := s.m
+	n := m.Malloc(nBytes)
+	m.StoreWord(n+nVal, v)
+	h := l + hHead
+	p := m.LoadPtr(h)
+	for p != 0 {
+		m.Inst(1)
+		h = p + nNext
+		p = m.LoadPtr(h)
+	}
+	m.StorePtr(h, n)
+	m.StoreWord(l+hCount, m.LoadWord(l+hCount)+1)
+	s.bumpOps(l)
+}
+
+// deleteAt removes the idx-th node if present.
+func (s *state) deleteAt(l mem.Addr, idx int) {
+	m := s.m
+	h := l + hHead
+	p := m.LoadPtr(h)
+	for i := 0; p != 0 && i < idx; i++ {
+		m.Inst(1)
+		h = p + nNext
+		p = m.LoadPtr(h)
+	}
+	if p == 0 {
+		return
+	}
+	m.StorePtr(h, m.LoadPtr(p+nNext))
+	m.Free(p)
+	m.StoreWord(l+hCount, m.LoadWord(l+hCount)-1)
+	s.bumpOps(l)
+}
+
+// elementAt returns a pointer to the idx-th element (a library accessor
+// that escapes element pointers to the client).
+func (s *state) elementAt(l mem.Addr, idx int) mem.Addr {
+	m := s.m
+	p := m.LoadPtr(l + hHead)
+	for i := 0; p != 0 && i < idx; i++ {
+		m.Inst(1)
+		p = m.LoadPtr(p + nNext)
+	}
+	return p
+}
+
+// traverse sums the list — the dominant operation.
+func (s *state) traverse(l mem.Addr) uint64 {
+	m := s.m
+	var sum uint64
+	p := m.LoadPtr(l + hHead)
+	for p != 0 {
+		m.Inst(4)
+		next := m.LoadPtr(p + nNext)
+		if s.cfg.Prefetch && next != 0 {
+			m.Prefetch(next, s.block)
+		}
+		sum += m.LoadWord(p + nVal)
+		p = next
+	}
+	return sum
+}

@@ -1,0 +1,68 @@
+package vis
+
+import (
+	"testing"
+
+	"memfwd/internal/apps/app"
+	"memfwd/internal/apps/apptest"
+	"memfwd/internal/sim"
+)
+
+func TestConformance(t *testing.T) { apptest.Conformance(t, App) }
+
+func TestLibraryCounterTriggersLinearization(t *testing.T) {
+	r, _ := apptest.Run(App, app.Config{Seed: 5, Opt: true})
+	if r.Relocated < 1000 {
+		t.Fatalf("only %d nodes relocated; threshold policy seems dead", r.Relocated)
+	}
+}
+
+func TestStrayPointersSafeAcrossLinearization(t *testing.T) {
+	// The checksum includes stray-pointer dereferences; equality with
+	// the unoptimized run (checked in Conformance) plus a nonzero
+	// forwarded count here proves forwarding saved at least one stray.
+	_, s := apptest.Run(App, app.Config{Seed: 11, Opt: true})
+	if s.LoadsForwarded() == 0 {
+		t.Skip("no stray dereference hit a relocated node for this seed")
+	}
+}
+
+func TestUnoptimizedDegradesWithLineSize(t *testing.T) {
+	_, a := apptest.RunOn(sim.Config{LineSize: 32}, App, app.Config{Seed: 5})
+	_, b := apptest.RunOn(sim.Config{LineSize: 128}, App, app.Config{Seed: 5})
+	if b.Cycles <= a.Cycles {
+		t.Errorf("unoptimized should degrade with line size: %d -> %d", a.Cycles, b.Cycles)
+	}
+}
+
+func TestOptimizedBeatsUnoptimized(t *testing.T) {
+	for _, ls := range []int{32, 64, 128} {
+		_, n := apptest.RunOn(sim.Config{LineSize: ls}, App, app.Config{Seed: 5})
+		_, l := apptest.RunOn(sim.Config{LineSize: ls}, App, app.Config{Seed: 5, Opt: true})
+		if l.Cycles >= n.Cycles {
+			t.Errorf("line %d: %d -> %d", ls, n.Cycles, l.Cycles)
+		}
+	}
+}
+
+// TestEscapedPointersNeverDangle: the op mix must never free a node an
+// escaped pointer may reference — deleting only from non-escaped lists
+// is the invariant that keeps the stray dereferences defined behaviour.
+func TestEscapedPointersNeverDangle(t *testing.T) {
+	// Run with a seed that exercises strays; Conformance checks the
+	// checksum equality, so here it suffices that no panic occurred and
+	// forwarding stats stayed sane.
+	_, s := apptest.Run(App, app.Config{Seed: 23, Opt: true})
+	if s.CyclesDetected != 0 {
+		t.Fatal("forwarding cycle during vis run")
+	}
+}
+
+// TestScaleGrowsWork confirms the Scale knob.
+func TestScaleGrowsWork(t *testing.T) {
+	_, s1 := apptest.Run(App, app.Config{Seed: 3, Scale: 1})
+	_, s2 := apptest.Run(App, app.Config{Seed: 3, Scale: 2})
+	if s2.Loads < s1.Loads*3/2 {
+		t.Fatalf("Scale=2 loads %d vs Scale=1 %d", s2.Loads, s1.Loads)
+	}
+}

@@ -1,0 +1,396 @@
+// Package cache models the two-level cache hierarchy the paper's
+// evaluation observes (Section 4): set-associative write-back caches
+// with configurable line size, MSHRs that combine misses to the same
+// line (the paper's partial vs. full miss distinction, Figure 6a),
+// software block prefetch (Section 5.2), and bandwidth accounting for
+// both the primary↔secondary and secondary↔memory links (Figure 6b).
+//
+// Timing is expressed functionally: every access takes the current
+// cycle and returns the cycle at which its data is available. State
+// (tags, LRU, MSHRs, bus occupancy) advances as calls arrive in
+// non-decreasing time order, which the in-order-graduation CPU model
+// guarantees to first order.
+package cache
+
+import "fmt"
+
+// Kind distinguishes demand loads, demand stores, and prefetches for
+// the per-class statistics the figures need.
+type Kind uint8
+
+const (
+	Load Kind = iota
+	Store
+	Prefetch
+)
+
+// Outcome classifies one access the way Figure 6(a) does.
+type Outcome uint8
+
+const (
+	Hit Outcome = iota
+	// PartialMiss combined with an outstanding miss to the same line
+	// and so does not necessarily suffer the full miss latency.
+	PartialMiss
+	// FullMiss did not combine with any access and suffers the full
+	// latency.
+	FullMiss
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case PartialMiss:
+		return "partial"
+	default:
+		return "full"
+	}
+}
+
+// Backend is the next level down: it can fill a line and absorb a
+// writeback. MainMemory terminates the chain.
+type Backend interface {
+	// Fetch requests the line containing lineAddr at cycle now and
+	// returns the cycle its data arrives at the requesting level.
+	Fetch(lineAddr uint64, now int64) int64
+	// WriteBack hands a dirty line down at cycle now.
+	WriteBack(lineAddr uint64, now int64)
+}
+
+// Config sizes one cache level.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	LineSize   int
+	Assoc      int
+	HitLatency int64
+	MSHRs      int
+	// TransferBytesPerCycle models the fill port to the level above:
+	// a fill of one line occupies ceil(LineSize/Transfer) cycles on top
+	// of the hit latency, so long lines genuinely cost more to move.
+	TransferBytesPerCycle int
+}
+
+// Stats for one level, split by access kind.
+type Stats struct {
+	Hits          [3]uint64 // indexed by Kind
+	PartialMisses [3]uint64
+	FullMisses    [3]uint64
+	WriteBacks    uint64
+	// BytesFromNext counts fill traffic from the level below;
+	// BytesToNext counts writeback traffic to it. Their sum is the
+	// bandwidth on the link below this level (Figure 6b).
+	BytesFromNext uint64
+	BytesToNext   uint64
+	// MSHRStallCycles accumulates delay imposed because all MSHRs were
+	// busy when a demand miss arrived.
+	MSHRStallCycles   int64
+	PrefetchesDropped uint64 // prefetches skipped for lack of an MSHR
+}
+
+// Misses returns partial+full misses for kind k.
+func (s *Stats) Misses(k Kind) uint64 { return s.PartialMisses[k] + s.FullMisses[k] }
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   int64
+}
+
+type mshr struct {
+	lineAddr uint64
+	ready    int64
+	inUse    bool
+}
+
+// Cache is one set-associative write-back, write-allocate level.
+type Cache struct {
+	cfg   Config
+	next  Backend
+	sets  [][]line
+	mshrs []mshr
+
+	setShift uint
+	setMask  uint64
+	lineMask uint64
+
+	clock int64 // monotone access clock for LRU
+
+	Stats Stats
+}
+
+// New builds a cache level over the given backend. It panics on
+// non-power-of-two geometry, which is a configuration bug.
+func New(cfg Config, next Backend) *Cache {
+	if cfg.LineSize <= 0 || cfg.LineSize&(cfg.LineSize-1) != 0 {
+		panic(fmt.Sprintf("cache %s: line size %d not a power of two", cfg.Name, cfg.LineSize))
+	}
+	nLines := cfg.SizeBytes / cfg.LineSize
+	if cfg.Assoc <= 0 || nLines%cfg.Assoc != 0 {
+		panic(fmt.Sprintf("cache %s: bad geometry size=%d line=%d assoc=%d", cfg.Name, cfg.SizeBytes, cfg.LineSize, cfg.Assoc))
+	}
+	nSets := nLines / cfg.Assoc
+	if nSets&(nSets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: %d sets not a power of two", cfg.Name, nSets))
+	}
+	if cfg.MSHRs <= 0 {
+		cfg.MSHRs = 8
+	}
+	if cfg.TransferBytesPerCycle <= 0 {
+		cfg.TransferBytesPerCycle = 16
+	}
+	c := &Cache{
+		cfg:      cfg,
+		next:     next,
+		sets:     make([][]line, nSets),
+		mshrs:    make([]mshr, cfg.MSHRs),
+		lineMask: ^uint64(cfg.LineSize - 1),
+		setMask:  uint64(nSets - 1),
+	}
+	for s := uint(0); (1 << s) < cfg.LineSize; s++ {
+		c.setShift = s + 1
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Assoc)
+	}
+	return c
+}
+
+// LineSize returns the configured line size in bytes.
+func (c *Cache) LineSize() int { return c.cfg.LineSize }
+
+// LineAddr returns the line-aligned address containing a.
+func (c *Cache) LineAddr(a uint64) uint64 { return a & c.lineMask }
+
+func (c *Cache) set(lineAddr uint64) []line {
+	return c.sets[(lineAddr>>c.setShift)&c.setMask]
+}
+
+func (c *Cache) lookup(lineAddr uint64) *line {
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// outstanding returns the MSHR tracking lineAddr if its fill has not yet
+// completed by cycle now.
+func (c *Cache) outstanding(lineAddr uint64, now int64) *mshr {
+	for i := range c.mshrs {
+		m := &c.mshrs[i]
+		if m.inUse && m.lineAddr == lineAddr {
+			if m.ready <= now {
+				m.inUse = false
+				return nil
+			}
+			return m
+		}
+	}
+	return nil
+}
+
+// allocMSHR grabs a free MSHR at cycle now. If all are busy it returns
+// the stall needed until the earliest one retires (demand misses wait;
+// prefetches drop instead).
+func (c *Cache) allocMSHR(now int64) (*mshr, int64) {
+	var earliest int64 = 1<<62 - 1
+	for i := range c.mshrs {
+		m := &c.mshrs[i]
+		if m.inUse && m.ready <= now {
+			m.inUse = false
+		}
+		if !m.inUse {
+			return m, 0
+		}
+		if m.ready < earliest {
+			earliest = m.ready
+		}
+	}
+	return nil, earliest - now
+}
+
+// fill brings lineAddr in from the next level starting at cycle now,
+// evicting as needed, and returns the arrival cycle.
+func (c *Cache) fill(lineAddr uint64, now int64, dirty bool) int64 {
+	ready := c.next.Fetch(lineAddr, now)
+	ready += int64((c.cfg.LineSize + c.cfg.TransferBytesPerCycle - 1) / c.cfg.TransferBytesPerCycle)
+	c.Stats.BytesFromNext += uint64(c.cfg.LineSize)
+
+	set := c.set(lineAddr)
+	victim := &set[0]
+	for i := range set {
+		if !set[i].valid {
+			victim = &set[i]
+			break
+		}
+		if set[i].lru < victim.lru {
+			victim = &set[i]
+		}
+	}
+	if victim.valid && victim.dirty {
+		c.Stats.WriteBacks++
+		c.Stats.BytesToNext += uint64(c.cfg.LineSize)
+		c.next.WriteBack(victim.tag, now)
+	}
+	*victim = line{tag: lineAddr, valid: true, dirty: dirty, lru: c.clock}
+	return ready
+}
+
+// Access performs a demand access of the given kind to address a at
+// cycle now, returning the data-ready cycle and the miss classification.
+func (c *Cache) Access(a uint64, kind Kind, now int64) (ready int64, out Outcome) {
+	c.clock++
+	lineAddr := a & c.lineMask
+	if ln := c.lookup(lineAddr); ln != nil {
+		ln.lru = c.clock
+		if kind == Store {
+			ln.dirty = true
+		}
+		if m := c.outstanding(lineAddr, now); m != nil {
+			// Tag present but fill in flight: combines with the
+			// outstanding miss (partial miss).
+			c.Stats.PartialMisses[kind]++
+			return maxI64(m.ready, now+c.cfg.HitLatency), PartialMiss
+		}
+		c.Stats.Hits[kind]++
+		return now + c.cfg.HitLatency, Hit
+	}
+	// Full miss.
+	m, stall := c.allocMSHR(now)
+	if m == nil {
+		c.Stats.MSHRStallCycles += stall
+		now += stall
+		m, _ = c.allocMSHR(now)
+		if m == nil {
+			panic("cache: MSHR still unavailable after stall")
+		}
+	}
+	c.Stats.FullMisses[kind]++
+	ready = c.fill(lineAddr, now+c.cfg.HitLatency, kind == Store)
+	*m = mshr{lineAddr: lineAddr, ready: ready, inUse: true}
+	return ready, FullMiss
+}
+
+// PrefetchLine initiates a non-blocking fill of the line containing a at
+// cycle now. It is dropped silently when the line is already present or
+// in flight, or when no MSHR is free — exactly the behaviour software
+// prefetch instructions have on real machines.
+func (c *Cache) PrefetchLine(a uint64, now int64) {
+	c.clock++
+	lineAddr := a & c.lineMask
+	if ln := c.lookup(lineAddr); ln != nil {
+		if c.outstanding(lineAddr, now) == nil {
+			c.Stats.Hits[Prefetch]++
+		}
+		return
+	}
+	m, _ := c.allocMSHR(now)
+	if m == nil {
+		c.Stats.PrefetchesDropped++
+		return
+	}
+	c.Stats.FullMisses[Prefetch]++
+	ready := c.fill(lineAddr, now+c.cfg.HitLatency, false)
+	*m = mshr{lineAddr: lineAddr, ready: ready, inUse: true}
+}
+
+// Fetch lets this cache serve as the backend of the level above.
+func (c *Cache) Fetch(lineAddr uint64, now int64) int64 {
+	ready, _ := c.Access(lineAddr, Load, now)
+	return ready
+}
+
+// WriteBack absorbs a dirty line from the level above.
+func (c *Cache) WriteBack(lineAddr uint64, now int64) {
+	c.clock++
+	if ln := c.lookup(lineAddr & c.lineMask); ln != nil {
+		ln.dirty = true
+		ln.lru = c.clock
+		return
+	}
+	// Victim missed here: forward straight to the next level (no
+	// write-allocate for victims, avoiding pollution).
+	c.Stats.BytesToNext += uint64(c.cfg.LineSize)
+	c.next.WriteBack(lineAddr, now)
+}
+
+// Invalidate drops the line containing a if present, returning whether
+// it was (and discarding dirty data — the coherence layer is
+// responsible for any transfer). Used by the multiprocessor extension.
+func (c *Cache) Invalidate(a uint64) bool {
+	lineAddr := a & c.lineMask
+	if ln := c.lookup(lineAddr); ln != nil {
+		ln.valid = false
+		ln.dirty = false
+		return true
+	}
+	return false
+}
+
+// Present reports whether the line containing a is resident.
+func (c *Cache) Present(a uint64) bool { return c.lookup(a&c.lineMask) != nil }
+
+// Contents returns the number of valid lines (test support).
+func (c *Cache) Contents() int {
+	n := 0
+	for _, set := range c.sets {
+		for _, ln := range set {
+			if ln.valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// MainMemory terminates the hierarchy: fixed access latency plus a
+// shared bus whose occupancy scales with the line size, so that long
+// lines consume real bandwidth (the effect behind Figure 6b).
+type MainMemory struct {
+	Latency       int64
+	BytesPerCycle int
+	busFree       int64
+
+	BytesRead    uint64
+	BytesWritten uint64
+	LineSize     int
+}
+
+// NewMainMemory builds the DRAM model.
+func NewMainMemory(latency int64, bytesPerCycle, lineSize int) *MainMemory {
+	if bytesPerCycle <= 0 {
+		bytesPerCycle = 8
+	}
+	return &MainMemory{Latency: latency, BytesPerCycle: bytesPerCycle, LineSize: lineSize}
+}
+
+func (mm *MainMemory) transfer(now int64) int64 {
+	occupy := int64((mm.LineSize + mm.BytesPerCycle - 1) / mm.BytesPerCycle)
+	start := maxI64(now, mm.busFree)
+	mm.busFree = start + occupy
+	return start + occupy
+}
+
+// Fetch returns the cycle the requested line arrives from DRAM.
+func (mm *MainMemory) Fetch(lineAddr uint64, now int64) int64 {
+	mm.BytesRead += uint64(mm.LineSize)
+	return mm.transfer(now + mm.Latency)
+}
+
+// WriteBack absorbs a dirty line, occupying the bus.
+func (mm *MainMemory) WriteBack(lineAddr uint64, now int64) {
+	mm.BytesWritten += uint64(mm.LineSize)
+	mm.transfer(now)
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,224 @@
+// Package core implements the memory-forwarding mechanism itself — the
+// paper's primary contribution (Luk & Mowry, ISCA 1999, Sections 2 and 3).
+//
+// It provides:
+//
+//   - the hardware dereferencing mechanism that follows forwarding
+//     chains of arbitrary length, preserving the byte offset within a
+//     word at each hop (Section 2.1, Figure 1);
+//   - the three ISA extensions Read_FBit, Unforwarded_Read, and
+//     Unforwarded_Write (Section 3.1, Figure 3);
+//   - forwarding-cycle handling: a cheap hop-count limit backed by an
+//     accurate software cycle check on overflow (Section 3.2);
+//   - user-level traps upon forwarding (Section 3.2), which profiling
+//     tools and on-the-fly pointer-repair handlers hook into.
+//
+// Timing is deliberately absent: the machine model (internal/sim) drives
+// Resolve with a per-hop callback and charges each hop as a dependent
+// cache access, exactly as the hardware would re-launch the reference.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"memfwd/internal/mem"
+)
+
+// Kind classifies a data reference for trap events and statistics.
+type Kind uint8
+
+const (
+	Load Kind = iota
+	Store
+)
+
+func (k Kind) String() string {
+	if k == Load {
+		return "load"
+	}
+	return "store"
+}
+
+// Event describes one forwarded reference, delivered to a user-level
+// trap handler (Section 3.2, "Providing User-Level Traps Upon
+// Forwarding"). Site identifies the static reference point (the paper's
+// analogue is the PC of the offending instruction).
+type Event struct {
+	Kind    Kind
+	Site    int
+	Initial mem.Addr // address the program issued
+	Final   mem.Addr // address the access resolved to
+	Hops    int      // chain length traversed
+}
+
+// TrapHandler is invoked after a reference dereferences one or more
+// forwarding addresses. Handlers run at user level and may repair stray
+// pointers so the forwarding cost is not paid again.
+type TrapHandler func(Event)
+
+// ErrCycle is returned when the accurate cycle check confirms that a
+// forwarding chain loops back on itself. The paper aborts execution in
+// this case; guest programs treat it as fatal.
+var ErrCycle = errors.New("core: forwarding cycle detected")
+
+// Defaults for cycle handling. HopLimit is the cheap counter threshold
+// that triggers the accurate check; ChainCap bounds the accurate
+// re-walk so a pathological acyclic chain still terminates the
+// simulation deterministically.
+const (
+	DefaultHopLimit = 8
+	DefaultChainCap = 1 << 16
+)
+
+// Forwarder is the hardware dereferencing mechanism attached to one
+// tagged memory.
+type Forwarder struct {
+	Mem *mem.Memory
+
+	// HopLimit is the fast, possibly-inaccurate cycle screen: when a
+	// single reference exceeds this many hops, the accurate check runs.
+	HopLimit int
+
+	// ChainCap bounds accurate-check chain walks.
+	ChainCap int
+
+	// Stats updated by Resolve.
+	CycleFalseAlarms uint64 // hop-limit exceeded, but no cycle found
+	CyclesDetected   uint64
+	MaxChain         int
+}
+
+// NewForwarder returns a forwarder with the default cycle-handling
+// parameters.
+func NewForwarder(m *mem.Memory) *Forwarder {
+	return &Forwarder{Mem: m, HopLimit: DefaultHopLimit, ChainCap: DefaultChainCap}
+}
+
+// HopFunc observes each hop of a chain walk: wordAddr is the word whose
+// forwarding bit was found set, hop is its 1-based position in the
+// chain. The machine model uses this to charge a dependent cache access
+// per hop.
+type HopFunc func(wordAddr mem.Addr, hop int)
+
+// Resolve follows the forwarding chain starting at address a and returns
+// the final address of the reference plus the number of hops taken.
+// The byte offset of a within its word is preserved at every hop
+// (Section 2.1: the final address is the forwarding address plus the
+// byte offset within the word).
+//
+// If the chain exceeds f.HopLimit, the accurate software cycle check
+// runs (counted in CycleFalseAlarms / CyclesDetected); a confirmed cycle
+// returns ErrCycle.
+func (f *Forwarder) Resolve(a mem.Addr, onHop HopFunc) (final mem.Addr, hops int, err error) {
+	off := mem.Addr(mem.WordOffset(a))
+	wa := mem.WordAlign(a)
+	for f.Mem.FBit(wa) {
+		hops++
+		if onHop != nil {
+			onHop(wa, hops)
+		}
+		if hops > f.HopLimit {
+			// Exception: run the accurate check once, from the start.
+			if f.cycleCheck(mem.WordAlign(a)) {
+				f.CyclesDetected++
+				return 0, hops, ErrCycle
+			}
+			f.CycleFalseAlarms++
+			// False alarm: reset the counter (effectively, keep going
+			// with the hard cap as the new bound).
+			return f.resolveUnbounded(a, wa, off, hops, onHop)
+		}
+		wa = mem.WordAlign(mem.Addr(f.Mem.ReadWord(wa)) + off)
+	}
+	if hops > f.MaxChain {
+		f.MaxChain = hops
+	}
+	return wa + off, hops, nil
+}
+
+// resolveUnbounded continues a chain walk after a false-alarm cycle
+// check, bounded only by ChainCap.
+func (f *Forwarder) resolveUnbounded(orig, wa, off mem.Addr, hops int, onHop HopFunc) (mem.Addr, int, error) {
+	wa = mem.WordAlign(mem.Addr(f.Mem.ReadWord(wa)) + off)
+	for f.Mem.FBit(wa) {
+		hops++
+		if onHop != nil {
+			onHop(wa, hops)
+		}
+		if hops > f.ChainCap {
+			return 0, hops, fmt.Errorf("core: forwarding chain from %#x exceeds cap %d", orig, f.ChainCap)
+		}
+		wa = mem.WordAlign(mem.Addr(f.Mem.ReadWord(wa)) + off)
+	}
+	if hops > f.MaxChain {
+		f.MaxChain = hops
+	}
+	return wa + off, hops, nil
+}
+
+// cycleCheck is the accurate (slow) cycle detector: it re-walks the
+// chain recording visited words. This is the software exception handler
+// of Section 3.2.
+func (f *Forwarder) cycleCheck(wa mem.Addr) bool {
+	visited := make(map[mem.Addr]struct{})
+	for f.Mem.FBit(wa) {
+		if _, seen := visited[wa]; seen {
+			return true
+		}
+		visited[wa] = struct{}{}
+		if len(visited) > f.ChainCap {
+			return true // treat absurd chains as cycles: abort
+		}
+		wa = mem.WordAlign(mem.Addr(f.Mem.ReadWord(wa)))
+	}
+	return false
+}
+
+// FinalAddr resolves a without hop observation; it is the functional
+// core of the compiler-inserted final-address lookup used to preserve
+// pointer-comparison semantics (Section 2.1). Timing for the lookup is
+// charged by the machine layer.
+func (f *Forwarder) FinalAddr(a mem.Addr) (mem.Addr, error) {
+	final, _, err := f.Resolve(a, nil)
+	return final, err
+}
+
+// --- ISA extensions (Figure 3) -------------------------------------
+
+// ReadFBit returns the forwarding bit of the word containing a
+// (Read_FBit fbit, addr).
+func (f *Forwarder) ReadFBit(a mem.Addr) bool { return f.Mem.FBit(a) }
+
+// UnforwardedRead reads the raw word and forwarding bit with the
+// forwarding mechanism disabled (Unforwarded_Read value, fbit, addr).
+func (f *Forwarder) UnforwardedRead(a mem.Addr) (uint64, bool) {
+	return f.Mem.ReadWordFBit(mem.WordAlign(a))
+}
+
+// UnforwardedWrite writes the raw word and forwarding bit atomically
+// with the forwarding mechanism disabled (Unforwarded_Write value,
+// fbit, addr).
+func (f *Forwarder) UnforwardedWrite(a mem.Addr, v uint64, fbit bool) {
+	f.Mem.WriteWordFBit(mem.WordAlign(a), v, fbit)
+}
+
+// ChainWords returns every word address on the forwarding chain rooted
+// at the word containing a, excluding the final (unforwarded) word.
+// Deallocation wrappers use this to free all memory reachable through a
+// relocated object's chain (Section 3.3, "Deallocating Forwarded
+// Data"). The walk is bounded by ChainCap and tolerates cycles.
+func (f *Forwarder) ChainWords(a mem.Addr) []mem.Addr {
+	var out []mem.Addr
+	seen := make(map[mem.Addr]struct{})
+	wa := mem.WordAlign(a)
+	for f.Mem.FBit(wa) {
+		if _, dup := seen[wa]; dup || len(out) > f.ChainCap {
+			break
+		}
+		seen[wa] = struct{}{}
+		out = append(out, wa)
+		wa = mem.WordAlign(mem.Addr(f.Mem.ReadWord(wa)))
+	}
+	return out
+}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"memfwd/internal/mem"
+)
+
+func newF() *Forwarder { return NewForwarder(mem.New()) }
+
+// buildChain lays out a forwarding chain of n hops ending at final,
+// returning the chain's head address. Each link is one word.
+func buildChain(f *Forwarder, head, final mem.Addr, hops int) {
+	cur := head
+	for i := 0; i < hops; i++ {
+		next := final
+		if i < hops-1 {
+			next = head + mem.Addr((i+1)*0x100)
+		}
+		f.UnforwardedWrite(cur, uint64(next), true)
+		cur = next
+	}
+}
+
+func TestResolveNoForwarding(t *testing.T) {
+	f := newF()
+	f.Mem.WriteWord(0x800, 42)
+	final, hops, err := f.Resolve(0x804, nil)
+	if err != nil || hops != 0 || final != 0x804 {
+		t.Fatalf("got (%#x,%d,%v)", final, hops, err)
+	}
+}
+
+// TestFigure1 reproduces the paper's Figure 1 walkthrough: five 32-bit
+// elements at decimal addresses 800..816 relocated to 5800..5816; a
+// 32-bit load of address 804 must be forwarded to 5804 and return 47.
+func TestFigure1(t *testing.T) {
+	f := newF()
+	m := f.Mem
+	// Before relocation: the five elements, plus the neighbouring
+	// subword (value 5) that shares the last word and must be carried
+	// along with it.
+	vals := []uint64{13, 47, 0, 19, 77, 5}
+	for i, v := range vals {
+		if err := m.WriteData(mem.Addr(800+4*i), v, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Relocate words 800, 808, 816 (the 816 word carries both the 19
+	// at 816 and the 5 at 820, per the paper's note).
+	for i := 0; i < 3; i++ {
+		src := mem.Addr(800 + 8*i)
+		tgt := mem.Addr(5800 + 8*i)
+		v, _ := m.ReadWordFBit(src)
+		m.WriteWord(tgt, v)
+		f.UnforwardedWrite(src, uint64(tgt), true)
+	}
+	final, hops, err := f.Resolve(804, nil)
+	if err != nil || hops != 1 {
+		t.Fatalf("resolve: (%#x,%d,%v)", final, hops, err)
+	}
+	if final != 5804 {
+		t.Fatalf("final = %d, want 5804", final)
+	}
+	if got, _ := m.ReadData(final, 4); got != 47 {
+		t.Fatalf("forwarded value = %d, want 47", got)
+	}
+	// The subword at 820 moved along with its word.
+	final820, _, _ := f.Resolve(820, nil)
+	if got, _ := m.ReadData(final820, 4); got != 5 {
+		t.Fatalf("value at forwarded 820 = %d, want 5", got)
+	}
+	// An Unforwarded_Read of word 808 sees the forwarding address
+	// itself, not the data (Section 3.1's example).
+	raw, fbit := f.UnforwardedRead(808)
+	if raw != 5808 || !fbit {
+		t.Fatalf("UnforwardedRead(808) = (%d,%v), want (5808,true)", raw, fbit)
+	}
+}
+
+func TestResolveChainLengths(t *testing.T) {
+	f := newF()
+	for _, hops := range []int{1, 2, 3, DefaultHopLimit} {
+		head := mem.Addr(0x10000 * (hops + 1))
+		final := head + 0x9000
+		buildChain(f, head, final, hops)
+		got, n, err := f.Resolve(head, nil)
+		if err != nil {
+			t.Fatalf("hops=%d: %v", hops, err)
+		}
+		if n != hops || got != final {
+			t.Fatalf("hops=%d: got (%#x,%d), want (%#x,%d)", hops, got, n, final, hops)
+		}
+	}
+}
+
+func TestResolvePreservesOffsetAcrossHops(t *testing.T) {
+	f := newF()
+	buildChain(f, 0x8000, 0x20000, 3)
+	for _, off := range []mem.Addr{0, 1, 2, 4, 7} {
+		final, _, err := f.Resolve(0x8000+off, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final != 0x20000+off {
+			t.Fatalf("off %d: final %#x, want %#x", off, final, 0x20000+off)
+		}
+	}
+}
+
+func TestHopCallbackSeesEveryHop(t *testing.T) {
+	f := newF()
+	buildChain(f, 0x8000, 0x20000, 3)
+	var walked []mem.Addr
+	_, _, err := f.Resolve(0x8000, func(wa mem.Addr, hop int) {
+		if hop != len(walked)+1 {
+			t.Fatalf("hop numbering: got %d at index %d", hop, len(walked))
+		}
+		walked = append(walked, wa)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []mem.Addr{0x8000, 0x8100, 0x8200}
+	if len(walked) != len(want) {
+		t.Fatalf("walked %v, want %v", walked, want)
+	}
+	for i := range want {
+		if walked[i] != want[i] {
+			t.Fatalf("walked %v, want %v", walked, want)
+		}
+	}
+}
+
+func TestLongAcyclicChainIsFalseAlarm(t *testing.T) {
+	f := newF()
+	hops := DefaultHopLimit + 5
+	buildChain(f, 0x8000, 0x90000, hops)
+	final, n, err := f.Resolve(0x8000, nil)
+	if err != nil {
+		t.Fatalf("long acyclic chain aborted: %v", err)
+	}
+	if final != 0x90000 || n != hops {
+		t.Fatalf("got (%#x,%d)", final, n)
+	}
+	if f.CycleFalseAlarms != 1 || f.CyclesDetected != 0 {
+		t.Fatalf("false alarms %d, detected %d", f.CycleFalseAlarms, f.CyclesDetected)
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	f := newF()
+	// Two-word cycle: A -> B -> A.
+	f.UnforwardedWrite(0x8000, 0x8100, true)
+	f.UnforwardedWrite(0x8100, 0x8000, true)
+	_, _, err := f.Resolve(0x8000, nil)
+	if !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v, want ErrCycle", err)
+	}
+	if f.CyclesDetected != 1 {
+		t.Fatalf("CyclesDetected = %d", f.CyclesDetected)
+	}
+}
+
+func TestSelfCycleDetected(t *testing.T) {
+	f := newF()
+	f.UnforwardedWrite(0x8000, 0x8000, true)
+	_, _, err := f.Resolve(0x8004, nil)
+	if !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v, want ErrCycle", err)
+	}
+}
+
+func TestFinalAddrIdempotent(t *testing.T) {
+	f := newF()
+	buildChain(f, 0x8000, 0x40000, 2)
+	fa, err := f.FinalAddr(0x8004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa2, err := f.FinalAddr(fa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa2 != fa {
+		t.Fatalf("FinalAddr not idempotent: %#x then %#x", fa, fa2)
+	}
+}
+
+func TestUnforwardedWriteDoesNotChase(t *testing.T) {
+	f := newF()
+	buildChain(f, 0x8000, 0x40000, 1)
+	f.UnforwardedWrite(0x8000, 123, false)
+	v, fb := f.UnforwardedRead(0x8000)
+	if v != 123 || fb {
+		t.Fatalf("got (%d,%v)", v, fb)
+	}
+	// Chain severed: resolve now stays at the initial address.
+	final, hops, _ := f.Resolve(0x8000, nil)
+	if final != 0x8000 || hops != 0 {
+		t.Fatalf("after severing: (%#x,%d)", final, hops)
+	}
+}
+
+func TestReadFBit(t *testing.T) {
+	f := newF()
+	if f.ReadFBit(0x8000) {
+		t.Fatal("fresh word has fbit set")
+	}
+	f.UnforwardedWrite(0x8000, 0x9000, true)
+	if !f.ReadFBit(0x8000) || !f.ReadFBit(0x8007) {
+		t.Fatal("fbit should read set for any byte of the word")
+	}
+	if f.ReadFBit(0x8008) {
+		t.Fatal("fbit leaked to next word")
+	}
+}
+
+func TestChainWords(t *testing.T) {
+	f := newF()
+	buildChain(f, 0x8000, 0x40000, 3)
+	got := f.ChainWords(0x8003)
+	want := []mem.Addr{0x8000, 0x8100, 0x8200}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// On a cycle, ChainWords terminates and returns each word once.
+	f2 := newF()
+	f2.UnforwardedWrite(0x100, 0x200, true)
+	f2.UnforwardedWrite(0x200, 0x100, true)
+	if got := f2.ChainWords(0x100); len(got) != 2 {
+		t.Fatalf("cycle chain: %v", got)
+	}
+}
+
+// Property: for random chain length (0..12) and random in-word offset,
+// Resolve lands on finalBase+offset with exactly that many hops, and
+// data written at the final location is read back through the chain.
+func TestResolveProperty(t *testing.T) {
+	prop := func(hopSel uint8, offSel uint8, val uint64) bool {
+		hops := int(hopSel % 13)
+		off := mem.Addr(offSel % 8)
+		f := newF()
+		head := mem.Addr(0x8000)
+		final := mem.Addr(0x100000)
+		buildChain(f, head, final, hops)
+		f.Mem.WriteWord(final, val)
+		got, n, err := f.Resolve(head+off, nil)
+		if err != nil || n != hops {
+			return false
+		}
+		wantAddr := head + off
+		if hops > 0 {
+			wantAddr = final + off
+		}
+		if got != wantAddr {
+			return false
+		}
+		v := f.Mem.ReadWord(mem.WordAlign(got))
+		if hops > 0 {
+			return v == val
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChainCapOnPathologicalChain(t *testing.T) {
+	f := newF()
+	f.ChainCap = 32
+	// A 64-hop acyclic chain exceeds the cap: accurate check treats
+	// absurd chains as cycles and aborts deterministically.
+	cur := mem.Addr(0x10000)
+	for i := 0; i < 64; i++ {
+		next := cur + 0x100
+		f.UnforwardedWrite(cur, uint64(next), true)
+		cur = next
+	}
+	_, _, err := f.Resolve(0x10000, nil)
+	if err == nil {
+		t.Fatal("expected an abort on a chain beyond ChainCap")
+	}
+}
+
+func TestChainWordsBoundedOnLongChain(t *testing.T) {
+	f := newF()
+	f.ChainCap = 8
+	cur := mem.Addr(0x10000)
+	for i := 0; i < 64; i++ {
+		next := cur + 0x100
+		f.UnforwardedWrite(cur, uint64(next), true)
+		cur = next
+	}
+	words := f.ChainWords(0x10000)
+	if len(words) > f.ChainCap+2 {
+		t.Fatalf("ChainWords returned %d entries despite cap %d", len(words), f.ChainCap)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Load.String() != "load" || Store.String() != "store" {
+		t.Fatal("Kind strings")
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"memfwd/internal/mem"
+)
+
+// FuzzResolve feeds arbitrary forwarding-bit graphs to the dereference
+// mechanism: Resolve must always terminate, returning either a clean
+// final address (whose word has a clear fbit) or ErrCycle — never hang,
+// never panic. Seeds cover straight chains, self-loops, two-cycles, and
+// convergent chains; `go test -fuzz=FuzzResolve` explores further.
+func FuzzResolve(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, uint8(0)) // chain 0->1->2->3
+	f.Add([]byte{0, 0}, uint8(0))       // self loop
+	f.Add([]byte{1, 0}, uint8(1))       // two-cycle
+	f.Add([]byte{3, 3, 3, 3}, uint8(2)) // convergent
+	f.Add([]byte{}, uint8(0))           // no forwarding at all
+	f.Add([]byte{5, 9, 1, 1, 9}, uint8(3))
+
+	f.Fuzz(func(t *testing.T, links []byte, startSel uint8) {
+		if len(links) > 64 {
+			links = links[:64]
+		}
+		fw := NewForwarder(mem.New())
+		const base = mem.Addr(0x1000)
+		// Word i forwards to word links[i] (mod len) when links[i] != i.
+		n := len(links)
+		for i, l := range links {
+			j := int(l) % max(n, 1)
+			if j == i {
+				continue
+			}
+			fw.UnforwardedWrite(base+mem.Addr(i*8), uint64(base+mem.Addr(j*8)), true)
+		}
+		if n == 0 {
+			n = 1
+		}
+		start := base + mem.Addr(int(startSel)%n*8)
+		final, hops, err := fw.Resolve(start, nil)
+		if err != nil {
+			if !errors.Is(err, ErrCycle) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			return
+		}
+		if fw.Mem.FBit(final) {
+			t.Fatalf("final address %#x still has its forwarding bit set", final)
+		}
+		if hops > n {
+			t.Fatalf("%d hops through %d words without a cycle error", hops, n)
+		}
+	})
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

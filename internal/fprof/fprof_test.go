@@ -1,0 +1,114 @@
+package fprof
+
+import (
+	"strings"
+	"testing"
+
+	"memfwd/internal/mem"
+	"memfwd/internal/opt"
+	"memfwd/internal/sim"
+)
+
+func setup(t *testing.T) (*sim.Machine, mem.Addr, mem.Addr) {
+	t.Helper()
+	m := sim.New(sim.Config{})
+	src := m.Malloc(16)
+	tgt := m.Malloc(16)
+	m.StoreWord(src, 5)
+	opt.Relocate(m, src, tgt, 2)
+	return m, src, tgt
+}
+
+func TestProfilerCountsPerSite(t *testing.T) {
+	m, src, _ := setup(t)
+	p := Attach(m)
+
+	a := m.Site("hot.loop")
+	b := m.Site("cold.path")
+	m.SetSite(a)
+	for i := 0; i < 10; i++ {
+		m.LoadWord(src)
+	}
+	m.SetSite(b)
+	m.StoreWord(src+8, 9)
+
+	sites := p.Sites()
+	if len(sites) != 2 {
+		t.Fatalf("sites = %d", len(sites))
+	}
+	if m.SiteName(sites[0].Site) != "hot.loop" || sites[0].Loads != 10 {
+		t.Fatalf("hottest site wrong: %+v", sites[0])
+	}
+	if sites[1].Stores != 1 {
+		t.Fatalf("store not recorded: %+v", sites[1])
+	}
+	if p.Total() != 11 {
+		t.Fatalf("total = %d", p.Total())
+	}
+}
+
+func TestProfilerHopTracking(t *testing.T) {
+	m := sim.New(sim.Config{})
+	a := m.Malloc(8)
+	b := m.Malloc(8)
+	c := m.Malloc(8)
+	m.StoreWord(a, 1)
+	opt.Relocate(m, a, b, 1)
+	opt.Relocate(m, a, c, 1) // chain a->b->c
+	p := Attach(m)
+	m.LoadWord(a)
+	sp := p.Sites()[0]
+	if sp.MaxHops != 2 || sp.Hops != 2 {
+		t.Fatalf("hops: %+v", sp)
+	}
+}
+
+func TestProfilerDistinctInitials(t *testing.T) {
+	m := sim.New(sim.Config{})
+	pool := opt.NewPool(m, 1<<12)
+	head := m.Malloc(8)
+	prev := head
+	var olds []mem.Addr
+	for i := 0; i < 6; i++ {
+		n := m.Malloc(16)
+		m.StoreWord(n, uint64(i))
+		m.StorePtr(prev, n)
+		prev = n + 8
+		olds = append(olds, n)
+	}
+	opt.ListLinearize(m, pool, head, opt.ListDesc{NodeBytes: 16, NextOff: 8})
+	p := Attach(m)
+	for _, o := range olds {
+		m.LoadWord(o)
+		m.LoadWord(o) // repeat: still one distinct initial
+	}
+	sp := p.Sites()[0]
+	if len(sp.Initials) != 6 {
+		t.Fatalf("distinct initials = %d, want 6", len(sp.Initials))
+	}
+	if sp.Loads != 12 {
+		t.Fatalf("loads = %d", sp.Loads)
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	m, src, _ := setup(t)
+	p := Attach(m)
+	m.SetSite(m.Site("the.site"))
+	m.LoadWord(src)
+	out := p.Report().String()
+	if !strings.Contains(out, "the.site") {
+		t.Fatalf("report missing site:\n%s", out)
+	}
+}
+
+func TestNoTrapsNoSites(t *testing.T) {
+	m := sim.New(sim.Config{})
+	p := Attach(m)
+	a := m.Malloc(8)
+	m.StoreWord(a, 1)
+	m.LoadWord(a)
+	if p.Total() != 0 || len(p.Sites()) != 0 {
+		t.Fatal("profiler recorded non-forwarded references")
+	}
+}

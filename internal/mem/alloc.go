@@ -1,0 +1,226 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Allocator is a word-aligned first-fit heap over a Memory, standing in
+// for the C malloc/free the paper's applications use. Layout realism
+// matters here: relocation-based optimizations exist precisely because
+// malloc scatters logically-adjacent objects, so the allocator
+// reproduces malloc-like behaviour — a bump pointer with per-block
+// header padding, plus size-segregated free lists whose reuse
+// interleaves objects of different lifetimes.
+//
+// All blocks are word-aligned (Section 3.3, "Memory Alignment":
+// relocatable objects must be word-aligned so two objects never share a
+// forwarding word).
+type Allocator struct {
+	m *Memory
+
+	base Addr
+	brk  Addr
+	end  Addr
+
+	// HeaderBytes of pad between blocks, modelling malloc boilerplate.
+	// Zero for arenas used by relocation pools.
+	HeaderBytes uint64
+
+	// free maps rounded block size -> stack of free addresses (LIFO, as
+	// in a typical freelist malloc).
+	free map[uint64][]Addr
+
+	// live maps block base -> usable size, to catch double frees and to
+	// answer SizeOf.
+	live map[Addr]uint64
+
+	// pinned marks blocks owned by arenas/pools: they are live but must
+	// never be freed through object-level deallocation (a relocated
+	// object's final address may coincide with an arena base, and the
+	// chain-freeing wrapper must not release the whole pool).
+	pinned map[Addr]bool
+
+	// Accounting for Table 1's "Space Overhead" column.
+	BytesAllocated uint64 // cumulative
+	BytesLive      uint64
+	PeakLive       uint64
+
+	// OnEvent, when non-nil, observes every "alloc" and "free" with the
+	// block base (debugging/test support).
+	OnEvent func(op string, a Addr)
+}
+
+// NewAllocator creates an allocator managing [base, base+limit).
+func NewAllocator(m *Memory, base Addr, limit uint64) *Allocator {
+	if base&WordMask != 0 {
+		panic("mem: allocator base must be word-aligned")
+	}
+	return &Allocator{
+		m:           m,
+		base:        base,
+		brk:         base,
+		end:         base + Addr(limit),
+		HeaderBytes: 2 * WordSize,
+		free:        make(map[uint64][]Addr),
+		live:        make(map[Addr]uint64),
+		pinned:      make(map[Addr]bool),
+	}
+}
+
+// roundSize rounds a request up to a whole number of words.
+func roundSize(n uint64) uint64 {
+	if n == 0 {
+		n = WordSize
+	}
+	return (n + WordSize - 1) &^ uint64(WordMask)
+}
+
+// Alloc returns the base address of a zeroed block of at least n bytes.
+// It panics if the arena is exhausted, which indicates a mis-sized
+// experiment rather than a recoverable guest condition.
+func (al *Allocator) Alloc(n uint64) Addr {
+	size := roundSize(n)
+	var a Addr
+	if stack := al.free[size]; len(stack) > 0 {
+		a = stack[len(stack)-1]
+		al.free[size] = stack[:len(stack)-1]
+		al.m.Zero(a, size)
+	} else {
+		a = al.brk
+		al.brk += Addr(size + al.HeaderBytes)
+		if al.brk > al.end {
+			panic(fmt.Sprintf("mem: arena exhausted (brk %#x > end %#x)", al.brk, al.end))
+		}
+		// Fresh pages are already zero with clear fbits; no Zero needed.
+	}
+	if al.OnEvent != nil {
+		al.OnEvent("alloc", a)
+	}
+	al.live[a] = size
+	al.BytesAllocated += size
+	al.BytesLive += size
+	if al.BytesLive > al.PeakLive {
+		al.PeakLive = al.BytesLive
+	}
+	return a
+}
+
+// Free returns the block at a to the free list. Freeing an unknown or
+// already-freed address panics: guest programs are deterministic and a
+// bad free is a bug in the reproduction, not a runtime condition.
+func (al *Allocator) Free(a Addr) {
+	size, ok := al.live[a]
+	if !ok {
+		panic(fmt.Sprintf("mem: free of unallocated address %#x", a))
+	}
+	if al.pinned[a] {
+		panic(fmt.Sprintf("mem: free of pinned (arena) block %#x", a))
+	}
+	if al.OnEvent != nil {
+		al.OnEvent("free", a)
+	}
+	delete(al.live, a)
+	al.BytesLive -= size
+	al.free[size] = append(al.free[size], a)
+}
+
+// SizeOf returns the usable size of the live block at a.
+func (al *Allocator) SizeOf(a Addr) (uint64, bool) {
+	n, ok := al.live[a]
+	return n, ok
+}
+
+// Live reports whether a is the base of a live block.
+func (al *Allocator) Live(a Addr) bool {
+	_, ok := al.live[a]
+	return ok
+}
+
+// Pin marks the live block at a as arena-owned: Free of it panics, and
+// Freeable reports false. NewArena pins its backing block.
+func (al *Allocator) Pin(a Addr) {
+	if _, ok := al.live[a]; !ok {
+		panic(fmt.Sprintf("mem: pin of unallocated address %#x", a))
+	}
+	al.pinned[a] = true
+}
+
+// Freeable reports whether a is the base of a live block that object
+// deallocation may release (live and not arena-pinned).
+func (al *Allocator) Freeable(a Addr) bool {
+	_, ok := al.live[a]
+	return ok && !al.pinned[a]
+}
+
+// Brk returns the current high-water address of the arena.
+func (al *Allocator) Brk() Addr { return al.brk }
+
+// Contains reports whether a falls inside the arena's reserved range.
+func (al *Allocator) Contains(a Addr) bool { return a >= al.base && a < al.end }
+
+// LiveBlocks returns the sorted bases of all live blocks (test support).
+func (al *Allocator) LiveBlocks() []Addr {
+	out := make([]Addr, 0, len(al.live))
+	for a := range al.live {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Arena is a bump-only contiguous allocator used for relocation pools:
+// ListLinearize and friends allocate target storage from "a pool of
+// contiguous memory, thereby creating spatial locality" (Figure 4b). It
+// draws its backing range from the parent allocator's address space but
+// never frees individual blocks; Reset recycles the whole pool.
+type Arena struct {
+	base Addr
+	next Addr
+	end  Addr
+}
+
+// NewArena carves an n-byte contiguous arena out of an allocator's
+// address space (as a single block, so the parent can account for it).
+func NewArena(al *Allocator, n uint64) *Arena {
+	save := al.HeaderBytes
+	al.HeaderBytes = 0
+	base := al.Alloc(n)
+	al.HeaderBytes = save
+	al.Pin(base)
+	return &Arena{base: base, next: base, end: base + Addr(n)}
+}
+
+// Alloc returns n contiguous word-aligned bytes, or 0 if the arena is
+// exhausted (callers fall back to a fresh arena).
+func (ar *Arena) Alloc(n uint64) Addr {
+	size := roundSize(n)
+	if ar.next+Addr(size) > ar.end {
+		return 0
+	}
+	a := ar.next
+	ar.next += Addr(size)
+	return a
+}
+
+// AlignTo advances the arena cursor to the next multiple of align
+// (a power of two), so the following Alloc starts a fresh cache line or
+// cluster. Wasted bytes are simply skipped.
+func (ar *Arena) AlignTo(align uint64) {
+	if align == 0 || align&(align-1) != 0 {
+		panic("mem: AlignTo requires a power of two")
+	}
+	next := (uint64(ar.next) + align - 1) &^ (align - 1)
+	if Addr(next) <= ar.end {
+		ar.next = Addr(next)
+	}
+}
+
+// Remaining returns the bytes left in the arena.
+func (ar *Arena) Remaining() uint64 { return uint64(ar.end - ar.next) }
+
+// Used returns the bytes consumed so far.
+func (ar *Arena) Used() uint64 { return uint64(ar.next - ar.base) }
+
+// Base returns the arena's first address.
+func (ar *Arena) Base() Addr { return ar.base }

@@ -1,0 +1,268 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newTestAlloc() *Allocator {
+	return NewAllocator(New(), 0x10000, 1<<24)
+}
+
+func TestAllocWordAligned(t *testing.T) {
+	al := newTestAlloc()
+	for _, n := range []uint64{1, 7, 8, 9, 24, 100} {
+		a := al.Alloc(n)
+		if a&WordMask != 0 {
+			t.Errorf("Alloc(%d) = %#x not word-aligned", n, a)
+		}
+	}
+}
+
+func TestAllocZeroSizeGetsAWord(t *testing.T) {
+	al := newTestAlloc()
+	a := al.Alloc(0)
+	if sz, ok := al.SizeOf(a); !ok || sz != WordSize {
+		t.Fatalf("Alloc(0): size %d ok %v", sz, ok)
+	}
+}
+
+func TestAllocBlocksDisjoint(t *testing.T) {
+	al := newTestAlloc()
+	type blk struct {
+		base Addr
+		size uint64
+	}
+	var blocks []blk
+	sizes := []uint64{8, 16, 24, 40, 8, 128, 56, 16}
+	for _, n := range sizes {
+		a := al.Alloc(n)
+		for _, b := range blocks {
+			if a < b.base+Addr(b.size) && b.base < a+Addr(roundSize(n)) {
+				t.Fatalf("block %#x+%d overlaps %#x+%d", a, n, b.base, b.size)
+			}
+		}
+		blocks = append(blocks, blk{a, roundSize(n)})
+	}
+}
+
+func TestFreeReuse(t *testing.T) {
+	al := newTestAlloc()
+	a := al.Alloc(32)
+	al.Free(a)
+	b := al.Alloc(32)
+	if a != b {
+		t.Fatalf("LIFO reuse expected: got %#x, freed %#x", b, a)
+	}
+	// Reused block must come back zeroed with clear fbits.
+	al.m.WriteWordFBit(b, 99, true)
+	al.Free(b)
+	c := al.Alloc(32)
+	if v, f := al.m.ReadWordFBit(c); v != 0 || f {
+		t.Fatalf("reused block not scrubbed: (%d,%v)", v, f)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	al := newTestAlloc()
+	a := al.Alloc(16)
+	al.Free(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	al.Free(a)
+}
+
+func TestFreeUnknownPanics(t *testing.T) {
+	al := newTestAlloc()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("free of unknown address did not panic")
+		}
+	}()
+	al.Free(0x999000)
+}
+
+func TestAccounting(t *testing.T) {
+	al := newTestAlloc()
+	a := al.Alloc(16)
+	b := al.Alloc(24)
+	if al.BytesLive != 40 || al.PeakLive != 40 {
+		t.Fatalf("live %d peak %d", al.BytesLive, al.PeakLive)
+	}
+	al.Free(a)
+	if al.BytesLive != 24 || al.PeakLive != 40 {
+		t.Fatalf("after free: live %d peak %d", al.BytesLive, al.PeakLive)
+	}
+	al.Free(b)
+	if al.BytesLive != 0 {
+		t.Fatalf("live %d after freeing all", al.BytesLive)
+	}
+	if al.BytesAllocated != 40 {
+		t.Fatalf("cumulative %d", al.BytesAllocated)
+	}
+}
+
+func TestHeaderPaddingScattersBlocks(t *testing.T) {
+	al := newTestAlloc()
+	a := al.Alloc(8)
+	b := al.Alloc(8)
+	if b-a != Addr(8+al.HeaderBytes) {
+		t.Fatalf("gap %d, want %d", b-a, 8+al.HeaderBytes)
+	}
+}
+
+// Property: any interleaving of allocs and frees keeps live blocks
+// disjoint and the accounting consistent.
+func TestAllocatorProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		al := NewAllocator(New(), 0x10000, 1<<26)
+		var liveList []Addr
+		for _, op := range ops {
+			if op%3 != 0 || len(liveList) == 0 {
+				n := uint64(op%200) + 1
+				liveList = append(liveList, al.Alloc(n))
+			} else {
+				i := int(op/3) % len(liveList)
+				al.Free(liveList[i])
+				liveList = append(liveList[:i], liveList[i+1:]...)
+			}
+		}
+		blocks := al.LiveBlocks()
+		if len(blocks) != len(liveList) {
+			return false
+		}
+		var sum uint64
+		for i, b := range blocks {
+			sz, ok := al.SizeOf(b)
+			if !ok {
+				return false
+			}
+			sum += sz
+			if i > 0 {
+				prev := blocks[i-1]
+				psz, _ := al.SizeOf(prev)
+				if prev+Addr(psz) > b {
+					return false // overlap
+				}
+			}
+		}
+		return sum == al.BytesLive
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArena(t *testing.T) {
+	al := newTestAlloc()
+	ar := NewArena(al, 64)
+	a := ar.Alloc(8)
+	b := ar.Alloc(8)
+	if b != a+8 {
+		t.Fatalf("arena not contiguous: %#x then %#x", a, b)
+	}
+	c := ar.Alloc(48)
+	if c == 0 {
+		t.Fatal("arena should have fit 48 more bytes")
+	}
+	if d := ar.Alloc(8); d != 0 {
+		t.Fatalf("exhausted arena returned %#x", d)
+	}
+	if ar.Used() != 64 || ar.Remaining() != 0 {
+		t.Fatalf("used %d remaining %d", ar.Used(), ar.Remaining())
+	}
+}
+
+func TestArenaHasNoHeaderGaps(t *testing.T) {
+	al := newTestAlloc()
+	ar := NewArena(al, 1024)
+	prev := ar.Alloc(24)
+	for i := 0; i < 10; i++ {
+		next := ar.Alloc(24)
+		if next != prev+24 {
+			t.Fatalf("gap inside arena: %#x after %#x", next, prev)
+		}
+		prev = next
+	}
+}
+
+func TestSizeOfBrkContains(t *testing.T) {
+	al := newTestAlloc()
+	a := al.Alloc(24)
+	if sz, ok := al.SizeOf(a); !ok || sz != 24 {
+		t.Fatalf("SizeOf: %d %v", sz, ok)
+	}
+	if _, ok := al.SizeOf(a + 8); ok {
+		t.Fatal("SizeOf of interior address")
+	}
+	if !al.Contains(a) || al.Contains(0x2) {
+		t.Fatal("Contains")
+	}
+	if al.Brk() <= a {
+		t.Fatal("Brk should be past the allocation")
+	}
+}
+
+func TestPinnedBlocks(t *testing.T) {
+	al := newTestAlloc()
+	a := al.Alloc(64)
+	al.Pin(a)
+	if al.Freeable(a) {
+		t.Fatal("pinned block reported freeable")
+	}
+	if !al.Live(a) {
+		t.Fatal("pinned block must stay live")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("freeing a pinned block must panic")
+			}
+		}()
+		al.Free(a)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("pinning an unallocated block must panic")
+			}
+		}()
+		al.Pin(0x424240)
+	}()
+}
+
+func TestArenaAlignToBadArg(t *testing.T) {
+	al := newTestAlloc()
+	ar := NewArena(al, 256)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AlignTo(3) must panic")
+		}
+	}()
+	ar.AlignTo(3)
+}
+
+func TestZeroUnalignedPanics(t *testing.T) {
+	m := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Zero on unaligned base must panic")
+		}
+	}()
+	m.Zero(0x1001, 16)
+}
+
+func TestAllocatorExhaustionPanics(t *testing.T) {
+	al := NewAllocator(New(), 0x1000, 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhausted arena must panic")
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		al.Alloc(32)
+	}
+}

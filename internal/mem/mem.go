@@ -1,0 +1,204 @@
+// Package mem implements the tagged-memory substrate required by memory
+// forwarding (Luk & Mowry, ISCA 1999, Section 2.1): a sparse 64-bit
+// simulated address space in which every 64-bit word carries a one-bit
+// tag (the "forwarding bit") distinguishing forwarding addresses from
+// ordinary data.
+//
+// This package is purely functional state: it knows nothing about
+// forwarding semantics (internal/core), caches, or timing. It provides
+// word and subword access, the forwarding-bit bitmap, and a word-aligned
+// allocator.
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Addr is a simulated 64-bit virtual address.
+type Addr uint64
+
+// Word geometry of the simulated machine. The paper assumes a 64-bit
+// architecture: forwarding operates at the granularity of one pointer,
+// i.e. one 8-byte word.
+const (
+	WordSize  = 8 // bytes per word
+	WordShift = 3
+	WordMask  = WordSize - 1
+
+	PageShift = 12 // 4 KB pages
+	PageBytes = 1 << PageShift
+	PageWords = PageBytes / WordSize
+	pageMask  = PageBytes - 1
+)
+
+// WordAlign rounds a down to its containing word boundary.
+func WordAlign(a Addr) Addr { return a &^ WordMask }
+
+// WordOffset returns the byte offset of a within its word.
+func WordOffset(a Addr) uint { return uint(a & WordMask) }
+
+// ErrUnaligned is returned for accesses that are not naturally aligned
+// for their size (guest programs keep natural alignment, as C compilers
+// guarantee for scalar fields).
+var ErrUnaligned = errors.New("mem: unaligned access")
+
+type page struct {
+	words [PageWords]uint64
+	fbits [PageWords / 8]uint8
+}
+
+func (p *page) fbit(w uint) bool { return p.fbits[w>>3]&(1<<(w&7)) != 0 }
+func (p *page) setFbit(w uint)   { p.fbits[w>>3] |= 1 << (w & 7) }
+func (p *page) clearFbit(w uint) { p.fbits[w>>3] &^= 1 << (w & 7) }
+func (p *page) putFbit(w uint, b bool) {
+	if b {
+		p.setFbit(w)
+	} else {
+		p.clearFbit(w)
+	}
+}
+
+// Memory is a sparse paged 64-bit address space with one forwarding bit
+// per word. Pages materialize on first touch, zero-filled with all
+// forwarding bits clear — this models the operating system's
+// Unforwarded_Write(0,0) initialization obligation from Section 3.3 of
+// the paper.
+type Memory struct {
+	pages map[Addr]*page
+
+	// PagesTouched counts pages materialized so far; it backs the
+	// space-overhead accounting in Table 1.
+	PagesTouched int
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[Addr]*page)}
+}
+
+func (m *Memory) page(a Addr) *page {
+	pn := a >> PageShift
+	p := m.pages[pn]
+	if p == nil {
+		p = new(page)
+		m.pages[pn] = p
+		m.PagesTouched++
+	}
+	return p
+}
+
+// peek returns the page containing a if it has been touched, else nil.
+func (m *Memory) peek(a Addr) *page { return m.pages[a>>PageShift] }
+
+func wordIndex(a Addr) uint { return uint((a & pageMask) >> WordShift) }
+
+// ReadWord returns the raw 64-bit word containing a (a is word-aligned
+// by the caller or rounded down here). No forwarding interpretation.
+func (m *Memory) ReadWord(a Addr) uint64 {
+	p := m.peek(a)
+	if p == nil {
+		return 0
+	}
+	return p.words[wordIndex(a)]
+}
+
+// WriteWord stores a raw 64-bit word at the word containing a, leaving
+// the forwarding bit unchanged.
+func (m *Memory) WriteWord(a Addr, v uint64) {
+	m.page(a).words[wordIndex(a)] = v
+}
+
+// FBit reports the forwarding bit of the word containing a. This is the
+// state inspected by the Read_FBit ISA extension (Figure 3).
+func (m *Memory) FBit(a Addr) bool {
+	p := m.peek(a)
+	if p == nil {
+		return false
+	}
+	return p.fbit(wordIndex(a))
+}
+
+// WriteWordFBit atomically stores v and the forwarding bit at the word
+// containing a. This is the storage effect of the Unforwarded_Write ISA
+// extension (Figure 3): "an Unforwarded_Write must change the word and
+// its forwarding bit atomically".
+func (m *Memory) WriteWordFBit(a Addr, v uint64, fbit bool) {
+	p := m.page(a)
+	w := wordIndex(a)
+	p.words[w] = v
+	p.putFbit(w, fbit)
+}
+
+// ReadWordFBit returns both the raw word and its forwarding bit, the
+// storage effect of Unforwarded_Read (Figure 3).
+func (m *Memory) ReadWordFBit(a Addr) (uint64, bool) {
+	p := m.peek(a)
+	if p == nil {
+		return 0, false
+	}
+	w := wordIndex(a)
+	return p.words[w], p.fbit(w)
+}
+
+// checkAlign validates natural alignment for a subword access of the
+// given size (1, 2, 4, or 8 bytes). Naturally aligned accesses never
+// cross a word boundary, which matches the paper's model where the byte
+// offset into a forwarded word is preserved at the new location.
+func checkAlign(a Addr, size uint) error {
+	switch size {
+	case 1, 2, 4, 8:
+	default:
+		return fmt.Errorf("mem: bad access size %d", size)
+	}
+	if uint64(a)&uint64(size-1) != 0 {
+		return ErrUnaligned
+	}
+	return nil
+}
+
+// ReadData reads size bytes (1, 2, 4, or 8) at a, zero-extended, with no
+// forwarding interpretation. Returns ErrUnaligned for unnatural
+// alignment.
+func (m *Memory) ReadData(a Addr, size uint) (uint64, error) {
+	if err := checkAlign(a, size); err != nil {
+		return 0, err
+	}
+	w := m.ReadWord(WordAlign(a))
+	if size == 8 {
+		return w, nil
+	}
+	shift := WordOffset(a) * 8
+	mask := (uint64(1) << (size * 8)) - 1
+	return (w >> shift) & mask, nil
+}
+
+// WriteData writes the low size bytes of v at a with no forwarding
+// interpretation, leaving the rest of the word and the forwarding bit
+// unchanged.
+func (m *Memory) WriteData(a Addr, v uint64, size uint) error {
+	if err := checkAlign(a, size); err != nil {
+		return err
+	}
+	wa := WordAlign(a)
+	if size == 8 {
+		m.WriteWord(wa, v)
+		return nil
+	}
+	shift := WordOffset(a) * 8
+	mask := ((uint64(1) << (size * 8)) - 1) << shift
+	old := m.ReadWord(wa)
+	m.WriteWord(wa, (old&^mask)|((v<<shift)&mask))
+	return nil
+}
+
+// Zero clears n bytes starting at a (word-aligned region) and clears the
+// forwarding bits, modelling OS initialization of fresh memory.
+func (m *Memory) Zero(a Addr, n uint64) {
+	if a&WordMask != 0 {
+		panic("mem: Zero requires word-aligned base")
+	}
+	for off := uint64(0); off < n; off += WordSize {
+		m.WriteWordFBit(a+Addr(off), 0, false)
+	}
+}

@@ -1,0 +1,207 @@
+package mp
+
+import (
+	"testing"
+
+	"memfwd/internal/mem"
+)
+
+// pingPong runs nRounds of each processor storing to its own counter.
+// With counters packed into one line this false-shares; with padded
+// (relocated) counters it does not.
+func pingPong(t *testing.T, relocate bool) (*System, []mem.Addr, int64) {
+	t.Helper()
+	s := New(Config{Processors: 4, LineSize: 64})
+	base := s.Heap.Alloc(4 * 8) // four counters in one 64B line
+	counters := make([]mem.Addr, 4)
+	for i := range counters {
+		counters[i] = base + mem.Addr(i*8)
+	}
+	if relocate {
+		s.RelocatePadded(counters)
+		// Threads keep their OLD pointers: forwarding must keep the
+		// program correct while curing the false sharing.
+	}
+	for round := 0; round < 400; round++ {
+		for i, c := range s.CPUs {
+			v := c.LoadWord(counters[i])
+			c.StoreWord(counters[i], v+1)
+			c.Inst(4)
+		}
+	}
+	return s, counters, s.Cycles()
+}
+
+func TestFalseSharingDetected(t *testing.T) {
+	s, _, _ := pingPong(t, false)
+	if s.Stats.Invalidations == 0 {
+		t.Fatal("no invalidations on a falsely shared line")
+	}
+	if s.Stats.FalseInvalidations == 0 {
+		t.Fatal("invalidations not classified as false sharing")
+	}
+	if s.Stats.FalseInvalidations < s.Stats.TrueInvalidations {
+		t.Fatalf("expected false sharing to dominate: false=%d true=%d",
+			s.Stats.FalseInvalidations, s.Stats.TrueInvalidations)
+	}
+}
+
+func TestRelocationCuresFalseSharing(t *testing.T) {
+	sBad, _, cyclesBad := pingPong(t, false)
+	sGood, _, cyclesGood := pingPong(t, true)
+	if sGood.Stats.FalseInvalidations >= sBad.Stats.FalseInvalidations/10 {
+		t.Fatalf("relocation left %d false invalidations (was %d)",
+			sGood.Stats.FalseInvalidations, sBad.Stats.FalseInvalidations)
+	}
+	if cyclesGood >= cyclesBad {
+		t.Fatalf("padded counters not faster: %d vs %d", cyclesGood, cyclesBad)
+	}
+}
+
+func TestStalePointersStayCorrectAcrossRelocation(t *testing.T) {
+	s, counters, _ := pingPong(t, true)
+	// 400 increments per processor through stale (old-address)
+	// pointers; values must be exact.
+	for i, c := range s.CPUs {
+		if v := c.LoadWord(counters[i]); v != 400 {
+			t.Fatalf("cpu %d counter = %d, want 400", i, v)
+		}
+	}
+}
+
+func TestTrueSharingClassified(t *testing.T) {
+	s := New(Config{Processors: 2, LineSize: 64})
+	x := s.Heap.Alloc(8)
+	// Both processors write the SAME word: true sharing.
+	for round := 0; round < 100; round++ {
+		for _, c := range s.CPUs {
+			v := c.LoadWord(x)
+			c.StoreWord(x, v+1)
+		}
+	}
+	if s.Stats.TrueInvalidations == 0 {
+		t.Fatal("true sharing not classified")
+	}
+	if s.Stats.FalseInvalidations > s.Stats.TrueInvalidations/4 {
+		t.Fatalf("mostly-true sharing misclassified: false=%d true=%d",
+			s.Stats.FalseInvalidations, s.Stats.TrueInvalidations)
+	}
+	if v := s.CPUs[0].LoadWord(x); v != 200 {
+		t.Fatalf("shared counter = %d, want 200", v)
+	}
+}
+
+func TestInterventionOnRemoteDirtyLine(t *testing.T) {
+	s := New(Config{Processors: 2, LineSize: 64})
+	x := s.Heap.Alloc(8)
+	s.CPUs[0].StoreWord(x, 7)
+	if v := s.CPUs[1].LoadWord(x); v != 7 {
+		t.Fatalf("read %d", v)
+	}
+	if s.Stats.Interventions != 1 {
+		t.Fatalf("interventions = %d, want 1", s.Stats.Interventions)
+	}
+}
+
+func TestPrivateDataNoCoherenceTraffic(t *testing.T) {
+	s := New(Config{Processors: 4, LineSize: 64})
+	// Each processor works on its own line: no invalidations at all.
+	private := make([]mem.Addr, 4)
+	for i := range private {
+		private[i] = s.Heap.Alloc(64)
+		for uint64(private[i])%64 != 0 {
+			private[i] = s.Heap.Alloc(64)
+		}
+	}
+	for round := 0; round < 100; round++ {
+		for i, c := range s.CPUs {
+			v := c.LoadWord(private[i])
+			c.StoreWord(private[i], v+1)
+		}
+	}
+	if s.Stats.Invalidations != 0 {
+		t.Fatalf("invalidations on private data: %d", s.Stats.Invalidations)
+	}
+}
+
+func TestRelocatePaddedTargetsLineAligned(t *testing.T) {
+	s := New(Config{Processors: 2, LineSize: 64})
+	base := s.Heap.Alloc(32)
+	items := []mem.Addr{base, base + 8, base + 16, base + 24}
+	for i, a := range items {
+		s.CPUs[0].StoreWord(a, uint64(100+i))
+	}
+	newAddrs := s.RelocatePadded(items)
+	seen := map[uint64]bool{}
+	for i, na := range newAddrs {
+		if uint64(na)%64 != 0 {
+			t.Errorf("target %d at %#x not line-aligned", i, na)
+		}
+		line := uint64(na) / 64
+		if seen[line] {
+			t.Errorf("two items share line %#x", line)
+		}
+		seen[line] = true
+		if v := s.CPUs[1].LoadWord(items[i]); v != uint64(100+i) {
+			t.Errorf("item %d through stale pointer = %d", i, v)
+		}
+	}
+}
+
+func TestTooManyProcessorsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 33 processors")
+		}
+	}()
+	New(Config{Processors: 33})
+}
+
+// TestFalseSharingWorsensWithLineSize: longer coherence units capture
+// more unrelated items, so the packed layout's ping-pong grows with the
+// line size while the padded layout stays clean — the paper's argument
+// that relocation matters more as lines lengthen applies to coherence
+// too.
+func TestFalseSharingWorsensWithLineSize(t *testing.T) {
+	run := func(lineSize int) uint64 {
+		s := New(Config{Processors: 8, LineSize: lineSize})
+		base := s.Heap.Alloc(8 * 8)
+		counters := make([]mem.Addr, 8)
+		for i := range counters {
+			counters[i] = base + mem.Addr(i*8)
+		}
+		for round := 0; round < 200; round++ {
+			for i, c := range s.CPUs {
+				v := c.LoadWord(counters[i])
+				c.StoreWord(counters[i], v+1)
+			}
+		}
+		return s.Stats.FalseInvalidations
+	}
+	// At 32B lines, 8×8B counters split into two groups of four that
+	// ping-pong independently; at 128B all eight share one line, so
+	// every store invalidates up to seven remote copies.
+	f32, f128 := run(32), run(128)
+	if f128 <= f32 {
+		t.Fatalf("false sharing should worsen with line size: 32B=%d 128B=%d", f32, f128)
+	}
+	// Padding cures it at every line size.
+	for _, ls := range []int{32, 64, 128} {
+		s := New(Config{Processors: 8, LineSize: ls})
+		base := s.Heap.Alloc(8 * 8)
+		counters := make([]mem.Addr, 8)
+		for i := range counters {
+			counters[i] = base + mem.Addr(i*8)
+		}
+		s.RelocatePadded(counters)
+		for round := 0; round < 100; round++ {
+			for i, c := range s.CPUs {
+				v := c.LoadWord(counters[i])
+				c.StoreWord(counters[i], v+1)
+			}
+		}
+		if s.Stats.FalseInvalidations != 0 {
+			t.Fatalf("line %d: padded layout still false-shares", ls)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package ooc models the paper's closing observation in Section 2.2:
+// relocation-based layout optimizations "are applicable not only to
+// caches but also to the other levels of the memory hierarchy. For
+// example, we can apply data relocation to improve the spatial locality
+// within pages (and hence on disk) for out-of-core applications."
+//
+// Store is a page-grained view of the tagged memory: a bounded resident
+// set of pages backed by "disk". Every word access — including each
+// forwarding hop — touches the page containing it; a non-resident page
+// costs a fault. Linearizing a pointer structure shrinks the number of
+// pages it spans, which is exactly what cuts faults for an out-of-core
+// traversal; forwarding keeps stale pointers safe, at the price of
+// faulting their old pages back in.
+package ooc
+
+import (
+	"fmt"
+
+	"memfwd/internal/core"
+	"memfwd/internal/mem"
+)
+
+// Config sizes the paging model.
+type Config struct {
+	PageBytes     uint64 // power of two
+	ResidentPages int    // memory budget, in pages
+	FaultCost     uint64 // modeled time units per fault (disk read)
+	HeapBase      mem.Addr
+	HeapLimit     uint64
+}
+
+// DefaultConfig returns a small out-of-core regime: 4KB pages, a
+// 32-page resident set, and a 20000-unit fault cost.
+func DefaultConfig() Config {
+	return Config{
+		PageBytes:     4096,
+		ResidentPages: 32,
+		FaultCost:     20000,
+		HeapBase:      0x4000_0000,
+		HeapLimit:     1 << 28,
+	}
+}
+
+// Stats of one run.
+type Stats struct {
+	Accesses uint64
+	Faults   uint64
+	Evicted  uint64
+	// Time is the modeled cost: one unit per access plus FaultCost per
+	// fault.
+	Time uint64
+}
+
+// Store is an out-of-core tagged memory with forwarding.
+type Store struct {
+	cfg  Config
+	Mem  *mem.Memory
+	Fwd  *core.Forwarder
+	Heap *mem.Allocator
+
+	resident map[uint64]int // page number -> LRU tick
+	tick     int
+
+	Stats Stats
+}
+
+// New builds a store (zero fields defaulted).
+func New(cfg Config) *Store {
+	d := DefaultConfig()
+	if cfg.PageBytes == 0 {
+		cfg.PageBytes = d.PageBytes
+	}
+	if cfg.PageBytes&(cfg.PageBytes-1) != 0 {
+		panic("ooc: page size must be a power of two")
+	}
+	if cfg.ResidentPages == 0 {
+		cfg.ResidentPages = d.ResidentPages
+	}
+	if cfg.FaultCost == 0 {
+		cfg.FaultCost = d.FaultCost
+	}
+	if cfg.HeapBase == 0 {
+		cfg.HeapBase = d.HeapBase
+	}
+	if cfg.HeapLimit == 0 {
+		cfg.HeapLimit = d.HeapLimit
+	}
+	m := mem.New()
+	return &Store{
+		cfg:      cfg,
+		Mem:      m,
+		Fwd:      core.NewForwarder(m),
+		Heap:     mem.NewAllocator(m, cfg.HeapBase, cfg.HeapLimit),
+		resident: make(map[uint64]int),
+	}
+}
+
+// touch brings the page containing a into the resident set.
+func (s *Store) touch(a mem.Addr) {
+	s.Stats.Accesses++
+	s.Stats.Time++
+	s.tick++
+	pn := uint64(a) / s.cfg.PageBytes
+	if _, ok := s.resident[pn]; ok {
+		s.resident[pn] = s.tick
+		return
+	}
+	s.Stats.Faults++
+	s.Stats.Time += s.cfg.FaultCost
+	if len(s.resident) >= s.cfg.ResidentPages {
+		// Evict the LRU page.
+		var victim uint64
+		oldest := int(^uint(0) >> 1)
+		for p, t := range s.resident {
+			if t < oldest {
+				victim, oldest = p, t
+			}
+		}
+		delete(s.resident, victim)
+		s.Stats.Evicted++
+	}
+	s.resident[pn] = s.tick
+}
+
+// resolve follows the forwarding chain, touching every hop's page —
+// stale pointers drag their old pages back from disk, the paper's
+// safety-net cost at this level of the hierarchy.
+func (s *Store) resolve(a mem.Addr) mem.Addr {
+	final, _, err := s.Fwd.Resolve(a, func(wa mem.Addr, hop int) {
+		s.touch(wa)
+	})
+	if err != nil {
+		panic(fmt.Sprintf("ooc: %v", err))
+	}
+	return final
+}
+
+// LoadWord reads the 64-bit word at a through paging and forwarding.
+func (s *Store) LoadWord(a mem.Addr) uint64 {
+	final := s.resolve(a)
+	s.touch(final)
+	return s.Mem.ReadWord(mem.WordAlign(final))
+}
+
+// StoreWord writes the 64-bit word at a through paging and forwarding.
+func (s *Store) StoreWord(a mem.Addr, v uint64) {
+	final := s.resolve(a)
+	s.touch(final)
+	s.Mem.WriteWord(mem.WordAlign(final), v)
+}
+
+// Relocate moves nWords from src (following chains per word) to tgt,
+// leaving forwarding addresses — Figure 4(a) at page granularity.
+func (s *Store) Relocate(src, tgt mem.Addr, nWords int) {
+	for i := 0; i < nWords; i++ {
+		sw := src + mem.Addr(i*8)
+		d := tgt + mem.Addr(i*8)
+		v, fbit := s.Fwd.UnforwardedRead(sw)
+		s.touch(sw)
+		for fbit {
+			sw = mem.WordAlign(mem.Addr(v))
+			v, fbit = s.Fwd.UnforwardedRead(sw)
+			s.touch(sw)
+		}
+		s.Fwd.UnforwardedWrite(d, v, false)
+		s.touch(d)
+		s.Fwd.UnforwardedWrite(sw, uint64(d), true)
+		s.touch(sw)
+	}
+}
+
+// LinearizeList packs the list whose head pointer is at headHandle into
+// consecutive fresh pages, updating head and next links (Figure 4b for
+// an out-of-core structure). Returns nodes moved and the new extent.
+func (s *Store) LinearizeList(headHandle mem.Addr, nodeBytes, nextOff uint64) (int, mem.Addr) {
+	// One contiguous target region.
+	save := s.Heap.HeaderBytes
+	s.Heap.HeaderBytes = 0
+	n := 0
+	handle := headHandle
+	node := mem.Addr(s.LoadWord(handle))
+	var first mem.Addr
+	for node != 0 {
+		tgt := s.Heap.Alloc(nodeBytes)
+		if first == 0 {
+			first = tgt
+		}
+		s.Relocate(node, tgt, int(nodeBytes/8))
+		s.StoreWord(handle, uint64(tgt))
+		handle = tgt + mem.Addr(nextOff)
+		node = mem.Addr(s.LoadWord(handle))
+		n++
+	}
+	s.Heap.HeaderBytes = save
+	return n, first
+}
+
+// ResidentPages returns the current resident-set size (test support).
+func (s *Store) ResidentPages() int { return len(s.resident) }

@@ -1,0 +1,146 @@
+package ooc
+
+import (
+	"math/rand"
+	"testing"
+
+	"memfwd/internal/mem"
+)
+
+const (
+	nodeBytes = 32
+	nextOff   = 8
+)
+
+// buildScatteredList spreads nNodes across a wide address range so
+// every node sits on its own page — the out-of-core worst case.
+func buildScatteredList(s *Store, rng *rand.Rand, nNodes int) mem.Addr {
+	head := s.Heap.Alloc(8)
+	// Scatter: allocate big strides between nodes.
+	prev := head
+	for i := 0; i < nNodes; i++ {
+		s.Heap.Alloc(uint64(3000 + rng.Intn(3000)))
+		n := s.Heap.Alloc(nodeBytes)
+		s.StoreWord(n, uint64(i))
+		s.StoreWord(prev, uint64(n))
+		prev = n + nextOff
+	}
+	return head
+}
+
+func traverse(s *Store, head mem.Addr) uint64 {
+	var sum uint64
+	p := mem.Addr(s.LoadWord(head))
+	for p != 0 {
+		sum += s.LoadWord(p)
+		p = mem.Addr(s.LoadWord(p + nextOff))
+	}
+	return sum
+}
+
+func TestScatteredTraversalThrashes(t *testing.T) {
+	s := New(Config{ResidentPages: 16})
+	rng := rand.New(rand.NewSource(1))
+	head := buildScatteredList(s, rng, 300)
+	pre := s.Stats.Faults
+	traverse(s, head)
+	faults := s.Stats.Faults - pre
+	if faults < 250 {
+		t.Fatalf("scattered traversal faulted only %d times for 300 nodes", faults)
+	}
+}
+
+func TestLinearizationCutsFaults(t *testing.T) {
+	s := New(Config{ResidentPages: 16})
+	rng := rand.New(rand.NewSource(2))
+	const nNodes = 300
+	head := buildScatteredList(s, rng, nNodes)
+
+	want := traverse(s, head)
+	pre := s.Stats
+	traverse(s, head)
+	fragFaults := s.Stats.Faults - pre.Faults
+	fragTime := s.Stats.Time - pre.Time
+
+	n, _ := s.LinearizeList(head, nodeBytes, nextOff)
+	if n != nNodes {
+		t.Fatalf("linearized %d nodes", n)
+	}
+
+	if got := traverse(s, head); got != want {
+		t.Fatalf("functional divergence: %d vs %d", got, want)
+	}
+	pre = s.Stats
+	traverse(s, head)
+	denseFaults := s.Stats.Faults - pre.Faults
+	denseTime := s.Stats.Time - pre.Time
+
+	// 300 nodes * 32B = 9.6KB = 3 pages (plus boundary) vs ~300 pages.
+	if denseFaults*20 > fragFaults {
+		t.Fatalf("faults %d -> %d: linearization ineffective", fragFaults, denseFaults)
+	}
+	if denseTime >= fragTime {
+		t.Fatalf("time %d -> %d", fragTime, denseTime)
+	}
+}
+
+func TestStalePointerFaultsButStaysCorrect(t *testing.T) {
+	s := New(Config{ResidentPages: 8})
+	rng := rand.New(rand.NewSource(3))
+	head := buildScatteredList(s, rng, 100)
+	// Grab a stale pointer to node 40.
+	p := mem.Addr(s.LoadWord(head))
+	for i := 0; i < 40; i++ {
+		p = mem.Addr(s.LoadWord(p + nextOff))
+	}
+	s.LinearizeList(head, nodeBytes, nextOff)
+	// Traverse a lot so the stale page is long evicted.
+	for i := 0; i < 5; i++ {
+		traverse(s, head)
+	}
+	pre := s.Stats.Faults
+	if v := s.LoadWord(p); v != 40 {
+		t.Fatalf("stale read = %d, want 40", v)
+	}
+	if s.Stats.Faults == pre {
+		t.Fatal("stale access should have faulted its old page back in")
+	}
+}
+
+func TestResidentSetBounded(t *testing.T) {
+	s := New(Config{ResidentPages: 8})
+	for i := 0; i < 100; i++ {
+		s.LoadWord(mem.Addr(0x4000_0000 + i*5000))
+	}
+	if s.ResidentPages() > 8 {
+		t.Fatalf("resident set %d exceeds budget 8", s.ResidentPages())
+	}
+	if s.Stats.Evicted == 0 {
+		t.Fatal("no evictions recorded")
+	}
+}
+
+func TestLRUKeepsHotPage(t *testing.T) {
+	s := New(Config{ResidentPages: 4})
+	hot := mem.Addr(0x4000_0000)
+	s.LoadWord(hot)
+	base := s.Stats.Faults
+	for i := 1; i <= 30; i++ {
+		s.LoadWord(hot) // keep hot page fresh
+		s.LoadWord(hot + mem.Addr(i*8192))
+	}
+	// The hot page must never have been evicted: exactly the 30 cold
+	// faults beyond the baseline.
+	if got := s.Stats.Faults - base; got != 30 {
+		t.Fatalf("faults = %d, want 30 (hot page must stay resident)", got)
+	}
+}
+
+func TestBadPageSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(Config{PageBytes: 3000})
+}

@@ -1,0 +1,109 @@
+package opt
+
+import (
+	"memfwd/internal/mem"
+	"memfwd/internal/sim"
+)
+
+// Data coloring (Section 2.2, "Reducing Cache Conflicts", after
+// Chilimbi & Larus): partition the cache into logically separate
+// regions (colors) and relocate data items that are accessed close
+// together in time into different regions, so they can never evict one
+// another. Memory forwarding makes the relocation safe without proving
+// anything about outstanding pointers.
+
+// ColorPool allocates relocation targets whose cache-set mapping falls
+// inside a chosen color's region. It carves way-sized frames out of the
+// heap; within each frame, byte offsets map one-to-one onto cache sets,
+// so constraining the offset constrains the set.
+type ColorPool struct {
+	m          *sim.Machine
+	frameBytes uint64 // bytes that map the cache's sets exactly once
+	colors     int
+
+	frames  []mem.Addr // frame base addresses (frame-aligned)
+	cursors []uint64   // per color: next free offset within its region
+	frameOf []int      // per color: index into frames
+
+	// BytesUsed counts relocation storage handed out.
+	BytesUsed uint64
+}
+
+// NewColorPool creates a pool for a cache whose one-way span is
+// waySizeBytes (cache size / associativity), split into colors regions.
+func NewColorPool(m *sim.Machine, waySizeBytes uint64, colors int) *ColorPool {
+	if colors < 1 {
+		colors = 1
+	}
+	if waySizeBytes == 0 || waySizeBytes%uint64(colors) != 0 {
+		panic("opt: way size must be a positive multiple of the color count")
+	}
+	p := &ColorPool{
+		m:          m,
+		frameBytes: waySizeBytes,
+		colors:     colors,
+		cursors:    make([]uint64, colors),
+		frameOf:    make([]int, colors),
+	}
+	for c := range p.frameOf {
+		p.frameOf[c] = -1
+	}
+	return p
+}
+
+// regionBytes is the per-frame span of one color.
+func (p *ColorPool) regionBytes() uint64 { return p.frameBytes / uint64(p.colors) }
+
+// newFrame allocates a frame-aligned region of frameBytes.
+func (p *ColorPool) newFrame() mem.Addr {
+	p.m.Inst(6)
+	ar := mem.NewArena(p.m.Alloc, 2*p.frameBytes)
+	ar.AlignTo(p.frameBytes)
+	base := ar.Alloc(p.frameBytes)
+	if base == 0 || uint64(base)%p.frameBytes != 0 {
+		panic("opt: could not build an aligned color frame")
+	}
+	p.frames = append(p.frames, base)
+	return base
+}
+
+// Alloc returns n bytes whose addresses map into color's cache region.
+// n must fit within one region.
+func (p *ColorPool) Alloc(color int, n uint64) mem.Addr {
+	p.m.Inst(3)
+	if color < 0 || color >= p.colors {
+		panic("opt: color out of range")
+	}
+	size := (n + mem.WordSize - 1) &^ uint64(mem.WordSize-1)
+	if size > p.regionBytes() {
+		panic("opt: allocation larger than a color region")
+	}
+	if p.frameOf[color] < 0 || p.cursors[color]+size > p.regionBytes() {
+		// Start (or move to) a frame with room for this color.
+		p.frameOf[color]++
+		for p.frameOf[color] >= len(p.frames) {
+			p.newFrame()
+		}
+		p.cursors[color] = 0
+	}
+	base := p.frames[p.frameOf[color]]
+	a := base + mem.Addr(uint64(color)*p.regionBytes()+p.cursors[color])
+	p.cursors[color] += size
+	p.BytesUsed += size
+	return a
+}
+
+// Color returns the color (cache region) address a maps to under this
+// pool's geometry.
+func (p *ColorPool) Color(a mem.Addr) int {
+	return int(uint64(a) % p.frameBytes / p.regionBytes())
+}
+
+// ColorRelocate relocates the object at addr (nBytes, word multiple)
+// into the given color's region and returns its new address. Forwarding
+// keeps every stale pointer valid.
+func ColorRelocate(m *sim.Machine, p *ColorPool, addr mem.Addr, nBytes uint64, color int) mem.Addr {
+	tgt := p.Alloc(color, nBytes)
+	Relocate(m, addr, tgt, int(nBytes/mem.WordSize))
+	return tgt
+}

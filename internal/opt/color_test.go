@@ -1,0 +1,110 @@
+package opt
+
+import (
+	"testing"
+
+	"memfwd/internal/mem"
+	"memfwd/internal/sim"
+)
+
+func TestColorPoolGeometry(t *testing.T) {
+	m := sim.New(sim.Config{})
+	// 4KB way, 4 colors => 1KB regions.
+	p := NewColorPool(m, 4096, 4)
+	for c := 0; c < 4; c++ {
+		a := p.Alloc(c, 64)
+		if got := p.Color(a); got != c {
+			t.Errorf("alloc for color %d landed in color %d (%#x)", c, got, a)
+		}
+	}
+}
+
+func TestColorPoolStaysInRegionAcrossFrames(t *testing.T) {
+	m := sim.New(sim.Config{})
+	p := NewColorPool(m, 4096, 4)
+	for i := 0; i < 100; i++ { // 100*64B = 6400B > one 1KB region
+		a := p.Alloc(2, 64)
+		if p.Color(a) != 2 {
+			t.Fatalf("alloc %d escaped its color: %#x", i, a)
+		}
+	}
+	if len(p.frames) < 2 {
+		t.Fatal("expected the pool to grow frames")
+	}
+}
+
+func TestColorPoolBadArgs(t *testing.T) {
+	m := sim.New(sim.Config{})
+	for _, f := range []func(){
+		func() { NewColorPool(m, 4095, 4) },
+		func() { NewColorPool(m, 4096, 4).Alloc(4, 8) },
+		func() { NewColorPool(m, 4096, 4).Alloc(0, 2048) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestColoringRemovesConflictMisses reproduces the cache-conflict
+// scenario of Section 2.2: three hot blocks that map to the same sets
+// of a 2-way cache thrash it; recoloring them into distinct regions
+// eliminates the conflict misses — and the old pointers still work.
+func TestColoringRemovesConflictMisses(t *testing.T) {
+	const (
+		l1Size  = 8192
+		assoc   = 2
+		waySize = l1Size / assoc // 4096
+		blockB  = 256
+	)
+	run := func(recolor bool) (uint64, int64, uint64) {
+		m := sim.New(sim.Config{LineSize: 64, L1Size: l1Size, L1Assoc: assoc})
+		// Three blocks at the same offset in consecutive way-sized
+		// frames: identical set mapping.
+		ar := mem.NewArena(m.Alloc, 4*waySize)
+		ar.AlignTo(waySize)
+		var blocks []mem.Addr
+		for i := 0; i < 3; i++ {
+			base := ar.Alloc(waySize)
+			blocks = append(blocks, base)
+		}
+		old := append([]mem.Addr(nil), blocks...)
+		if recolor {
+			p := NewColorPool(m, waySize, 4)
+			for i := range blocks {
+				blocks[i] = ColorRelocate(m, p, blocks[i], blockB, i+1)
+			}
+		}
+		var sum uint64
+		for round := 0; round < 600; round++ {
+			for _, b := range blocks {
+				for off := mem.Addr(0); off < blockB; off += 64 {
+					sum += m.LoadWord(b + off)
+					m.Inst(2)
+				}
+			}
+		}
+		// Stale pointers still resolve.
+		for _, o := range old {
+			sum += m.LoadWord(o)
+		}
+		st := m.Finalize()
+		return st.L1.Misses(0), st.Cycles, sum
+	}
+	missBad, cycBad, sumBad := run(false)
+	missGood, cycGood, sumGood := run(true)
+	if sumBad != sumGood {
+		t.Fatalf("functional divergence: %d vs %d", sumBad, sumGood)
+	}
+	if missGood*4 > missBad {
+		t.Fatalf("coloring did not cut conflict misses: %d -> %d", missBad, missGood)
+	}
+	if cycGood >= cycBad {
+		t.Fatalf("coloring not faster: %d -> %d", cycBad, cycGood)
+	}
+}

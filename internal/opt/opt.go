@@ -1,0 +1,181 @@
+// Package opt implements the software side of memory forwarding: the
+// relocation-based layout optimizations of Sections 2.2, 3.1 and 5 of
+// the paper, written against the simulated machine so every instruction
+// and memory reference they execute is charged.
+//
+//   - Relocate is Figure 4(a): move an object word by word, appending
+//     the new location to the end of any existing forwarding chain.
+//   - Pool supplies relocation targets from contiguous memory,
+//     "thereby creating spatial locality" (Figure 4b).
+//   - ListLinearize is Figure 4(b): pack the nodes of a linked list
+//     into consecutive addresses, updating the list-head handle and the
+//     internal next pointers.
+//   - SubtreeCluster is the BH optimization (Figure 9): pack subtrees
+//     into cache-line-sized clusters in balanced (breadth-first) form.
+package opt
+
+import (
+	"memfwd/internal/mem"
+	"memfwd/internal/sim"
+)
+
+// Relocate moves nWords words of data from src to tgt and installs tgt
+// as the forwarding address of src, as in Figure 4(a). If a word of src
+// has already been relocated, the walk follows its chain so tgt is
+// appended at the end. src and tgt must be word-aligned and disjoint.
+func Relocate(m *sim.Machine, src, tgt mem.Addr, nWords int) {
+	for i := 0; i < nWords; i++ {
+		s := src + mem.Addr(i*mem.WordSize)
+		d := tgt + mem.Addr(i*mem.WordSize)
+		m.Inst(3) // loop control and address generation
+		v, fbit := m.UnforwardedRead(s)
+		for fbit {
+			// Append at the end of the existing forwarding chain.
+			m.Inst(2)
+			s = mem.WordAlign(mem.Addr(v))
+			v, fbit = m.UnforwardedRead(s)
+		}
+		m.UnforwardedWrite(d, v, false)
+		m.UnforwardedWrite(s, uint64(d), true)
+	}
+}
+
+// Pool hands out relocation targets from contiguous memory. When one
+// arena fills, the pool chains to a fresh one; consecutive Alloc calls
+// within an arena are strictly adjacent, which is what creates spatial
+// locality after relocation.
+type Pool struct {
+	m     *sim.Machine
+	arena *mem.Arena
+	chunk uint64
+
+	// BytesUsed is the total relocation-target storage consumed — the
+	// paper's Table 1 "Space Overhead" column.
+	BytesUsed uint64
+}
+
+// NewPool creates a pool whose arenas are chunkBytes each.
+func NewPool(m *sim.Machine, chunkBytes uint64) *Pool {
+	if chunkBytes < 4*mem.WordSize {
+		chunkBytes = 4 * mem.WordSize
+	}
+	return &Pool{m: m, chunk: chunkBytes}
+}
+
+// Alloc returns n contiguous bytes of fresh relocation-target memory.
+func (p *Pool) Alloc(n uint64) mem.Addr {
+	p.m.Inst(2) // bump-pointer allocation
+	if p.arena != nil {
+		if a := p.arena.Alloc(n); a != 0 {
+			p.BytesUsed += n
+			return a
+		}
+	}
+	chunk := p.chunk
+	if n > chunk {
+		chunk = n
+	}
+	p.arena = mem.NewArena(p.m.Alloc, chunk)
+	a := p.arena.Alloc(n)
+	if a == 0 {
+		panic("opt: fresh arena could not satisfy allocation")
+	}
+	p.BytesUsed += n
+	return a
+}
+
+// AlignTo advances the pool cursor so the next Alloc starts at a
+// multiple of align (used to keep clusters from straddling lines).
+func (p *Pool) AlignTo(align uint64) {
+	p.m.Inst(2)
+	if p.arena == nil {
+		p.arena = mem.NewArena(p.m.Alloc, p.chunk)
+	}
+	p.arena.AlignTo(align)
+}
+
+// ListDesc describes the layout of a singly linked list's nodes.
+type ListDesc struct {
+	NodeBytes uint64 // node size (word multiple)
+	NextOff   uint64 // byte offset of the next pointer within the node
+}
+
+// ListLinearize relocates every node of the list whose head pointer is
+// stored at headHandle into consecutive pool addresses, exactly as the
+// paper's Figure 4(b): the head handle and each copied next pointer are
+// updated to the new locations, so subsequent traversals through the
+// head touch only the new, dense layout. Stray pointers to old node
+// addresses keep working via forwarding. Returns the node count.
+func ListLinearize(m *sim.Machine, p *Pool, headHandle mem.Addr, d ListDesc) int {
+	words := int(d.NodeBytes / mem.WordSize)
+	n := 0
+	handle := headHandle
+	node := m.LoadPtr(handle)
+	for node != 0 {
+		m.Inst(3) // loop control
+		tgt := p.Alloc(d.NodeBytes)
+		Relocate(m, node, tgt, words)
+		m.StorePtr(handle, tgt)
+		handle = tgt + mem.Addr(d.NextOff)
+		// The copied next pointer still holds the old address of the
+		// next node; read it directly from the new copy.
+		node = m.LoadPtr(handle)
+		n++
+	}
+	return n
+}
+
+// TreeDesc describes the layout of a tree's nodes.
+type TreeDesc struct {
+	NodeBytes uint64
+	ChildOffs []uint64 // byte offsets of the child pointers
+}
+
+// SubtreeCluster relocates the tree rooted at the pointer stored in
+// rootHandle so that each cluster of clusterBytes holds a subtree
+// packed in the most balanced (breadth-first) form, per the BH
+// case study (Figure 9). Children that do not fit the current cluster
+// seed new clusters. Returns the number of nodes relocated.
+func SubtreeCluster(m *sim.Machine, p *Pool, rootHandle mem.Addr, d TreeDesc, clusterBytes uint64) int {
+	perCluster := int(clusterBytes / d.NodeBytes)
+	if perCluster < 1 {
+		perCluster = 1
+	}
+	words := int(d.NodeBytes / mem.WordSize)
+	count := 0
+
+	clusterRoots := []mem.Addr{rootHandle}
+	var q []mem.Addr
+	for len(clusterRoots) > 0 {
+		h := clusterRoots[len(clusterRoots)-1]
+		clusterRoots = clusterRoots[:len(clusterRoots)-1]
+		m.Inst(2)
+		if m.LoadPtr(h) == 0 {
+			continue
+		}
+		p.AlignTo(clusterBytes)
+		q = append(q[:0], h)
+		taken := 0
+		for len(q) > 0 && taken < perCluster {
+			handle := q[0]
+			q = q[1:]
+			m.Inst(3)
+			node := m.LoadPtr(handle)
+			if node == 0 {
+				continue
+			}
+			tgt := p.Alloc(d.NodeBytes)
+			Relocate(m, node, tgt, words)
+			m.StorePtr(handle, tgt)
+			taken++
+			count++
+			for _, off := range d.ChildOffs {
+				q = append(q, tgt+mem.Addr(off))
+			}
+		}
+		// Whatever remains in breadth-first order roots new clusters.
+		clusterRoots = append(clusterRoots, q...)
+		q = q[:0]
+	}
+	return count
+}

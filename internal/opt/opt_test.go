@@ -1,0 +1,361 @@
+package opt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"memfwd/internal/mem"
+	"memfwd/internal/sim"
+)
+
+// list node layout: [0]=value, [8]=next
+const (
+	nodeBytes = 16
+	nextOff   = 8
+)
+
+var listDesc = ListDesc{NodeBytes: nodeBytes, NextOff: nextOff}
+
+// buildList allocates a linked list with the given values, interleaving
+// junk allocations so nodes are scattered (malloc-like fragmentation).
+// Returns the address of a head-pointer variable.
+func buildList(m *sim.Machine, vals []uint64) mem.Addr {
+	headHandle := m.Malloc(8)
+	prevHandle := headHandle
+	for _, v := range vals {
+		m.Malloc(40) // junk between nodes
+		n := m.Malloc(nodeBytes)
+		m.StoreWord(n, v)
+		m.StorePtr(prevHandle, n)
+		prevHandle = n + nextOff
+	}
+	return headHandle
+}
+
+// collect walks the list from the head handle, returning node addresses
+// and values.
+func collect(m *sim.Machine, headHandle mem.Addr) (addrs []mem.Addr, vals []uint64) {
+	p := m.LoadPtr(headHandle)
+	for p != 0 {
+		addrs = append(addrs, p)
+		vals = append(vals, m.LoadWord(p))
+		p = m.LoadPtr(p + nextOff)
+	}
+	return
+}
+
+func TestRelocateBasic(t *testing.T) {
+	m := sim.New(sim.Config{})
+	src := m.Malloc(32)
+	tgt := m.Malloc(32)
+	for i := 0; i < 4; i++ {
+		m.StoreWord(src+mem.Addr(i*8), uint64(100+i))
+	}
+	Relocate(m, src, tgt, 4)
+	for i := 0; i < 4; i++ {
+		old := src + mem.Addr(i*8)
+		if got := m.LoadWord(old); got != uint64(100+i) {
+			t.Fatalf("word %d through forwarding = %d", i, got)
+		}
+		if v, fb := m.Fwd.UnforwardedRead(old); !fb || mem.Addr(v) != tgt+mem.Addr(i*8) {
+			t.Fatalf("word %d: fwd (%#x,%v)", i, v, fb)
+		}
+	}
+}
+
+func TestRelocateAppendsToChainEnd(t *testing.T) {
+	m := sim.New(sim.Config{})
+	a := m.Malloc(8)
+	b := m.Malloc(8)
+	c := m.Malloc(8)
+	m.StoreWord(a, 77)
+	Relocate(m, a, b, 1)
+	Relocate(m, a, c, 1) // must chase a->b and relocate b's data to c
+	if got := m.LoadWord(a); got != 77 {
+		t.Fatalf("value via chain = %d", got)
+	}
+	// b must now forward to c.
+	if v, fb := m.Fwd.UnforwardedRead(b); !fb || mem.Addr(v) != c {
+		t.Fatalf("middle of chain: (%#x,%v), want (%#x,true)", v, fb, c)
+	}
+	if v, fb := m.Fwd.UnforwardedRead(c); fb || v != 77 {
+		t.Fatalf("chain end: (%d,%v)", v, fb)
+	}
+}
+
+func TestListLinearizePacksNodes(t *testing.T) {
+	m := sim.New(sim.Config{})
+	vals := []uint64{10, 20, 30, 40, 50}
+	head := buildList(m, vals)
+
+	preAddrs, _ := collect(m, head)
+	// Scattered before: consecutive nodes not adjacent.
+	adjacent := 0
+	for i := 1; i < len(preAddrs); i++ {
+		if preAddrs[i] == preAddrs[i-1]+nodeBytes {
+			adjacent++
+		}
+	}
+	if adjacent != 0 {
+		t.Fatalf("expected scattered input layout, %d adjacent pairs", adjacent)
+	}
+
+	pool := NewPool(m, 1<<16)
+	n := ListLinearize(m, pool, head, listDesc)
+	if n != len(vals) {
+		t.Fatalf("linearized %d nodes, want %d", n, len(vals))
+	}
+
+	postAddrs, postVals := collect(m, head)
+	for i, v := range vals {
+		if postVals[i] != v {
+			t.Fatalf("value %d = %d, want %d", i, postVals[i], v)
+		}
+	}
+	for i := 1; i < len(postAddrs); i++ {
+		if postAddrs[i] != postAddrs[i-1]+nodeBytes {
+			t.Fatalf("nodes not contiguous: %#x then %#x", postAddrs[i-1], postAddrs[i])
+		}
+	}
+	// Traversal through the head no longer forwards at all.
+	st := m.Finalize()
+	_ = st
+}
+
+func TestStrayPointerSurvivesLinearization(t *testing.T) {
+	m := sim.New(sim.Config{})
+	vals := []uint64{1, 2, 3, 4}
+	head := buildList(m, vals)
+	pre, _ := collect(m, head)
+	stray := pre[2] // pointer to the middle of the list, held elsewhere
+
+	pool := NewPool(m, 1<<16)
+	ListLinearize(m, pool, head, listDesc)
+
+	// The stray pointer still reads the right node via forwarding.
+	if got := m.LoadWord(stray); got != 3 {
+		t.Fatalf("stray read = %d, want 3", got)
+	}
+	// And traversal from the stray pointer reaches the rest.
+	next := m.LoadPtr(stray + nextOff)
+	if got := m.LoadWord(next); got != 4 {
+		t.Fatalf("stray traversal = %d, want 4", got)
+	}
+	st := m.Finalize()
+	if st.LoadsForwarded() == 0 {
+		t.Fatal("stray access should have been forwarded")
+	}
+}
+
+func TestRelinearizationKeepsWorking(t *testing.T) {
+	m := sim.New(sim.Config{})
+	vals := []uint64{5, 6, 7}
+	head := buildList(m, vals)
+	pre, _ := collect(m, head)
+	stray := pre[1]
+	pool := NewPool(m, 1<<16)
+	for r := 0; r < 3; r++ {
+		ListLinearize(m, pool, head, listDesc)
+	}
+	_, post := collect(m, head)
+	for i, v := range vals {
+		if post[i] != v {
+			t.Fatalf("after 3 linearizations: val[%d]=%d want %d", i, post[i], v)
+		}
+	}
+	// The stray pointer chases a 3-hop chain but still lands right.
+	if got := m.LoadWord(stray); got != 6 {
+		t.Fatalf("stray after 3 relinearizations = %d", got)
+	}
+	st := m.Finalize()
+	if st.LoadsFwdByHops[3] == 0 {
+		t.Fatalf("expected a 3-hop load, histogram %v", st.LoadsFwdByHops[:5])
+	}
+}
+
+func TestLinearizeEmptyList(t *testing.T) {
+	m := sim.New(sim.Config{})
+	head := m.Malloc(8) // null head
+	pool := NewPool(m, 1<<12)
+	if n := ListLinearize(m, pool, head, listDesc); n != 0 {
+		t.Fatalf("linearized %d nodes of an empty list", n)
+	}
+}
+
+func TestPoolContiguityAcrossAllocs(t *testing.T) {
+	m := sim.New(sim.Config{})
+	pool := NewPool(m, 1<<12)
+	a := pool.Alloc(24)
+	b := pool.Alloc(24)
+	if b != a+24 {
+		t.Fatalf("pool allocs not adjacent: %#x then %#x", a, b)
+	}
+	if pool.BytesUsed != 48 {
+		t.Fatalf("BytesUsed = %d", pool.BytesUsed)
+	}
+}
+
+func TestPoolGrowsNewArena(t *testing.T) {
+	m := sim.New(sim.Config{})
+	pool := NewPool(m, 64)
+	var last mem.Addr
+	for i := 0; i < 10; i++ {
+		a := pool.Alloc(40)
+		if a == 0 {
+			t.Fatal("pool returned null")
+		}
+		last = a
+	}
+	_ = last
+	if pool.BytesUsed != 400 {
+		t.Fatalf("BytesUsed = %d", pool.BytesUsed)
+	}
+}
+
+func TestPoolAlignTo(t *testing.T) {
+	m := sim.New(sim.Config{})
+	pool := NewPool(m, 1<<12)
+	pool.Alloc(8)
+	pool.AlignTo(128)
+	a := pool.Alloc(8)
+	if uint64(a)%128 != 0 {
+		t.Fatalf("aligned alloc at %#x", a)
+	}
+}
+
+// tree node layout: [0]=value, [8]=left, [16]=right
+const treeNodeBytes = 24
+
+var treeDesc = TreeDesc{NodeBytes: treeNodeBytes, ChildOffs: []uint64{8, 16}}
+
+// buildTree makes a complete binary tree of the given depth with
+// pre-order values; returns the root-handle address and expected
+// pre-order sum.
+func buildTree(m *sim.Machine, depth int) (mem.Addr, uint64) {
+	rootHandle := m.Malloc(8)
+	var sum uint64
+	var build func(handle mem.Addr, d int, id uint64) uint64
+	next := uint64(1)
+	build = func(handle mem.Addr, d int, id uint64) uint64 {
+		if d == 0 {
+			return 0
+		}
+		m.Malloc(56) // junk: scatter nodes
+		n := m.Malloc(treeNodeBytes)
+		m.StoreWord(n, id)
+		sum += id
+		m.StorePtr(handle, n)
+		next++
+		build(n+8, d-1, next)
+		next++
+		build(n+16, d-1, next)
+		return id
+	}
+	build(rootHandle, depth, next)
+	return rootHandle, sum
+}
+
+// treeSum walks the tree summing values.
+func treeSum(m *sim.Machine, rootHandle mem.Addr) uint64 {
+	var walk func(p mem.Addr) uint64
+	walk = func(p mem.Addr) uint64 {
+		if p == 0 {
+			return 0
+		}
+		return m.LoadWord(p) + walk(m.LoadPtr(p+8)) + walk(m.LoadPtr(p+16))
+	}
+	return walk(m.LoadPtr(rootHandle))
+}
+
+func TestSubtreeClusterPreservesTree(t *testing.T) {
+	m := sim.New(sim.Config{})
+	root, want := buildTree(m, 5) // 31 nodes
+	pool := NewPool(m, 1<<16)
+	n := SubtreeCluster(m, pool, root, treeDesc, 128)
+	if n != 31 {
+		t.Fatalf("clustered %d nodes, want 31", n)
+	}
+	if got := treeSum(m, root); got != want {
+		t.Fatalf("tree sum after clustering = %d, want %d", got, want)
+	}
+}
+
+func TestSubtreeClusterPacksParentWithChildren(t *testing.T) {
+	m := sim.New(sim.Config{})
+	root, _ := buildTree(m, 4)
+	pool := NewPool(m, 1<<16)
+	const clusterBytes = 128 // 5 nodes of 24B per cluster
+	SubtreeCluster(m, pool, root, treeDesc, clusterBytes)
+	r := m.LoadPtr(root)
+	l := m.LoadPtr(r + 8)
+	rt := m.LoadPtr(r + 16)
+	// Root and both children share one aligned cluster.
+	if uint64(r)/clusterBytes != uint64(l)/clusterBytes ||
+		uint64(r)/clusterBytes != uint64(rt)/clusterBytes {
+		t.Fatalf("root %#x children %#x %#x not in one %dB cluster", r, l, rt, clusterBytes)
+	}
+}
+
+func TestSubtreeClusterStrayPointerForwarded(t *testing.T) {
+	m := sim.New(sim.Config{})
+	root, _ := buildTree(m, 3)
+	oldRoot := m.LoadPtr(root)
+	pool := NewPool(m, 1<<16)
+	SubtreeCluster(m, pool, root, treeDesc, 128)
+	if got := m.LoadWord(oldRoot); got != 1 {
+		t.Fatalf("stray root value = %d, want 1", got)
+	}
+	st := m.Finalize()
+	if st.LoadsForwarded() == 0 {
+		t.Fatal("stray tree access should forward")
+	}
+}
+
+func TestOptimizationChargesInstructions(t *testing.T) {
+	m := sim.New(sim.Config{})
+	head := buildList(m, []uint64{1, 2, 3, 4, 5, 6, 7, 8})
+	before := m.Pipe.Stats.Instructions
+	pool := NewPool(m, 1<<14)
+	ListLinearize(m, pool, head, listDesc)
+	after := m.Pipe.Stats.Instructions
+	if after-before < 50 {
+		t.Fatalf("linearization charged only %d instructions", after-before)
+	}
+}
+
+// Property: relocating any object of 1..8 random words (possibly
+// repeatedly) preserves every word through every historical address.
+func TestRelocatePreservesDataProperty(t *testing.T) {
+	prop := func(vals []uint64, hops uint8) bool {
+		if len(vals) == 0 {
+			vals = []uint64{1}
+		}
+		if len(vals) > 8 {
+			vals = vals[:8]
+		}
+		n := len(vals)
+		m := sim.New(sim.Config{})
+		src := m.Malloc(uint64(n * 8))
+		for i, v := range vals {
+			m.StoreWord(src+mem.Addr(i*8), v)
+		}
+		addrs := []mem.Addr{src}
+		pool := NewPool(m, 1<<14)
+		for h := 0; h < int(hops%5); h++ {
+			tgt := pool.Alloc(uint64(n * 8))
+			Relocate(m, addrs[int(hops)%len(addrs)], tgt, n)
+			addrs = append(addrs, tgt)
+		}
+		for _, a := range addrs {
+			for i, v := range vals {
+				if m.LoadWord(a+mem.Addr(i*8)) != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+// Package report renders the experiment tables and series the
+// benchmark harness regenerates from the paper's evaluation section.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of cells rendered with aligned columns.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// Add appends one row.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Addf appends one row, applying fmt.Sprint to each value.
+func (t *Table) Addf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with column alignment.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Ratio formats x/base to two decimals ("1.37"); base 0 gives "-".
+func Ratio(x, base float64) string {
+	if base == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", x/base)
+}
+
+// Pct formats a fraction as a percentage ("7.7%").
+func Pct(x float64) string {
+	return fmt.Sprintf("%.1f%%", 100*x)
+}
+
+// KB formats a byte count in KB.
+func KB(n uint64) string {
+	return fmt.Sprintf("%.1fKB", float64(n)/1024)
+}
+
+// MB formats a byte count in MB.
+func MB(n uint64) string {
+	return fmt.Sprintf("%.2fMB", float64(n)/(1024*1024))
+}

@@ -1,0 +1,77 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("Title", "a", "bb", "ccc")
+	tb.Add("1", "2", "3")
+	tb.Add("1000", "x", "y")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Fatalf("title line %q", lines[0])
+	}
+	if lines[1] != "=====" {
+		t.Fatalf("underline %q", lines[1])
+	}
+	// Header and rows align: every data line has the same column starts.
+	if !strings.HasPrefix(lines[2], "a     bb") {
+		t.Fatalf("header misaligned: %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[4], "1     2") {
+		t.Fatalf("row misaligned: %q", lines[4])
+	}
+	if !strings.HasPrefix(lines[5], "1000  x") {
+		t.Fatalf("wide row misaligned: %q", lines[5])
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := New("", "x")
+	tb.Add("1")
+	if strings.Contains(tb.String(), "=") {
+		t.Fatal("untitled table rendered an underline")
+	}
+}
+
+func TestAddf(t *testing.T) {
+	tb := New("t", "a", "b")
+	tb.Addf(42, true)
+	if tb.Rows[0][0] != "42" || tb.Rows[0][1] != "true" {
+		t.Fatalf("rows: %v", tb.Rows)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(3, 2); got != "1.50" {
+		t.Fatalf("Ratio = %q", got)
+	}
+	if got := Ratio(1, 0); got != "-" {
+		t.Fatalf("Ratio(,0) = %q", got)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.077); got != "7.7%" {
+		t.Fatalf("Pct = %q", got)
+	}
+}
+
+func TestKBAndMB(t *testing.T) {
+	if got := KB(1536); got != "1.5KB" {
+		t.Fatalf("KB = %q", got)
+	}
+	if got := MB(3 * 1024 * 1024 / 2); got != "1.50MB" {
+		t.Fatalf("MB = %q", got)
+	}
+}
+
+func TestRaggedRowsDoNotPanic(t *testing.T) {
+	tb := New("t", "a", "b", "c")
+	tb.Add("only-one")
+	tb.Add("1", "2", "3", "4-extra-ignored-width")
+	_ = tb.String()
+}

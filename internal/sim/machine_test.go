@@ -1,0 +1,495 @@
+package sim
+
+import (
+	"testing"
+
+	"memfwd/internal/core"
+	"memfwd/internal/mem"
+)
+
+func newM() *Machine { return New(Config{}) }
+
+// relocateRaw moves nWords from src to tgt and plants forwarding
+// addresses, bypassing the timed ISA path (test setup helper).
+func relocateRaw(m *Machine, src, tgt mem.Addr, nWords int) {
+	for i := 0; i < nWords; i++ {
+		s := src + mem.Addr(i*8)
+		d := tgt + mem.Addr(i*8)
+		v, _ := m.Fwd.UnforwardedRead(s)
+		m.Fwd.UnforwardedWrite(d, v, false)
+		m.Fwd.UnforwardedWrite(s, uint64(d), true)
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	m := newM()
+	a := m.Malloc(64)
+	m.StoreWord(a, 12345)
+	m.Store32(a+8, 99)
+	m.Store16(a+12, 7)
+	m.Store8(a+14, 3)
+	if got := m.LoadWord(a); got != 12345 {
+		t.Fatalf("word: %d", got)
+	}
+	if got := m.Load32(a + 8); got != 99 {
+		t.Fatalf("u32: %d", got)
+	}
+	if got := m.Load16(a + 12); got != 7 {
+		t.Fatalf("u16: %d", got)
+	}
+	if got := m.Load8(a + 14); got != 3 {
+		t.Fatalf("u8: %d", got)
+	}
+}
+
+func TestLoadThroughForwarding(t *testing.T) {
+	m := newM()
+	src := m.Malloc(32)
+	tgt := m.Malloc(32)
+	m.StoreWord(src, 555)
+	m.Store32(src+12, 77)
+	relocateRaw(m, src, tgt, 4)
+	if got := m.LoadWord(src); got != 555 {
+		t.Fatalf("forwarded word = %d", got)
+	}
+	if got := m.Load32(src + 12); got != 77 {
+		t.Fatalf("forwarded subword = %d", got)
+	}
+	st := m.Finalize()
+	if st.LoadsFwdByHops[1] != 2 {
+		t.Fatalf("forwarded-load histogram: %v", st.LoadsFwdByHops[:3])
+	}
+}
+
+func TestStoreThroughForwardingLandsAtNewLocation(t *testing.T) {
+	m := newM()
+	src := m.Malloc(16)
+	tgt := m.Malloc(16)
+	relocateRaw(m, src, tgt, 2)
+	m.StoreWord(src+8, 4242)
+	// The value lives at the new location...
+	if v, _ := m.Fwd.UnforwardedRead(tgt + 8); v != 4242 {
+		t.Fatalf("new location holds %d", v)
+	}
+	// ...and the old location still holds the forwarding address.
+	if v, fb := m.Fwd.UnforwardedRead(src + 8); !fb || v != uint64(tgt+8) {
+		t.Fatalf("old location (%#x,%v)", v, fb)
+	}
+	st := m.Finalize()
+	if st.StoresFwdByHops[1] != 1 {
+		t.Fatalf("forwarded-store histogram: %v", st.StoresFwdByHops[:3])
+	}
+}
+
+func TestForwardedLoadIsSlower(t *testing.T) {
+	run := func(forwarded bool) int64 {
+		m := newM()
+		src := m.Malloc(16)
+		tgt := m.Malloc(16)
+		m.StoreWord(src, 1)
+		if forwarded {
+			relocateRaw(m, src, tgt, 2)
+		}
+		for i := 0; i < 2000; i++ {
+			m.LoadWord(src)
+			m.Inst(2)
+		}
+		return m.Finalize().Cycles
+	}
+	plain, fwd := run(false), run(true)
+	if fwd <= plain {
+		t.Fatalf("forwarded run (%d) should be slower than plain (%d)", fwd, plain)
+	}
+}
+
+func TestPerfectForwardingHasNoOverhead(t *testing.T) {
+	run := func(perfect bool) (*Stats, uint64) {
+		cfg := Config{PerfectForwarding: perfect}
+		m := New(cfg)
+		src := m.Malloc(16)
+		tgt := m.Malloc(16)
+		m.StoreWord(src, 7)
+		relocateRaw(m, src, tgt, 2)
+		var sum uint64
+		for i := 0; i < 500; i++ {
+			sum += m.LoadWord(src)
+		}
+		return m.Finalize(), sum
+	}
+	imp, sumImp := run(false)
+	perf, sumPerf := run(true)
+	if sumImp != sumPerf {
+		t.Fatalf("functional mismatch: %d vs %d", sumImp, sumPerf)
+	}
+	if perf.LoadsForwarded() != 0 {
+		t.Fatalf("perfect mode reported %d forwarded loads", perf.LoadsForwarded())
+	}
+	if perf.Cycles >= imp.Cycles {
+		t.Fatalf("perfect (%d) should beat real forwarding (%d)", perf.Cycles, imp.Cycles)
+	}
+	if perf.LoadFwdCycles != 0 {
+		t.Fatalf("perfect mode accumulated forwarding latency %d", perf.LoadFwdCycles)
+	}
+}
+
+func TestTrapFires(t *testing.T) {
+	m := newM()
+	src := m.Malloc(16)
+	tgt := m.Malloc(16)
+	m.StoreWord(src, 9)
+	relocateRaw(m, src, tgt, 2)
+	var events []core.Event
+	m.SetTrap(func(ev core.Event) { events = append(events, ev) })
+	site := m.Site("test.site")
+	m.SetSite(site)
+	m.LoadWord(src)
+	m.LoadWord(tgt) // direct access: no trap
+	if len(events) != 1 {
+		t.Fatalf("trap count %d", len(events))
+	}
+	ev := events[0]
+	if ev.Kind != core.Load || ev.Hops != 1 || ev.Initial != src || mem.WordAlign(ev.Final) != tgt {
+		t.Fatalf("event %+v", ev)
+	}
+	if m.SiteName(ev.Site) != "test.site" {
+		t.Fatalf("site %q", m.SiteName(ev.Site))
+	}
+	if st := m.Finalize(); st.Traps != 1 {
+		t.Fatalf("stats.Traps = %d", st.Traps)
+	}
+}
+
+func TestTrapHandlerCanRepairPointer(t *testing.T) {
+	// The on-the-fly pointer-update tool of Section 3.2: the handler
+	// rewrites the stray pointer so forwarding happens once.
+	m := newM()
+	holder := m.Malloc(8) // guest variable holding the stray pointer
+	src := m.Malloc(16)
+	tgt := m.Malloc(16)
+	m.StoreWord(src, 31)
+	relocateRaw(m, src, tgt, 2)
+	m.StorePtr(holder, src)
+	m.SetTrap(func(ev core.Event) {
+		m.StorePtr(holder, mem.WordAlign(ev.Final))
+	})
+	for i := 0; i < 5; i++ {
+		p := m.LoadPtr(holder)
+		if v := m.LoadWord(p); v != 31 {
+			t.Fatalf("iter %d: %d", i, v)
+		}
+	}
+	st := m.Finalize()
+	if st.Traps != 1 {
+		t.Fatalf("traps = %d, want exactly 1 after repair", st.Traps)
+	}
+	if st.LoadsForwarded() != 1 {
+		t.Fatalf("forwarded loads = %d, want 1", st.LoadsForwarded())
+	}
+}
+
+func TestFinalAddrAndPtrEqual(t *testing.T) {
+	m := newM()
+	src := m.Malloc(16)
+	tgt := m.Malloc(16)
+	relocateRaw(m, src, tgt, 2)
+	if fa := m.FinalAddr(src + 4); fa != tgt+4 {
+		t.Fatalf("FinalAddr = %#x, want %#x", fa, tgt+4)
+	}
+	if !m.PtrEqual(src, tgt) {
+		t.Fatal("old and new pointers should compare equal by final address")
+	}
+	other := m.Malloc(16)
+	if m.PtrEqual(src, other) {
+		t.Fatal("distinct objects compared equal")
+	}
+	if m.FinalAddr(0) != 0 {
+		t.Fatal("null pointer must stay null")
+	}
+}
+
+func TestISAOpsTimedButFunctional(t *testing.T) {
+	m := newM()
+	a := m.Malloc(8)
+	m.UnforwardedWrite(a, 0xBEEF, true)
+	if !m.ReadFBit(a) {
+		t.Fatal("fbit not set")
+	}
+	v, fb := m.UnforwardedRead(a)
+	if v != 0xBEEF || !fb {
+		t.Fatalf("(%#x,%v)", v, fb)
+	}
+	st := m.Finalize()
+	if st.Loads < 2 || st.Stores < 1 {
+		t.Fatalf("ISA ops not charged: loads %d stores %d", st.Loads, st.Stores)
+	}
+}
+
+func TestFreeReleasesForwardingChain(t *testing.T) {
+	m := newM()
+	a := m.Malloc(24)
+	b := m.Malloc(24)
+	relocateRaw(m, a, b, 3)
+	m.Free(a)
+	if m.Alloc.Live(a) || m.Alloc.Live(b) {
+		t.Fatal("free did not release the chain")
+	}
+	if m.Alloc.BytesLive != 0 {
+		t.Fatalf("bytes live %d", m.Alloc.BytesLive)
+	}
+}
+
+func TestSlotPartitionInvariant(t *testing.T) {
+	m := newM()
+	base := m.Malloc(64 * 1024)
+	for i := 0; i < 5000; i++ {
+		m.Inst(3)
+		m.LoadWord(base + mem.Addr((i*67)%8000*8))
+		if i%4 == 0 {
+			m.StoreWord(base+mem.Addr((i*131)%8000*8), uint64(i))
+		}
+	}
+	st := m.Finalize()
+	var slots uint64
+	for _, s := range st.Slots {
+		slots += s
+	}
+	if slots != uint64(st.Cycles)*uint64(m.Pipe.Config().Width) {
+		t.Fatalf("slots %d != cycles*width %d", slots, uint64(st.Cycles)*4)
+	}
+}
+
+func TestPrefetchReducesCycles(t *testing.T) {
+	// Sequential sweep over a large array with next-line prefetch
+	// should beat the same sweep without it.
+	run := func(prefetch bool) int64 {
+		m := New(Config{LineSize: 64})
+		base := m.Malloc(1 << 20)
+		for i := 0; i < 20000; i++ {
+			a := base + mem.Addr(i*8)
+			if prefetch && i%8 == 0 {
+				m.Prefetch(a+512, 8)
+			}
+			m.LoadWord(a)
+			m.Inst(2)
+		}
+		return m.Finalize().Cycles
+	}
+	np, p := run(false), run(true)
+	if p >= np {
+		t.Fatalf("prefetch run (%d) not faster than baseline (%d)", p, np)
+	}
+}
+
+func TestStatsBandwidthLinks(t *testing.T) {
+	m := newM()
+	base := m.Malloc(1 << 20)
+	for i := 0; i < 10000; i++ {
+		m.LoadWord(base + mem.Addr(i*128))
+	}
+	st := m.Finalize()
+	if st.BytesL1L2 == 0 || st.BytesL2Mem == 0 {
+		t.Fatalf("bandwidth: l1l2=%d l2mem=%d", st.BytesL1L2, st.BytesL2Mem)
+	}
+	if st.BytesL1L2 != st.L1.BytesFromNext+st.L1.BytesToNext {
+		t.Fatal("L1L2 bandwidth mismatch")
+	}
+}
+
+func TestSiteInterning(t *testing.T) {
+	m := newM()
+	a := m.Site("x")
+	b := m.Site("y")
+	if a == b {
+		t.Fatal("distinct names same id")
+	}
+	if m.Site("x") != a {
+		t.Fatal("re-interning changed id")
+	}
+}
+
+func TestLineSizeSweepChangesMissCounts(t *testing.T) {
+	// A dense sequential sweep should miss less with longer lines.
+	missRate := func(lineSize int) uint64 {
+		m := New(Config{LineSize: lineSize})
+		base := m.Malloc(1 << 18)
+		for i := 0; i < 20000; i++ {
+			m.LoadWord(base + mem.Addr(i*8))
+		}
+		st := m.Finalize()
+		return st.L1.FullMisses[0]
+	}
+	m32, m128 := missRate(32), missRate(128)
+	if m128 >= m32 {
+		t.Fatalf("sequential sweep: full misses(128B)=%d should be < full misses(32B)=%d", m128, m32)
+	}
+}
+
+func TestTrapOverheadCharged(t *testing.T) {
+	run := func(handler bool) uint64 {
+		m := New(Config{TrapOverheadInst: 50})
+		src := m.Malloc(8)
+		tgt := m.Malloc(8)
+		relocateRaw(m, src, tgt, 1)
+		if handler {
+			m.SetTrap(func(core.Event) {})
+		}
+		for i := 0; i < 100; i++ {
+			m.LoadWord(src)
+		}
+		return m.Finalize().Instructions
+	}
+	without, with := run(false), run(true)
+	if with < without+100*50 {
+		t.Fatalf("trap overhead not charged: %d vs %d", with, without)
+	}
+}
+
+func TestForwardingCyclePanicsAtMachineLevel(t *testing.T) {
+	m := New(Config{})
+	a := m.Malloc(8)
+	b := m.Malloc(8)
+	// Software bug: a cycle a -> b -> a.
+	m.UnforwardedWrite(a, uint64(b), true)
+	m.UnforwardedWrite(b, uint64(a), true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cyclic chain did not abort the guest")
+		}
+		if m.Fwd.CyclesDetected == 0 {
+			t.Fatal("cycle not recorded by the accurate check")
+		}
+	}()
+	m.LoadWord(a)
+}
+
+func TestSnapshotDoesNotFinalize(t *testing.T) {
+	m := New(Config{})
+	a := m.Malloc(8)
+	m.StoreWord(a, 1)
+	s1 := m.Snapshot()
+	for i := 0; i < 100; i++ {
+		m.LoadWord(a)
+		m.Inst(2)
+	}
+	s2 := m.Snapshot()
+	if s2.Cycles <= s1.Cycles || s2.Loads <= s1.Loads {
+		t.Fatalf("snapshot did not advance: %d->%d cycles", s1.Cycles, s2.Cycles)
+	}
+	st := m.Finalize()
+	if st.Cycles < s2.Cycles {
+		t.Fatal("finalize went backwards")
+	}
+}
+
+func TestPerHopCostRaisesForwardedLatency(t *testing.T) {
+	lat := func(cost int64) uint64 {
+		m := New(Config{PerHopCost: cost})
+		src := m.Malloc(8)
+		tgt := m.Malloc(8)
+		relocateRaw(m, src, tgt, 1)
+		for i := 0; i < 200; i++ {
+			m.LoadWord(src)
+		}
+		st := m.Finalize()
+		return st.LoadFwdCycles
+	}
+	if cheap, dear := lat(1), lat(64); dear <= cheap {
+		t.Fatalf("hop cost ignored: %d vs %d", cheap, dear)
+	}
+}
+
+func TestDeterministicCycleCountsAcrossConfigs(t *testing.T) {
+	run := func() int64 {
+		m := New(Config{LineSize: 64})
+		base := m.Malloc(1 << 16)
+		for i := 0; i < 3000; i++ {
+			m.LoadWord(base + mem.Addr((i*97)%8000*8))
+			m.Inst(1)
+		}
+		return m.Finalize().Cycles
+	}
+	if run() != run() {
+		t.Fatal("nondeterministic timing")
+	}
+}
+
+func TestConfigAccessorAndSiteNameBounds(t *testing.T) {
+	m := New(Config{LineSize: 64})
+	if m.Config().LineSize != 64 {
+		t.Fatal("Config accessor")
+	}
+	if m.SiteName(-1) != "<bad site>" || m.SiteName(99) != "<bad site>" {
+		t.Fatal("SiteName bounds")
+	}
+	if m.SiteName(0) != "<unknown>" {
+		t.Fatal("default site name")
+	}
+}
+
+func TestStoresForwardedHelper(t *testing.T) {
+	m := newM()
+	src := m.Malloc(8)
+	tgt := m.Malloc(8)
+	relocateRaw(m, src, tgt, 1)
+	m.StoreWord(src, 1)
+	m.StoreWord(tgt, 2)
+	st := m.Finalize()
+	if st.StoresForwarded() != 1 {
+		t.Fatalf("StoresForwarded = %d", st.StoresForwarded())
+	}
+}
+
+func TestClampHopsHistogramTail(t *testing.T) {
+	// A chain longer than the histogram caps into the last bucket.
+	m := newM()
+	addrs := make([]mem.Addr, 20)
+	for i := range addrs {
+		addrs[i] = m.Malloc(8)
+	}
+	m.Mem.WriteWord(addrs[len(addrs)-1], 7)
+	for i := 0; i < len(addrs)-1; i++ {
+		m.Fwd.UnforwardedWrite(addrs[i], uint64(addrs[i+1]), true)
+	}
+	if v := m.LoadWord(addrs[0]); v != 7 {
+		t.Fatalf("long chain read %d", v)
+	}
+	st := m.Finalize()
+	if st.LoadsFwdByHops[16] != 1 { // maxHops bucket
+		t.Fatalf("tail bucket: %v", st.LoadsFwdByHops[14:])
+	}
+	if st.CycleFalseAlarms == 0 {
+		t.Fatal("long chain should have tripped the hop-limit false alarm")
+	}
+}
+
+func TestPrefetchClampsLineCount(t *testing.T) {
+	m := newM()
+	a := m.Malloc(256)
+	m.Prefetch(a, 0) // clamped to 1
+	st := m.Finalize()
+	if st.Instructions == 0 {
+		t.Fatal("prefetch instruction not charged")
+	}
+}
+
+func TestLoadPanicsOnBadSize(t *testing.T) {
+	m := newM()
+	a := m.Malloc(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for size 3")
+		}
+	}()
+	m.Load(a, 3)
+}
+
+func TestStorePanicsOnUnaligned(t *testing.T) {
+	m := newM()
+	a := m.Malloc(16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unaligned store")
+		}
+	}()
+	m.Store(a+1, 1, 4)
+}

@@ -1,0 +1,104 @@
+// Package memfwd is a library-level reproduction of "Memory Forwarding:
+// Enabling Aggressive Layout Optimizations by Guaranteeing the Safety of
+// Data Relocation" (Luk & Mowry, ISCA 1999).
+//
+// It bundles:
+//
+//   - a simulated 64-bit machine with tagged memory (one forwarding bit
+//     per word), the forwarding dereference mechanism, the Read_FBit /
+//     Unforwarded_Read / Unforwarded_Write ISA extensions, a two-level
+//     cache hierarchy, and an out-of-order graduation pipeline with
+//     data-dependence speculation;
+//   - the relocation-based layout optimizations the mechanism enables
+//     (Relocate, list linearization, subtree clustering, record
+//     packing);
+//   - the paper's eight benchmark applications reimplemented as guest
+//     programs;
+//   - experiment runners that regenerate every table and figure of the
+//     paper's evaluation section.
+//
+// Basic use:
+//
+//	m := memfwd.NewMachine(memfwd.MachineConfig{LineSize: 64})
+//	res := memfwd.MustApp("health").Run(m, memfwd.AppConfig{Opt: true})
+//	stats := m.Finalize()
+package memfwd
+
+import (
+	"fmt"
+
+	"memfwd/internal/apps/app"
+	"memfwd/internal/apps/bh"
+	"memfwd/internal/apps/compress"
+	"memfwd/internal/apps/eqntott"
+	"memfwd/internal/apps/health"
+	"memfwd/internal/apps/mst"
+	"memfwd/internal/apps/radiosity"
+	"memfwd/internal/apps/smv"
+	"memfwd/internal/apps/vis"
+	"memfwd/internal/mem"
+	"memfwd/internal/sim"
+)
+
+// Re-exported core types: the simulated machine and its configuration,
+// per-run statistics, guest addresses, and the application contract.
+type (
+	// Machine is one simulated processor and memory system.
+	Machine = sim.Machine
+	// MachineConfig sizes a Machine; zero fields take defaults.
+	MachineConfig = sim.Config
+	// Stats is the measurement record returned by Machine.Finalize.
+	Stats = sim.Stats
+	// Addr is a guest virtual address.
+	Addr = mem.Addr
+	// App is one benchmark application.
+	App = app.App
+	// AppConfig selects an application run variant.
+	AppConfig = app.Config
+	// AppResult is what an application run reports.
+	AppResult = app.Result
+)
+
+// NewMachine builds a machine (zero config fields take defaults).
+func NewMachine(cfg MachineConfig) *Machine { return sim.New(cfg) }
+
+// DefaultMachineConfig returns the baseline machine configuration.
+func DefaultMachineConfig() MachineConfig { return sim.DefaultConfig() }
+
+// apps holds the registry in the paper's Table 1 order.
+var apps = []App{
+	compress.App,
+	eqntott.App,
+	bh.App,
+	health.App,
+	mst.App,
+	radiosity.App,
+	smv.App,
+	vis.App,
+}
+
+// Apps returns the eight benchmark applications in Table 1 order.
+func Apps() []App {
+	out := make([]App, len(apps))
+	copy(out, apps)
+	return out
+}
+
+// AppByName looks an application up by its paper name.
+func AppByName(name string) (App, bool) {
+	for _, a := range apps {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return App{}, false
+}
+
+// MustApp is AppByName that panics on unknown names.
+func MustApp(name string) App {
+	a, ok := AppByName(name)
+	if !ok {
+		panic(fmt.Sprintf("memfwd: unknown application %q", name))
+	}
+	return a
+}

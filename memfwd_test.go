@@ -1,0 +1,332 @@
+package memfwd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistry(t *testing.T) {
+	as := Apps()
+	if len(as) != 8 {
+		t.Fatalf("registry has %d apps, want 8 (Table 1)", len(as))
+	}
+	want := []string{"compress", "eqntott", "bh", "health", "mst", "radiosity", "smv", "vis"}
+	for i, name := range want {
+		if as[i].Name != name {
+			t.Errorf("app %d = %s, want %s", i, as[i].Name, name)
+		}
+		a, ok := AppByName(name)
+		if !ok || a.Name != name {
+			t.Errorf("AppByName(%q) failed", name)
+		}
+		if a.Description == "" || a.Optimization == "" {
+			t.Errorf("%s: missing Table 1 metadata", name)
+		}
+	}
+	if _, ok := AppByName("nosuch"); ok {
+		t.Error("AppByName accepted an unknown name")
+	}
+}
+
+func TestMustAppPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustApp did not panic")
+		}
+	}()
+	MustApp("nosuch")
+}
+
+func TestRunOneVariants(t *testing.T) {
+	a := MustApp("mst")
+	o := Options{Seed: 3}
+	n := RunOne(a, 64, VariantN, 0, o)
+	l := RunOne(a, 64, VariantL, 0, o)
+	if n.Result.Checksum != l.Result.Checksum {
+		t.Fatal("N and L diverge functionally")
+	}
+	if n.Variant != VariantN || l.Variant != VariantL {
+		t.Fatal("variant labels wrong")
+	}
+	if l.Result.Relocated == 0 {
+		t.Fatal("L variant did not optimize")
+	}
+	np := RunOne(a, 64, VariantNP, 4, o)
+	if np.Block != 4 || np.Result.Checksum != n.Result.Checksum {
+		t.Fatal("NP variant broken")
+	}
+}
+
+// TestPaperClaimFigure5 checks the paper's headline claims about
+// Figure 5 on a reduced matrix:
+//   - unoptimized performance generally degrades as lines lengthen;
+//   - the optimized case wins at 128B for the linearization apps;
+//   - speedups increase along with line size.
+func TestPaperClaimFigure5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full locality matrix in -short mode")
+	}
+	lr := RunLocality(Options{Seed: 9})
+	for _, name := range []string{"health", "mst", "radiosity", "vis", "eqntott"} {
+		n32, _ := lr.Get(name, 32, VariantN)
+		n128, _ := lr.Get(name, 128, VariantN)
+		if n128.Stats.Cycles <= n32.Stats.Cycles {
+			t.Errorf("%s: unoptimized should degrade with line size (%d -> %d)",
+				name, n32.Stats.Cycles, n128.Stats.Cycles)
+		}
+		l64, _ := lr.Get(name, 64, VariantL)
+		n64, _ := lr.Get(name, 64, VariantN)
+		l128, _ := lr.Get(name, 128, VariantL)
+		if l128.Stats.Cycles >= n128.Stats.Cycles {
+			t.Errorf("%s: optimized loses at 128B", name)
+		}
+		sp64 := l64.Speedup(n64)
+		sp128 := l128.Speedup(n128)
+		if sp128 <= sp64 {
+			t.Errorf("%s: speedup should grow with line size (64B %.2f, 128B %.2f)",
+				name, sp64, sp128)
+		}
+	}
+	// Compress is the exception: optimized loses at 32B lines.
+	c32n, _ := lr.Get("compress", 32, VariantN)
+	c32l, _ := lr.Get("compress", 32, VariantL)
+	if c32l.Stats.Cycles <= c32n.Stats.Cycles {
+		t.Error("compress: optimized should lose at 32B lines (the paper's exception)")
+	}
+	// And the figure tables render every cell.
+	tab := lr.Figure5Table()
+	if len(tab.Rows) != 7*3*2 {
+		t.Errorf("Figure 5 table has %d rows, want 42", len(tab.Rows))
+	}
+	for _, tb := range []interface{ String() string }{tab, lr.Figure6aTable(), lr.Figure6bTable()} {
+		if !strings.Contains(tb.String(), "health") {
+			t.Error("table missing health rows")
+		}
+	}
+}
+
+// TestPaperClaimFigure6 checks the miss and bandwidth reductions: a
+// >=35% miss reduction in a substantial fraction of cases, and lower
+// bandwidth for the optimized runs at long lines.
+func TestPaperClaimFigure6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full locality matrix in -short mode")
+	}
+	lr := RunLocality(Options{Seed: 9})
+	big := 0
+	total := 0
+	for _, name := range []string{"health", "mst", "radiosity", "vis", "eqntott"} {
+		for _, line := range lr.Lines {
+			n, _ := lr.Get(name, line, VariantN)
+			l, _ := lr.Get(name, line, VariantL)
+			total++
+			if float64(l.Stats.L1.Misses(0)) <= 0.65*float64(n.Stats.L1.Misses(0)) {
+				big++
+			}
+		}
+		n, _ := lr.Get(name, 128, VariantN)
+		l, _ := lr.Get(name, 128, VariantL)
+		if l.Stats.BytesL2Mem >= n.Stats.BytesL2Mem {
+			t.Errorf("%s: optimized bandwidth did not drop at 128B (%d -> %d)",
+				name, n.Stats.BytesL2Mem, l.Stats.BytesL2Mem)
+		}
+	}
+	if big*3 < total {
+		t.Errorf("only %d/%d cases show a >=35%% miss reduction; the paper reports 11/21", big, total)
+	}
+}
+
+// TestPaperClaimFigure10 checks the SMV forwarding-overhead study:
+// L slower than N, Perf faster than L, forwarding single-hop with a few
+// percent of loads affected, and a nonzero forwarding share of the
+// average load latency.
+func TestPaperClaimFigure10(t *testing.T) {
+	sr := RunSMV(Options{Seed: 9})
+	if sr.L.Stats.Cycles <= sr.N.Stats.Cycles {
+		t.Error("SMV: L should be degraded by forwarding relative to N")
+	}
+	if sr.Perf.Stats.Cycles >= sr.L.Stats.Cycles {
+		t.Error("SMV: Perf should beat L")
+	}
+	fl := float64(sr.L.Stats.LoadsFwdByHops[1]) / float64(sr.L.Stats.Loads)
+	if fl < 0.02 || fl > 0.20 {
+		t.Errorf("SMV: single-hop load fraction %.3f outside plausible band", fl)
+	}
+	if sr.L.Stats.LoadFwdCycles == 0 {
+		t.Error("SMV: no forwarding latency accumulated")
+	}
+	if sr.Perf.Stats.LoadsForwarded() != 0 {
+		t.Error("SMV Perf: forwarding should never occur")
+	}
+	if sr.N.Stats.LoadsForwarded() != 0 {
+		t.Error("SMV N: forwarding should never occur")
+	}
+	tabs := sr.Tables()
+	if len(tabs) != 4 {
+		t.Fatalf("Figure 10 has %d panels, want 4", len(tabs))
+	}
+}
+
+// TestPaperClaimFigure7 checks the prefetch interaction on two
+// representative list applications: LP beats L, and LP beats NP (the
+// linearized layout makes block prefetching effective).
+func TestPaperClaimFigure7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("prefetch sweep in -short mode")
+	}
+	// The paper reports LP > max(L, NP) in four of five list apps, with
+	// VIS the exception (prefetching overhead); health is the clearest
+	// winner, so it carries the assertion.
+	o := Options{Seed: 9}
+	for _, name := range []string{"health"} {
+		a := MustApp(name)
+		n := RunOne(a, 32, VariantN, 0, o)
+		l := RunOne(a, 32, VariantL, 0, o)
+		var np, lp Run
+		for _, blk := range []int{1, 2, 4, 8} {
+			r1 := RunOne(a, 32, VariantNP, blk, o)
+			if np.Stats == nil || r1.Stats.Cycles < np.Stats.Cycles {
+				np = r1
+			}
+			r2 := RunOne(a, 32, VariantLP, blk, o)
+			if lp.Stats == nil || r2.Stats.Cycles < lp.Stats.Cycles {
+				lp = r2
+			}
+		}
+		if lp.Stats.Cycles >= l.Stats.Cycles {
+			t.Errorf("%s: LP (%d) should beat L (%d)", name, lp.Stats.Cycles, l.Stats.Cycles)
+		}
+		if lp.Stats.Cycles >= np.Stats.Cycles {
+			t.Errorf("%s: LP (%d) should beat NP (%d)", name, lp.Stats.Cycles, np.Stats.Cycles)
+		}
+		if lp.Stats.Cycles >= n.Stats.Cycles {
+			t.Errorf("%s: LP (%d) should beat N (%d)", name, lp.Stats.Cycles, n.Stats.Cycles)
+		}
+	}
+}
+
+func TestFigure8LayoutContiguous(t *testing.T) {
+	tab := Figure8Layout()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for i, r := range tab.Rows {
+		if r[5] != "true" {
+			t.Errorf("chunk %d not contiguous: %v", i, r)
+		}
+	}
+}
+
+func TestFigure9LayoutClusters(t *testing.T) {
+	tab := Figure9Layout(128)
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7 nodes", len(tab.Rows))
+	}
+	// Root and its two children (first three BFS rows) share a cluster.
+	if tab.Rows[0][3] != tab.Rows[1][3] || tab.Rows[0][3] != tab.Rows[2][3] {
+		t.Errorf("root's cluster not shared with children: %v", tab.Rows[:3])
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all eight apps")
+	}
+	tab := RunTable1(Options{Seed: 9})
+	if len(tab.Rows) != 8 {
+		t.Fatalf("Table 1 rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if r[3] == "0.0KB" {
+			t.Errorf("%s: zero space overhead", r[0])
+		}
+	}
+}
+
+func TestPublicOptimizationAPI(t *testing.T) {
+	m := NewMachine(MachineConfig{})
+	pool := NewPool(m, 1<<12)
+
+	// Build a small list through the public API and linearize it.
+	head := m.Malloc(8)
+	prev := head
+	for i := 0; i < 5; i++ {
+		n := m.Malloc(16)
+		m.StoreWord(n, uint64(i+1))
+		m.StorePtr(prev, n)
+		prev = n + 8
+		m.Malloc(24)
+	}
+	n := ListLinearize(m, pool, head, ListDesc{NodeBytes: 16, NextOff: 8})
+	if n != 5 {
+		t.Fatalf("linearized %d nodes", n)
+	}
+	var sum uint64
+	p := m.LoadPtr(head)
+	for p != 0 {
+		sum += m.LoadWord(p)
+		p = m.LoadPtr(p + 8)
+	}
+	if sum != 15 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestTrapAPIVisible(t *testing.T) {
+	m := NewMachine(MachineConfig{})
+	src := m.Malloc(8)
+	tgt := m.Malloc(8)
+	m.StoreWord(src, 7)
+	Relocate(m, src, tgt, 1)
+	var got []TrapEvent
+	m.SetTrap(func(ev TrapEvent) { got = append(got, ev) })
+	if v := m.LoadWord(src); v != 7 {
+		t.Fatalf("forwarded read = %d", v)
+	}
+	if len(got) != 1 || got[0].Kind != RefLoad {
+		t.Fatalf("trap events: %+v", got)
+	}
+}
+
+func TestRunFalseSharingTable(t *testing.T) {
+	tab := RunFalseSharing()
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[1][1] != "0" {
+		t.Errorf("relocated layout still invalidates: %v", tab.Rows[1])
+	}
+}
+
+func TestOptionsNorm(t *testing.T) {
+	o := Options{}.Norm()
+	if o.Seed != 9 || o.Scale != 1 || len(o.Lines) != 3 || len(o.Blocks) != 4 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	o = Options{Seed: 2, Scale: 3, Lines: []int{64}, Blocks: []int{2}}.Norm()
+	if o.Seed != 2 || o.Scale != 3 || len(o.Lines) != 1 || o.Blocks[0] != 2 {
+		t.Fatalf("overrides lost: %+v", o)
+	}
+}
+
+func TestStormExercisesFalseAlarms(t *testing.T) {
+	// The storm builds chains beyond the hop limit; the cheap cycle
+	// screen must fire (and find no cycle).
+	m := NewMachine(MachineConfig{})
+	pool := NewPool(m, 1<<14)
+	a := m.Malloc(8)
+	m.StoreWord(a, 3)
+	for i := 0; i < 12; i++ {
+		Relocate(m, a, pool.Alloc(8), 1)
+	}
+	if v := m.LoadWord(a); v != 3 {
+		t.Fatalf("12-hop read = %d", v)
+	}
+	st := m.Finalize()
+	if st.CycleFalseAlarms == 0 {
+		t.Fatal("hop-limit false alarm never fired")
+	}
+	if st.CyclesDetected != 0 {
+		t.Fatal("phantom cycle detected")
+	}
+}
