@@ -1,9 +1,12 @@
 package memfwd
 
 import (
+	"io"
+
 	"memfwd/internal/core"
 	"memfwd/internal/fprof"
 	"memfwd/internal/mp"
+	"memfwd/internal/obs"
 	"memfwd/internal/ooc"
 	"memfwd/internal/opt"
 )
@@ -72,6 +75,62 @@ func NewColorPool(m *Machine, waySizeBytes uint64, colors int) *ColorPool {
 func ColorRelocate(m *Machine, p *ColorPool, addr Addr, nBytes uint64, color int) Addr {
 	return opt.ColorRelocate(m, p, addr, nBytes, color)
 }
+
+// Re-exported observability types (internal/obs): the tracing, metrics,
+// and sampling layer. Attach with Machine.SetTracer /
+// Machine.SetSampleEvery / Machine.RegisterMetrics.
+type (
+	// Tracer is the bounded event-trace buffer; nil is a valid no-op.
+	Tracer = obs.Tracer
+	// TraceEvent is one structured trace record.
+	TraceEvent = obs.Event
+	// TraceEventKind identifies the type of a TraceEvent.
+	TraceEventKind = obs.Kind
+	// TraceSink receives event batches from a Tracer.
+	TraceSink = obs.Sink
+	// MemorySink retains events in memory (test support).
+	MemorySink = obs.MemorySink
+	// MetricsRegistry is the named counter/gauge/histogram registry.
+	MetricsRegistry = obs.Registry
+	// Sample is one point of the sampler time-series.
+	Sample = obs.Sample
+	// SampleSeries is the ordered sampler time-series.
+	SampleSeries = obs.Series
+)
+
+// Trace event kinds.
+const (
+	TraceAlloc        TraceEventKind = obs.KAlloc
+	TraceFree         TraceEventKind = obs.KFree
+	TraceRelocate     TraceEventKind = obs.KRelocate
+	TraceForwardHop   TraceEventKind = obs.KForwardHop
+	TraceTrap         TraceEventKind = obs.KTrap
+	TraceCacheMiss    TraceEventKind = obs.KCacheMiss
+	TraceDepViolation TraceEventKind = obs.KDepViolation
+	TracePhaseBegin   TraceEventKind = obs.KPhaseBegin
+	TracePhaseEnd     TraceEventKind = obs.KPhaseEnd
+)
+
+// NewTracer builds a tracer flushing to sink every bufEvents events
+// (<= 0 takes the default).
+func NewTracer(sink TraceSink, bufEvents int) *Tracer { return obs.NewTracer(sink, bufEvents) }
+
+// NewRingTracer builds a sinkless tracer retaining the last n events.
+func NewRingTracer(n int) *Tracer { return obs.NewRing(n) }
+
+// NewNDJSONSink writes one JSON object per event per line to w.
+func NewNDJSONSink(w io.Writer) TraceSink { return obs.NewNDJSONSink(w) }
+
+// NewPerfettoSink writes a Chrome/Perfetto trace_event JSON array to w;
+// open the result in chrome://tracing or ui.perfetto.dev.
+func NewPerfettoSink(w io.Writer) TraceSink { return obs.NewPerfettoSink(w) }
+
+// MultiSink fans one tracer out to several sinks.
+func MultiSink(sinks ...TraceSink) TraceSink { return obs.MultiSink(sinks...) }
+
+// NewMetricsRegistry returns an empty metrics registry; populate it
+// with Machine.RegisterMetrics and Profiler.RegisterMetrics.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // Profiler is the Section 3.2 forwarding profiler: attach it to a
 // machine and it records, per static site, every reference that needed

@@ -251,6 +251,40 @@ func benchName(k string, v int) string {
 	return fmt.Sprintf("%s=%d", k, v)
 }
 
+// BenchmarkLoadObsDisabled measures the per-load cost of the
+// observability layer when nothing is attached — the nil-tracer /
+// nil-sampler fast path. It must report 0 allocs/op; compare ns/op
+// against BenchmarkLoadObsTracing for the enabled-path cost.
+func BenchmarkLoadObsDisabled(b *testing.B) {
+	m := NewMachine(MachineConfig{})
+	a := m.Malloc(8)
+	m.StoreWord(a, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sum uint64
+	for i := 0; i < b.N; i++ {
+		sum += m.LoadWord(a)
+	}
+	_ = sum
+}
+
+// BenchmarkLoadObsTracing is the same load loop with a ring tracer and
+// sampler attached — the price of turning observability on.
+func BenchmarkLoadObsTracing(b *testing.B) {
+	m := NewMachine(MachineConfig{})
+	m.SetTracer(NewRingTracer(4096))
+	m.SetSampleEvery(100000, &SampleSeries{})
+	a := m.Malloc(8)
+	m.StoreWord(a, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sum uint64
+	for i := 0; i < b.N; i++ {
+		sum += m.LoadWord(a)
+	}
+	_ = sum
+}
+
 // BenchmarkExtensionFalseSharing regenerates the multiprocessor
 // false-sharing demonstration (Section 2.2's application).
 func BenchmarkExtensionFalseSharing(b *testing.B) {

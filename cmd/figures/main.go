@@ -8,10 +8,11 @@
 //	figures -only fig5      # one experiment: table1, fig5, fig6, fig7,
 //	                        # fig8, fig9, fig10
 //	figures -scale 2        # larger workloads
+//	figures -only fig5 -json -sample 10000   # raw runs as JSON, each
+//	                        # carrying a sampler time-series (Samples)
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,10 +27,11 @@ func main() {
 		seed   = flag.Int64("seed", 9, "workload seed")
 		scale  = flag.Int("scale", 1, "workload scale factor")
 		asJSON = flag.Bool("json", false, "emit raw runs as JSON instead of tables (fig5/fig6/fig7/fig10)")
+		sample = flag.Uint64("sample", 0, "attach the sampler: a time-series point every N instructions per run, in each run's Samples (JSON) with per-phase labels")
 	)
 	flag.Parse()
 
-	o := memfwd.Options{Seed: *seed, Scale: *scale}
+	o := memfwd.Options{Seed: *seed, Scale: *scale, SampleEvery: *sample}
 	want := func(name string) bool { return *only == "" || *only == name }
 	section := func(name string) {
 		fmt.Fprintf(os.Stderr, "[figures] running %s...\n", name)
@@ -104,10 +106,10 @@ func main() {
 	fmt.Fprintf(os.Stderr, "[figures] done in %s\n", time.Since(start).Round(time.Millisecond))
 }
 
+// emitJSON routes every machine-readable output through the shared
+// encoder (memfwd.WriteJSON), keeping parity with memfwd-sim -json.
 func emitJSON(v interface{}) {
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
+	if err := memfwd.WriteJSON(os.Stdout, v); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}

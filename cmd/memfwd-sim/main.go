@@ -4,6 +4,18 @@
 // Usage:
 //
 //	memfwd-sim -app health -line 64 -opt -prefetch -block 4 -seed 9
+//
+// Observability:
+//
+//	memfwd-sim -app health -trace t.ndjson -perfetto t.json \
+//	           -sample-every 10000 -sample-csv series.csv -metrics -json
+//
+// -trace streams every simulator event (allocations, relocations,
+// forwarded references, traps, cache misses, dependence violations,
+// phases) as NDJSON; -perfetto writes the same events as a Chrome
+// trace_event JSON array for chrome://tracing or ui.perfetto.dev;
+// -sample-every turns the run into a time-series; -json emits the final
+// record in the same encoding as cmd/figures -json.
 package main
 
 import (
@@ -26,6 +38,13 @@ func main() {
 		scale    = flag.Int("scale", 1, "workload scale factor")
 		perfect  = flag.Bool("perfect", false, "perfect forwarding (Figure 10 Perf)")
 		profile  = flag.Bool("profile", false, "attach the Section 3.2 forwarding profiler and print its report")
+
+		tracePath    = flag.String("trace", "", "write NDJSON trace events to this file")
+		perfettoPath = flag.String("perfetto", "", "write a Chrome/Perfetto trace_event JSON trace to this file")
+		sampleEvery  = flag.Uint64("sample-every", 0, "sample a time-series point every N instructions")
+		sampleCSV    = flag.String("sample-csv", "", "also write the time-series as CSV to this file")
+		metrics      = flag.Bool("metrics", false, "print the metrics registry after the run")
+		asJSON       = flag.Bool("json", false, "emit the final record as JSON (cmd/figures -json encoding)")
 	)
 	flag.Parse()
 
@@ -46,9 +65,44 @@ func main() {
 		LineSize:          *line,
 		PerfectForwarding: *perfect,
 	})
+
+	// Event tracing: one tracer can feed several sinks.
+	var sinks []memfwd.TraceSink
+	var files []*os.File
+	openSink := func(path string, mk func(f *os.File) memfwd.TraceSink) {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memfwd-sim:", err)
+			os.Exit(1)
+		}
+		files = append(files, f)
+		sinks = append(sinks, mk(f))
+	}
+	if *tracePath != "" {
+		openSink(*tracePath, func(f *os.File) memfwd.TraceSink { return memfwd.NewNDJSONSink(f) })
+	}
+	if *perfettoPath != "" {
+		openSink(*perfettoPath, func(f *os.File) memfwd.TraceSink { return memfwd.NewPerfettoSink(f) })
+	}
+	var tracer *memfwd.Tracer
+	if len(sinks) > 0 {
+		tracer = memfwd.NewTracer(memfwd.MultiSink(sinks...), 0)
+		m.SetTracer(tracer)
+	}
+
+	var series *memfwd.SampleSeries
+	if *sampleEvery > 0 {
+		series = &memfwd.SampleSeries{Every: *sampleEvery}
+		m.SetSampleEvery(*sampleEvery, series)
+	}
+
+	reg := memfwd.NewMetricsRegistry()
+	m.RegisterMetrics(reg)
+
 	var prof *memfwd.Profiler
 	if *profile {
 		prof = memfwd.AttachProfiler(m)
+		prof.RegisterMetrics(reg)
 	}
 	res := a.Run(m, memfwd.AppConfig{
 		Opt:           *optOn,
@@ -58,6 +112,50 @@ func main() {
 		Scale:         *scale,
 	})
 	st := m.Finalize()
+
+	if err := tracer.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "memfwd-sim: trace:", err)
+		os.Exit(1)
+	}
+	for _, f := range files {
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "memfwd-sim:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *sampleCSV != "" && series != nil {
+		f, err := os.Create(*sampleCSV)
+		if err == nil {
+			err = series.WriteCSV(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memfwd-sim: sample-csv:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *asJSON {
+		run := memfwd.Run{
+			App:     a.Name,
+			Line:    *line,
+			Variant: variantOf(*optOn, *prefetch, *perfect),
+			Block:   blockOf(*prefetch, *block),
+			Stats:   st,
+			Result:  res,
+		}
+		if series != nil {
+			run.Samples = series.Samples
+		}
+		if err := memfwd.WriteJSON(os.Stdout, run); err != nil {
+			fmt.Fprintln(os.Stderr, "memfwd-sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	fmt.Printf("app=%s line=%dB opt=%v prefetch=%v(block %d) seed=%d scale=%d\n",
 		a.Name, *line, *optOn, *prefetch, *block, *seed, *scale)
@@ -77,8 +175,44 @@ func main() {
 	fmt.Printf("dep speculation     %d violations, %d bypasses\n", st.DepViolations, st.DepBypasses)
 	fmt.Printf("relocated objects   %d, space overhead %d bytes\n", res.Relocated, res.SpaceOverhead)
 	fmt.Printf("heap peak           %d bytes, pages touched %d\n", st.HeapPeak, st.PagesTouched)
+	if tracer != nil {
+		fmt.Printf("trace events        %d\n", tracer.Emitted())
+	}
+	if series != nil {
+		fmt.Println()
+		fmt.Println(series.Table())
+	}
+	if *metrics {
+		fmt.Println()
+		fmt.Println(reg.Table())
+	}
 	if prof != nil {
 		fmt.Println()
 		fmt.Println(prof.Report())
 	}
+}
+
+// variantOf maps the flag combination onto the paper's bar names.
+func variantOf(opt, prefetch, perfect bool) memfwd.Variant {
+	switch {
+	case perfect:
+		return memfwd.VariantPerf
+	case opt && prefetch:
+		return memfwd.VariantLP
+	case opt:
+		return memfwd.VariantL
+	case prefetch:
+		return memfwd.VariantNP
+	default:
+		return memfwd.VariantN
+	}
+}
+
+// blockOf reports the prefetch block only when prefetching is on,
+// matching how the experiment harness fills Run.Block.
+func blockOf(prefetch bool, block int) int {
+	if !prefetch {
+		return 0
+	}
+	return block
 }

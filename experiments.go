@@ -29,6 +29,11 @@ type Run struct {
 	Block   int `json:",omitempty"` // prefetch block size in lines
 	Stats   *Stats
 	Result  AppResult
+	// Samples is the sampler time-series, present only when the run was
+	// executed with Options.SampleEvery > 0 (or memfwd-sim
+	// -sample-every); omitted from JSON otherwise, so existing encodings
+	// are unchanged.
+	Samples []Sample `json:",omitempty"`
 }
 
 // Speedup returns base.Cycles / r.Cycles.
@@ -42,6 +47,11 @@ type Options struct {
 	Scale  int
 	Lines  []int // cache line sizes for the sweep
 	Blocks []int // prefetch block sizes to sweep (best is reported)
+
+	// SampleEvery, when > 0, attaches the observability sampler to each
+	// run: a time-series point every N graduated instructions (plus one
+	// at every phase boundary), returned in Run.Samples.
+	SampleEvery uint64
 }
 
 // Norm applies the defaults used throughout the paper's evaluation.
@@ -93,8 +103,17 @@ func RunOne(a App, line int, v Variant, block int, o Options) Run {
 		mc.PerfectForwarding = true
 	}
 	m := NewMachine(mc)
+	var series *SampleSeries
+	if o.SampleEvery > 0 {
+		series = &SampleSeries{Every: o.SampleEvery}
+		m.SetSampleEvery(o.SampleEvery, series)
+	}
 	res := a.Run(m, cfg)
-	return Run{App: a.Name, Line: line, Variant: v, Block: block, Stats: m.Finalize(), Result: res}
+	r := Run{App: a.Name, Line: line, Variant: v, Block: block, Stats: m.Finalize(), Result: res}
+	if series != nil {
+		r.Samples = series.Samples
+	}
+	return r
 }
 
 // LocalityRuns is the Figure 5/6 measurement matrix: the seven locality

@@ -95,6 +95,9 @@ func run(m *sim.Machine, cfg app.Config) app.Result {
 	// random addresses. Model that state before the measured phase.
 	app.FragmentHeap(m, pBytes, 10000, 0.15, s.rng)
 
+	// Phase marks label the trace and sampler time-series; they charge
+	// no simulated time.
+	m.PhaseBegin("build")
 	root := s.buildVillage(0, depth)
 	_ = root
 
@@ -104,7 +107,9 @@ func run(m *sim.Machine, cfg app.Config) app.Result {
 			s.append(v+vWaiting, v, s.newPatient(3+s.rng.Intn(6)))
 		}
 	}
+	m.PhaseEnd("build")
 
+	m.PhaseBegin("sim")
 	for t := 0; t < steps; t++ {
 		s.step = t
 		for vi, v := range s.villages {
@@ -117,8 +122,10 @@ func run(m *sim.Machine, cfg app.Config) app.Result {
 			DebugStepHook(m, s.villages)
 		}
 	}
+	m.PhaseEnd("sim")
 
 	// Fold the remaining population into the checksum.
+	m.PhaseBegin("drain")
 	for _, v := range s.villages {
 		for _, off := range []mem.Addr{vWaiting, vAssess, vInside} {
 			p := m.LoadPtr(v + off)
@@ -128,6 +135,7 @@ func run(m *sim.Machine, cfg app.Config) app.Result {
 			}
 		}
 	}
+	m.PhaseEnd("drain")
 
 	return app.Result{
 		Checksum:      s.checksum,

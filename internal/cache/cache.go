@@ -12,7 +12,11 @@
 // guarantees to first order.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"memfwd/internal/obs"
+)
 
 // Kind distinguishes demand loads, demand stores, and prefetches for
 // the per-class statistics the figures need.
@@ -118,6 +122,9 @@ type Cache struct {
 
 	clock int64 // monotone access clock for LRU
 
+	trace *obs.Tracer
+	level uint8
+
 	Stats Stats
 }
 
@@ -156,6 +163,33 @@ func New(cfg Config, next Backend) *Cache {
 		c.sets[i] = make([]line, cfg.Assoc)
 	}
 	return c
+}
+
+// SetTracer attaches t (nil detaches) and tags this cache's miss
+// events with the given hierarchy level (1 = primary, 2 = secondary).
+func (c *Cache) SetTracer(t *obs.Tracer, level uint8) {
+	c.trace = t
+	c.level = level
+}
+
+// RegisterMetrics exposes this level's statistics as registry views
+// under the given prefix (e.g. "l1"). The Stats struct remains the
+// source of truth; views read it lazily at snapshot time.
+func (c *Cache) RegisterMetrics(r *obs.Registry, prefix string) {
+	for _, k := range []struct {
+		kind Kind
+		name string
+	}{{Load, "load"}, {Store, "store"}, {Prefetch, "prefetch"}} {
+		kind := k.kind
+		r.GaugeFunc(prefix+".hits."+k.name, func() float64 { return float64(c.Stats.Hits[kind]) })
+		r.GaugeFunc(prefix+".misses.partial."+k.name, func() float64 { return float64(c.Stats.PartialMisses[kind]) })
+		r.GaugeFunc(prefix+".misses.full."+k.name, func() float64 { return float64(c.Stats.FullMisses[kind]) })
+	}
+	r.GaugeFunc(prefix+".writebacks", func() float64 { return float64(c.Stats.WriteBacks) })
+	r.GaugeFunc(prefix+".bytes.from_next", func() float64 { return float64(c.Stats.BytesFromNext) })
+	r.GaugeFunc(prefix+".bytes.to_next", func() float64 { return float64(c.Stats.BytesToNext) })
+	r.GaugeFunc(prefix+".mshr.stall_cycles", func() float64 { return float64(c.Stats.MSHRStallCycles) })
+	r.GaugeFunc(prefix+".prefetches.dropped", func() float64 { return float64(c.Stats.PrefetchesDropped) })
 }
 
 // LineSize returns the configured line size in bytes.
@@ -255,6 +289,10 @@ func (c *Cache) Access(a uint64, kind Kind, now int64) (ready int64, out Outcome
 			// Tag present but fill in flight: combines with the
 			// outstanding miss (partial miss).
 			c.Stats.PartialMisses[kind]++
+			if c.trace != nil {
+				c.trace.Emit(obs.Event{Cycle: now, Kind: obs.KCacheMiss,
+					Level: c.level, Class: uint8(kind), Flag: true, Addr: lineAddr})
+			}
 			return maxI64(m.ready, now+c.cfg.HitLatency), PartialMiss
 		}
 		c.Stats.Hits[kind]++
@@ -271,6 +309,10 @@ func (c *Cache) Access(a uint64, kind Kind, now int64) (ready int64, out Outcome
 		}
 	}
 	c.Stats.FullMisses[kind]++
+	if c.trace != nil {
+		c.trace.Emit(obs.Event{Cycle: now, Kind: obs.KCacheMiss,
+			Level: c.level, Class: uint8(kind), Addr: lineAddr})
+	}
 	ready = c.fill(lineAddr, now+c.cfg.HitLatency, kind == Store)
 	*m = mshr{lineAddr: lineAddr, ready: ready, inUse: true}
 	return ready, FullMiss

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"memfwd/internal/mem"
+	"memfwd/internal/obs"
 )
 
 // Kind classifies a data reference for trap events and statistics.
@@ -93,6 +94,14 @@ type Forwarder struct {
 // parameters.
 func NewForwarder(m *mem.Memory) *Forwarder {
 	return &Forwarder{Mem: m, HopLimit: DefaultHopLimit, ChainCap: DefaultChainCap}
+}
+
+// RegisterMetrics exposes the forwarder's cycle-handling statistics as
+// registry views under the given prefix (e.g. "fwd").
+func (f *Forwarder) RegisterMetrics(r *obs.Registry, prefix string) {
+	r.GaugeFunc(prefix+".cycle.false_alarms", func() float64 { return float64(f.CycleFalseAlarms) })
+	r.GaugeFunc(prefix+".cycle.detected", func() float64 { return float64(f.CyclesDetected) })
+	r.GaugeFunc(prefix+".chain.max", func() float64 { return float64(f.MaxChain) })
 }
 
 // HopFunc observes each hop of a chain walk: wordAddr is the word whose

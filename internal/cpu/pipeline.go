@@ -20,6 +20,8 @@
 // data-dependence speculation discussion in Section 3.2.
 package cpu
 
+import "memfwd/internal/obs"
+
 // StallClass attributes non-graduating slots per Figure 5.
 type StallClass uint8
 
@@ -119,6 +121,8 @@ type Pipeline struct {
 
 	finalized bool
 
+	trace *obs.Tracer
+
 	Stats Stats
 }
 
@@ -147,6 +151,27 @@ func New(cfg Config) *Pipeline {
 
 // Config returns the effective configuration.
 func (p *Pipeline) Config() Config { return p.cfg }
+
+// SetTracer attaches t (nil detaches); the pipeline emits
+// data-dependence speculation violations.
+func (p *Pipeline) SetTracer(t *obs.Tracer) { p.trace = t }
+
+// RegisterMetrics exposes the pipeline statistics as registry views
+// under the given prefix (e.g. "cpu").
+func (p *Pipeline) RegisterMetrics(r *obs.Registry, prefix string) {
+	r.GaugeFunc(prefix+".cycles", func() float64 { return float64(p.Stats.Cycles) })
+	r.GaugeFunc(prefix+".instructions", func() float64 { return float64(p.Stats.Instructions) })
+	r.GaugeFunc(prefix+".loads", func() float64 { return float64(p.Stats.Loads) })
+	r.GaugeFunc(prefix+".stores", func() float64 { return float64(p.Stats.Stores) })
+	for cls, name := range map[StallClass]string{
+		Busy: "busy", LoadStall: "load_stall", StoreStall: "store_stall", InstStall: "inst_stall",
+	} {
+		cls := cls
+		r.GaugeFunc(prefix+".slots."+name, func() float64 { return float64(p.Stats.Slots[cls]) })
+	}
+	r.GaugeFunc(prefix+".dep.violations", func() float64 { return float64(p.Stats.DepViolations) })
+	r.GaugeFunc(prefix+".dep.bypasses", func() float64 { return float64(p.Stats.DepBypasses) })
+}
 
 // dispatch assigns the next instruction's dispatch cycle, honouring
 // dispatch bandwidth and ROB occupancy.
@@ -277,6 +302,10 @@ func (p *Pipeline) Load(init, final Range, minIssue int64, access func(issue int
 		ready += p.cfg.DepPenalty
 		p.Stats.DepViolations++
 		info.Violated = true
+		if p.trace != nil {
+			p.trace.Emit(obs.Event{Cycle: d, Kind: obs.KDepViolation,
+				Addr: init.Lo, Addr2: final.Lo})
+		}
 	}
 	p.graduate(ready, LoadStall)
 	info.Ready = ready

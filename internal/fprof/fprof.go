@@ -15,6 +15,7 @@ import (
 
 	"memfwd/internal/core"
 	"memfwd/internal/mem"
+	"memfwd/internal/obs"
 	"memfwd/internal/report"
 	"memfwd/internal/sim"
 )
@@ -83,6 +84,21 @@ func (p *Profiler) Sites() []*SiteProfile {
 		return out[i].Loads+out[i].Stores > out[j].Loads+out[j].Stores
 	})
 	return out
+}
+
+// RegisterMetrics exposes the profile totals as registry views.
+func (p *Profiler) RegisterMetrics(r *obs.Registry) {
+	r.GaugeFunc("fprof.traps", func() float64 { return float64(p.Total()) })
+	r.GaugeFunc("fprof.sites", func() float64 { return float64(len(p.sites)) })
+	r.GaugeFunc("fprof.hops.max", func() float64 {
+		max := 0
+		for _, sp := range p.sites {
+			if sp.MaxHops > max {
+				max = sp.MaxHops
+			}
+		}
+		return float64(max)
+	})
 }
 
 // Total returns the total number of trapped references.

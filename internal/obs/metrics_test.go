@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func snapMap(r *Registry) map[string]float64 {
+	out := make(map[string]float64)
+	for _, mv := range r.Snapshot() {
+		out[mv.Name] = mv.Value
+	}
+	return out
+}
+
+func TestCounterGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	g := r.Gauge("occupancy")
+	backing := uint64(7)
+	r.GaugeFunc("view", func() float64 { return float64(backing) })
+
+	c.Inc()
+	c.Add(2)
+	g.Set(1.5)
+	g.Add(-0.5)
+
+	m := snapMap(r)
+	if m["hits"] != 3 || m["occupancy"] != 1.0 || m["view"] != 7 {
+		t.Fatalf("snapshot wrong: %v", m)
+	}
+	// Views are live: changing the backing value changes the next read.
+	backing = 11
+	if snapMap(r)["view"] != 11 {
+		t.Fatal("GaugeFunc view is not live")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("hops", 1, 2, 4)
+	for _, v := range []float64{1, 1, 2, 3, 9} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 16 {
+		t.Fatalf("count/sum = %d/%v", h.Count(), h.Sum())
+	}
+	m := snapMap(r)
+	if m["hops.count"] != 5 || m["hops.sum"] != 16 {
+		t.Fatalf("expanded count/sum wrong: %v", m)
+	}
+	// Cumulative buckets: <=1 has 2, <=2 has 3, <=4 has 4 (9 overflows).
+	if m["hops.le1"] != 2 || m["hops.le2"] != 3 || m["hops.le4"] != 4 {
+		t.Fatalf("buckets wrong: %v", m)
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-ascending bounds")
+		}
+	}()
+	NewRegistry().Histogram("bad", 2, 1)
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate metric name")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zebra")
+	r.Counter("alpha")
+	r.Counter("mid")
+	snap := r.Snapshot()
+	names := make([]string, len(snap))
+	for i, mv := range snap {
+		names[i] = mv.Name
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("snapshot not sorted: %v", names)
+	}
+}
+
+func TestTableAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.count").Add(4)
+	r.Gauge("b.rate").Set(0.25)
+	tab := r.Table().String()
+	if !strings.Contains(tab, "a.count") || !strings.Contains(tab, "0.2500") {
+		t.Fatalf("table missing entries:\n%s", tab)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]float64
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("WriteJSON output not valid JSON: %v\n%s", err, buf.String())
+	}
+	if m["a.count"] != 4 || m["b.rate"] != 0.25 {
+		t.Fatalf("JSON values wrong: %v", m)
+	}
+}

@@ -1,0 +1,104 @@
+// Package obs is the simulator's unified observability layer. It has
+// three pillars, all strictly opt-in so that a machine with no tracer,
+// registry, or sampler attached behaves (and times) exactly as before:
+//
+//   - structured event tracing: a bounded ring-buffer Tracer with
+//     pluggable sinks (in-memory for tests, NDJSON for offline
+//     analysis, Chrome/Perfetto trace_event JSON for visual timelines)
+//     records typed events with cycle timestamps. A nil *Tracer is a
+//     valid no-op receiver, so hot paths pay only a nil check and zero
+//     allocations when tracing is disabled.
+//
+//   - a metrics registry: named counters, gauges, and histograms, plus
+//     GaugeFunc views that expose the existing Stats struct fields of
+//     every subsystem without touching their hot-path increments. The
+//     Stats structs remain the source of truth (and keep all figure
+//     outputs byte-identical); the registry is a uniform read-out.
+//
+//   - time-series sampling: Sample/Series are the record types the
+//     machine's periodic sampler fills from consecutive non-destructive
+//     snapshots, turning one run into a timeline of slot-partition
+//     shares, miss rates, forwarding rates, and heap occupancy.
+package obs
+
+// Kind identifies the type of one trace event.
+type Kind uint8
+
+const (
+	KAlloc Kind = iota
+	KFree
+	KRelocate
+	KForwardHop
+	KTrap
+	KCacheMiss
+	KDepViolation
+	KPhaseBegin
+	KPhaseEnd
+	nKinds
+)
+
+// NumKinds is the number of distinct event kinds.
+const NumKinds = int(nKinds)
+
+func (k Kind) String() string {
+	switch k {
+	case KAlloc:
+		return "alloc"
+	case KFree:
+		return "free"
+	case KRelocate:
+		return "relocate"
+	case KForwardHop:
+		return "forwardHop"
+	case KTrap:
+		return "trap"
+	case KCacheMiss:
+		return "cacheMiss"
+	case KDepViolation:
+		return "depViolation"
+	case KPhaseBegin:
+		return "phaseBegin"
+	case KPhaseEnd:
+		return "phaseEnd"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one trace record. The struct is flat and self-contained so
+// emitting one never allocates; fields beyond Cycle and Kind are
+// interpreted per kind:
+//
+//	KAlloc        Addr=block base, N=bytes
+//	KFree         Addr=block base
+//	KRelocate     Addr=source, Addr2=target, N=words moved
+//	KForwardHop   Addr=initial, Addr2=final, N=hops, Class=ref kind
+//	KTrap         Addr=initial, Addr2=final, N=hops, Class=ref kind
+//	KCacheMiss    Addr=line, Level=cache level, Class=access kind,
+//	              Flag=partial (combined with an outstanding miss)
+//	KDepViolation Addr=initial, Addr2=final of the violating load
+//	KPhaseBegin   Label=phase name
+//	KPhaseEnd     Label=phase name
+type Event struct {
+	Cycle int64
+	Kind  Kind
+	Level uint8 // cache level (1 = L1, 2 = L2) for KCacheMiss
+	Class uint8 // access kind: 0 load, 1 store, 2 prefetch
+	Flag  bool  // KCacheMiss: partial (vs full) miss
+	Addr  uint64
+	Addr2 uint64
+	N     uint64
+	Label string
+}
+
+// ClassString renders the Class field for the kinds that use it.
+func (e Event) ClassString() string {
+	switch e.Class {
+	case 0:
+		return "load"
+	case 1:
+		return "store"
+	default:
+		return "prefetch"
+	}
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"memfwd/internal/report"
+)
+
+// Sample is one point of the run time-series: cumulative position
+// (Instructions, Cycles) plus rates computed over the interval since
+// the previous sample. Shares and rates are fractions in [0,1].
+type Sample struct {
+	Phase        string `json:",omitempty"` // innermost phase label at sample time
+	Instructions uint64 // cumulative graduated instructions
+	Cycles       int64  // cumulative cycles
+
+	DInstructions uint64 // interval width in instructions
+	DCycles       int64  // interval width in cycles
+
+	// Graduation-slot partition of the interval (Figure 5's classes).
+	BusyShare       float64
+	LoadStallShare  float64
+	StoreStallShare float64
+	InstStallShare  float64
+
+	// Demand miss rates over the interval (misses per demand access).
+	L1MissRate float64
+	L2MissRate float64
+
+	// Forwarded-reference rates over the interval.
+	FwdLoadRate  float64
+	FwdStoreRate float64
+
+	// Allocator occupancy at sample time, in bytes.
+	HeapLiveBytes uint64
+}
+
+// Series is an ordered time-series of samples.
+type Series struct {
+	Every   uint64 // nominal sampling period in instructions
+	Samples []Sample
+}
+
+// Add appends one sample.
+func (s *Series) Add(sm Sample) { s.Samples = append(s.Samples, sm) }
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Samples) }
+
+func pct(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// Table renders the series with one row per sample.
+func (s *Series) Table() *report.Table {
+	t := report.New(fmt.Sprintf("Time series (every %d instructions)", s.Every),
+		"instr", "cycles", "phase", "busy", "ldStall", "stStall", "inStall",
+		"l1miss", "l2miss", "fwdLd", "fwdSt", "heapKB")
+	for _, sm := range s.Samples {
+		t.Add(
+			fmt.Sprint(sm.Instructions), fmt.Sprint(sm.Cycles), sm.Phase,
+			pct(sm.BusyShare), pct(sm.LoadStallShare), pct(sm.StoreStallShare), pct(sm.InstStallShare),
+			pct(sm.L1MissRate), pct(sm.L2MissRate),
+			pct(sm.FwdLoadRate), pct(sm.FwdStoreRate),
+			fmt.Sprintf("%.1f", float64(sm.HeapLiveBytes)/1024),
+		)
+	}
+	return t
+}
+
+// WriteCSV emits the series as CSV via the report layer.
+func (s *Series) WriteCSV(w io.Writer) error { return s.Table().WriteCSV(w) }

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func sampleSeries() *Series {
+	s := &Series{Every: 1000}
+	s.Add(Sample{Phase: "build", Instructions: 1000, Cycles: 1500, DInstructions: 1000, DCycles: 1500,
+		BusyShare: 0.5, LoadStallShare: 0.25, StoreStallShare: 0.1, InstStallShare: 0.15,
+		L1MissRate: 0.02, FwdLoadRate: 0.001, HeapLiveBytes: 2048})
+	s.Add(Sample{Phase: "sim", Instructions: 2000, Cycles: 3200, DInstructions: 1000, DCycles: 1700,
+		BusyShare: 0.4, LoadStallShare: 0.4, StoreStallShare: 0.1, InstStallShare: 0.1,
+		L1MissRate: 0.05, L2MissRate: 0.01, FwdLoadRate: 0.02, HeapLiveBytes: 4096})
+	return s
+}
+
+func TestSeriesTable(t *testing.T) {
+	s := sampleSeries()
+	tab := s.Table()
+	if len(tab.Rows) != s.Len() {
+		t.Fatalf("table has %d rows, want %d", len(tab.Rows), s.Len())
+	}
+	str := tab.String()
+	for _, want := range []string{"build", "sim", "0.500", "2.0", "4.0"} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("table missing %q:\n%s", want, str)
+		}
+	}
+}
+
+func TestSeriesWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleSeries().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("series CSV does not parse: %v", err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d CSV records, want header + 2 rows", len(recs))
+	}
+	if recs[0][0] != "instr" || recs[1][2] != "build" || recs[2][2] != "sim" {
+		t.Fatalf("CSV content wrong: %v", recs)
+	}
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MemorySink accumulates every event in memory; tests and in-process
+// consumers read Events directly.
+type MemorySink struct {
+	Events []Event
+}
+
+// WriteEvents appends the batch.
+func (s *MemorySink) WriteEvents(evs []Event) error {
+	s.Events = append(s.Events, evs...)
+	return nil
+}
+
+// Close is a no-op.
+func (s *MemorySink) Close() error { return nil }
+
+// jsonEvent is the NDJSON wire form of one event; zero-valued fields
+// are omitted so common events stay one short line.
+type jsonEvent struct {
+	Cycle int64  `json:"cycle"`
+	Kind  string `json:"kind"`
+	Level uint8  `json:"level,omitempty"`
+	Class string `json:"class,omitempty"`
+	Part  bool   `json:"partial,omitempty"`
+	Addr  string `json:"addr,omitempty"`
+	Addr2 string `json:"addr2,omitempty"`
+	N     uint64 `json:"n,omitempty"`
+	Label string `json:"label,omitempty"`
+}
+
+func hexAddr(a uint64) string {
+	if a == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%#x", a)
+}
+
+// classed reports whether kind k carries a meaningful Class field.
+func classed(k Kind) bool {
+	switch k {
+	case KForwardHop, KTrap, KCacheMiss:
+		return true
+	}
+	return false
+}
+
+// NDJSONSink writes one JSON object per event per line — the standard
+// newline-delimited JSON stream log processors ingest.
+type NDJSONSink struct {
+	w *bufio.Writer
+}
+
+// NewNDJSONSink wraps w (typically a file) in an NDJSON event writer.
+// The caller retains ownership of w; Close flushes but does not close it.
+func NewNDJSONSink(w io.Writer) *NDJSONSink {
+	return &NDJSONSink{w: bufio.NewWriter(w)}
+}
+
+// WriteEvents encodes each event as one line.
+func (s *NDJSONSink) WriteEvents(evs []Event) error {
+	for _, ev := range evs {
+		je := jsonEvent{
+			Cycle: ev.Cycle,
+			Kind:  ev.Kind.String(),
+			Level: ev.Level,
+			Part:  ev.Flag,
+			Addr:  hexAddr(ev.Addr),
+			Addr2: hexAddr(ev.Addr2),
+			N:     ev.N,
+			Label: ev.Label,
+		}
+		if classed(ev.Kind) {
+			je.Class = ev.ClassString()
+		}
+		b, err := json.Marshal(je)
+		if err != nil {
+			return err
+		}
+		if _, err := s.w.Write(b); err != nil {
+			return err
+		}
+		if err := s.w.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes the buffered writer.
+func (s *NDJSONSink) Close() error { return s.w.Flush() }
+
+// perfettoEvent is the Chrome trace_event JSON object; the format is
+// documented in the Trace Event Format spec and accepted by both
+// chrome://tracing and ui.perfetto.dev. Cycle timestamps are reported
+// as microseconds (one cycle = 1us on the timeline).
+type perfettoEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    int64          `json:"ts"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// PerfettoSink writes a trace_event JSON array: phase events become
+// duration begin/end pairs, everything else instant events.
+type PerfettoSink struct {
+	w     *bufio.Writer
+	first bool
+}
+
+// NewPerfettoSink wraps w in a trace_event JSON writer. The caller
+// retains ownership of w; Close writes the closing bracket and flushes.
+func NewPerfettoSink(w io.Writer) *PerfettoSink {
+	return &PerfettoSink{w: bufio.NewWriter(w), first: true}
+}
+
+// WriteEvents appends each event to the JSON array.
+func (s *PerfettoSink) WriteEvents(evs []Event) error {
+	for _, ev := range evs {
+		pe := perfettoEvent{Name: ev.Kind.String(), Phase: "i", Ts: ev.Cycle, Scope: "t"}
+		switch ev.Kind {
+		case KPhaseBegin:
+			pe = perfettoEvent{Name: ev.Label, Phase: "B", Ts: ev.Cycle}
+		case KPhaseEnd:
+			pe = perfettoEvent{Name: ev.Label, Phase: "E", Ts: ev.Cycle}
+		default:
+			args := make(map[string]any, 4)
+			if ev.Addr != 0 {
+				args["addr"] = hexAddr(ev.Addr)
+			}
+			if ev.Addr2 != 0 {
+				args["addr2"] = hexAddr(ev.Addr2)
+			}
+			if ev.N != 0 {
+				args["n"] = ev.N
+			}
+			if classed(ev.Kind) {
+				args["class"] = ev.ClassString()
+			}
+			if ev.Kind == KCacheMiss {
+				args["level"] = ev.Level
+				args["partial"] = ev.Flag
+			}
+			if len(args) > 0 {
+				pe.Args = args
+			}
+		}
+		b, err := json.Marshal(pe)
+		if err != nil {
+			return err
+		}
+		if s.first {
+			if _, err := s.w.WriteString("[\n"); err != nil {
+				return err
+			}
+			s.first = false
+		} else {
+			if _, err := s.w.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := s.w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close terminates the JSON array and flushes.
+func (s *PerfettoSink) Close() error {
+	if s.first {
+		if _, err := s.w.WriteString("["); err != nil {
+			return err
+		}
+		s.first = false
+	}
+	if _, err := s.w.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}
+
+// multiSink fans batches out to several sinks.
+type multiSink []Sink
+
+// MultiSink combines sinks so one tracer can feed, say, an NDJSON file
+// and a Perfetto trace simultaneously.
+func MultiSink(sinks ...Sink) Sink {
+	out := make(multiSink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (ms multiSink) WriteEvents(evs []Event) error {
+	var first error
+	for _, s := range ms {
+		if err := s.WriteEvents(evs); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (ms multiSink) Close() error {
+	var first error
+	for _, s := range ms {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

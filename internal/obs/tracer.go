@@ -1,0 +1,150 @@
+package obs
+
+// Sink receives batches of events from a Tracer. Implementations may
+// buffer internally; Close must flush whatever is pending.
+type Sink interface {
+	WriteEvents([]Event) error
+	Close() error
+}
+
+// Tracer records typed events into a bounded buffer. With a sink
+// attached, the buffer is a staging area flushed whenever it fills;
+// without one, it is a ring that retains the most recent events (test
+// and post-mortem use).
+//
+// A nil *Tracer is valid: every method is a no-op, so instrumented code
+// calls methods unconditionally after a cheap nil check and the
+// disabled path allocates nothing.
+type Tracer struct {
+	sink    Sink
+	buf     []Event
+	n       int
+	wrapped bool   // ring only: buffer has overflowed at least once
+	mask    uint32 // enabled-kind bitmask
+	err     error  // first sink error; tracing stops reporting after it
+	emitted uint64
+}
+
+// DefaultBufEvents is the staging/ring capacity when none is given.
+const DefaultBufEvents = 4096
+
+// NewTracer builds a tracer that flushes to sink whenever bufEvents
+// events accumulate (bufEvents <= 0 takes DefaultBufEvents). All event
+// kinds start enabled.
+func NewTracer(sink Sink, bufEvents int) *Tracer {
+	if bufEvents <= 0 {
+		bufEvents = DefaultBufEvents
+	}
+	return &Tracer{sink: sink, buf: make([]Event, bufEvents), mask: ^uint32(0)}
+}
+
+// NewRing builds a sinkless tracer that retains the last n events
+// (n <= 0 takes DefaultBufEvents); read them back with Events.
+func NewRing(n int) *Tracer {
+	return NewTracer(nil, n)
+}
+
+// EnableOnly restricts tracing to the given kinds.
+func (t *Tracer) EnableOnly(kinds ...Kind) {
+	if t == nil {
+		return
+	}
+	t.mask = 0
+	for _, k := range kinds {
+		t.mask |= 1 << k
+	}
+}
+
+// Enabled reports whether events of kind k are recorded.
+func (t *Tracer) Enabled(k Kind) bool {
+	return t != nil && t.mask&(1<<k) != 0
+}
+
+// Emit records one event. Nil-safe and allocation-free.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil || t.mask&(1<<ev.Kind) == 0 {
+		return
+	}
+	t.emitted++
+	t.buf[t.n] = ev
+	t.n++
+	if t.n == len(t.buf) {
+		t.flush()
+	}
+}
+
+func (t *Tracer) flush() {
+	if t.sink == nil {
+		// Ring mode: start overwriting from the front.
+		t.wrapped = true
+		t.n = 0
+		return
+	}
+	if t.err == nil && t.n > 0 {
+		t.err = t.sink.WriteEvents(t.buf[:t.n])
+	}
+	// Clear label references so retained strings do not pin memory.
+	for i := 0; i < t.n; i++ {
+		t.buf[i] = Event{}
+	}
+	t.n = 0
+}
+
+// Flush pushes buffered events to the sink (no-op in ring mode) and
+// returns the first sink error, if any.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	if t.sink != nil {
+		t.flush()
+	}
+	return t.err
+}
+
+// Close flushes and closes the sink.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	if t.sink != nil {
+		t.flush()
+		if cerr := t.sink.Close(); t.err == nil {
+			t.err = cerr
+		}
+	}
+	return t.err
+}
+
+// Emitted returns the number of events recorded (post-filter).
+func (t *Tracer) Emitted() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.emitted
+}
+
+// Err returns the first sink error encountered.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	return t.err
+}
+
+// Events returns the retained events in emission order. In ring mode
+// this is the most recent window; with a sink attached it is whatever
+// has not yet been flushed.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	if t.sink == nil && t.wrapped {
+		out := make([]Event, 0, len(t.buf))
+		out = append(out, t.buf[t.n:]...)
+		return append(out, t.buf[:t.n]...)
+	}
+	out := make([]Event, t.n)
+	copy(out, t.buf[:t.n])
+	return out
+}

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestNilTracerIsSafeAndFree(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Kind: KAlloc, Addr: 1, N: 8})
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Emitted() != 0 || tr.Events() != nil || tr.Enabled(KAlloc) {
+		t.Fatal("nil tracer should report nothing")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Emit(Event{Cycle: 1, Kind: KCacheMiss, Level: 1, Addr: 0x40})
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer Emit allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestRingRetainsMostRecent(t *testing.T) {
+	tr := NewRing(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Cycle: int64(i), Kind: KAlloc})
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int64(6 + i); ev.Cycle != want {
+			t.Fatalf("evs[%d].Cycle = %d, want %d", i, ev.Cycle, want)
+		}
+	}
+	if tr.Emitted() != 10 {
+		t.Fatalf("Emitted = %d, want 10", tr.Emitted())
+	}
+}
+
+func TestSinkFlushOnFullAndClose(t *testing.T) {
+	sink := &MemorySink{}
+	tr := NewTracer(sink, 3)
+	for i := 0; i < 7; i++ {
+		tr.Emit(Event{Cycle: int64(i), Kind: KFree})
+	}
+	if len(sink.Events) != 6 {
+		t.Fatalf("auto-flushed %d events, want 6 (two full buffers)", len(sink.Events))
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.Events) != 7 {
+		t.Fatalf("after Close sink has %d events, want 7", len(sink.Events))
+	}
+	for i, ev := range sink.Events {
+		if ev.Cycle != int64(i) {
+			t.Fatalf("event %d out of order (cycle %d)", i, ev.Cycle)
+		}
+	}
+}
+
+func TestEnableOnlyFilters(t *testing.T) {
+	tr := NewRing(16)
+	tr.EnableOnly(KTrap, KRelocate)
+	tr.Emit(Event{Kind: KAlloc})
+	tr.Emit(Event{Kind: KTrap})
+	tr.Emit(Event{Kind: KCacheMiss})
+	tr.Emit(Event{Kind: KRelocate})
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].Kind != KTrap || evs[1].Kind != KRelocate {
+		t.Fatalf("filter kept %v", evs)
+	}
+	if tr.Enabled(KAlloc) || !tr.Enabled(KTrap) {
+		t.Fatal("Enabled disagrees with filter")
+	}
+}
+
+type failSink struct{ n int }
+
+func (s *failSink) WriteEvents(evs []Event) error { s.n += len(evs); return errors.New("disk full") }
+func (s *failSink) Close() error                  { return nil }
+
+func TestSinkErrorIsSticky(t *testing.T) {
+	tr := NewTracer(&failSink{}, 2)
+	tr.Emit(Event{Kind: KAlloc})
+	tr.Emit(Event{Kind: KAlloc})
+	if tr.Err() == nil {
+		t.Fatal("expected sink error")
+	}
+	if err := tr.Close(); err == nil {
+		t.Fatal("Close should report the first sink error")
+	}
+}
+
+func TestNDJSONSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewNDJSONSink(&buf)
+	tr := NewTracer(sink, 0)
+	tr.Emit(Event{Cycle: 5, Kind: KAlloc, Addr: 0x1000_0000, N: 40})
+	tr.Emit(Event{Cycle: 9, Kind: KCacheMiss, Level: 2, Class: 1, Flag: true, Addr: 0x80})
+	tr.Emit(Event{Cycle: 12, Kind: KPhaseBegin, Label: "build"})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	var first struct {
+		Cycle int64  `json:"cycle"`
+		Kind  string `json:"kind"`
+		Addr  string `json:"addr"`
+		N     uint64 `json:"n"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 not valid JSON: %v", err)
+	}
+	if first.Kind != "alloc" || first.Addr != "0x10000000" || first.N != 40 || first.Cycle != 5 {
+		t.Fatalf("bad first line: %+v", first)
+	}
+	var miss map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &miss); err != nil {
+		t.Fatal(err)
+	}
+	if miss["kind"] != "cacheMiss" || miss["class"] != "store" || miss["level"] != float64(2) || miss["partial"] != true {
+		t.Fatalf("bad miss line: %v", miss)
+	}
+	var phase map[string]any
+	if err := json.Unmarshal([]byte(lines[2]), &phase); err != nil {
+		t.Fatal(err)
+	}
+	if phase["label"] != "build" {
+		t.Fatalf("bad phase line: %v", phase)
+	}
+}
+
+func TestPerfettoSinkValidArray(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(NewPerfettoSink(&buf), 2) // small buffer: multiple flushes
+	tr.Emit(Event{Cycle: 1, Kind: KPhaseBegin, Label: "build"})
+	tr.Emit(Event{Cycle: 3, Kind: KForwardHop, Class: 0, Addr: 0x10, Addr2: 0x20, N: 2})
+	tr.Emit(Event{Cycle: 4, Kind: KCacheMiss, Level: 1, Addr: 0x40})
+	tr.Emit(Event{Cycle: 9, Kind: KPhaseEnd, Label: "build"})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("not a valid trace_event JSON array: %v\n%s", err, buf.String())
+	}
+	if len(evs) != 4 {
+		t.Fatalf("got %d trace events, want 4", len(evs))
+	}
+	if evs[0]["ph"] != "B" || evs[0]["name"] != "build" || evs[3]["ph"] != "E" {
+		t.Fatalf("phase events wrong: %v", evs)
+	}
+	if evs[1]["ph"] != "i" || evs[1]["name"] != "forwardHop" {
+		t.Fatalf("instant event wrong: %v", evs[1])
+	}
+	args, ok := evs[1]["args"].(map[string]any)
+	if !ok || args["n"] != float64(2) || args["class"] != "load" {
+		t.Fatalf("forwardHop args wrong: %v", evs[1])
+	}
+}
+
+func TestPerfettoSinkEmptyTraceStillValid(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(NewPerfettoSink(&buf), 0)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("empty trace not valid JSON: %v (%q)", err, buf.String())
+	}
+	if len(evs) != 0 {
+		t.Fatalf("want empty array, got %v", evs)
+	}
+}
+
+func TestMultiSinkFansOut(t *testing.T) {
+	a, b := &MemorySink{}, &MemorySink{}
+	tr := NewTracer(MultiSink(a, b), 0)
+	tr.Emit(Event{Kind: KTrap})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != 1 || len(b.Events) != 1 {
+		t.Fatalf("fan-out missed a sink: %d/%d", len(a.Events), len(b.Events))
+	}
+}

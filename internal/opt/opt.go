@@ -38,6 +38,7 @@ func Relocate(m *sim.Machine, src, tgt mem.Addr, nWords int) {
 		m.UnforwardedWrite(d, v, false)
 		m.UnforwardedWrite(s, uint64(d), true)
 	}
+	m.TraceRelocate(src, tgt, nWords)
 }
 
 // Pool hands out relocation targets from contiguous memory. When one

@@ -3,7 +3,9 @@
 package report
 
 import (
+	"encoding/csv"
 	"fmt"
+	"io"
 	"strings"
 )
 
@@ -75,6 +77,24 @@ func (t *Table) String() string {
 		line(r)
 	}
 	return b.String()
+}
+
+// WriteCSV renders the table as CSV: one header record then one record
+// per row, with RFC 4180 quoting. The title is not emitted, so the
+// output feeds straight into spreadsheet and plotting tools; the
+// sampler time-series uses this as its machine-readable form.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // Ratio formats x/base to two decimals ("1.37"); base 0 gives "-".

@@ -1,6 +1,8 @@
 package report
 
 import (
+	"bytes"
+	"encoding/csv"
 	"strings"
 	"testing"
 )
@@ -66,6 +68,42 @@ func TestKBAndMB(t *testing.T) {
 	}
 	if got := MB(3 * 1024 * 1024 / 2); got != "1.50MB" {
 		t.Fatalf("MB = %q", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := New("Title is not emitted", "instr", "phase", "rate")
+	tb.Add("1000", "build", "0.25")
+	tb.Add("2000", "sim", "0.50")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "Title") {
+		t.Fatal("CSV must not contain the table title")
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output does not re-parse as CSV: %v", err)
+	}
+	if len(recs) != 3 || recs[0][0] != "instr" || recs[2][1] != "sim" {
+		t.Fatalf("records wrong: %v", recs)
+	}
+}
+
+func TestWriteCSVQuotesSpecialCells(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.Add(`comma,and"quote`, "line\nbreak")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("quoted output does not re-parse: %v", err)
+	}
+	if recs[1][0] != `comma,and"quote` || recs[1][1] != "line\nbreak" {
+		t.Fatalf("round-trip lost data: %v", recs)
 	}
 }
 

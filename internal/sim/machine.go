@@ -21,6 +21,7 @@ import (
 	"memfwd/internal/core"
 	"memfwd/internal/cpu"
 	"memfwd/internal/mem"
+	"memfwd/internal/obs"
 )
 
 // Config describes one machine instance. Zero fields take defaults from
@@ -180,6 +181,15 @@ type Machine struct {
 	// bytes); each entry keeps the exact base for validation.
 	ptrProv map[uint64]ptrEntry
 
+	// Observability (see obs.go). All nil/zero when disabled, leaving
+	// the hot paths with a single nil check each.
+	tracer      *obs.Tracer
+	phases      []string
+	series      *obs.Series
+	sampleEvery uint64
+	sampleNext  uint64
+	samplePrev  Stats
+
 	stats     Stats
 	finalized bool
 }
@@ -319,6 +329,7 @@ func (m *Machine) Inst(n int) {
 			m.Pipe.Op(1)
 		}
 	}
+	m.maybeSample()
 }
 
 // resolve follows the forwarding chain for address a, returning the
@@ -415,8 +426,13 @@ func (m *Machine) Load(a mem.Addr, size uint) uint64 {
 	}
 	if n := len(hops); n > 0 {
 		m.stats.LoadsFwdByHops[clampHops(n)]++
+		if m.tracer != nil {
+			m.tracer.Emit(obs.Event{Cycle: info.Ready, Kind: obs.KForwardHop,
+				Class: uint8(core.Load), Addr: uint64(a), Addr2: uint64(final), N: uint64(n)})
+		}
 		m.fireTrap(core.Load, a, final, n)
 	}
+	m.maybeSample()
 	return v
 }
 
@@ -451,8 +467,13 @@ func (m *Machine) Store(a mem.Addr, v uint64, size uint) {
 	m.stats.StoreFwdCycles += uint64(fwdLat)
 	if nHops > 0 {
 		m.stats.StoresFwdByHops[clampHops(nHops)]++
+		if m.tracer != nil {
+			m.tracer.Emit(obs.Event{Cycle: m.Pipe.Now(), Kind: obs.KForwardHop,
+				Class: uint8(core.Store), Addr: uint64(a), Addr2: uint64(final), N: uint64(nHops)})
+		}
 		m.fireTrap(core.Store, a, final, nHops)
 	}
+	m.maybeSample()
 }
 
 func (m *Machine) fireTrap(kind core.Kind, initial, final mem.Addr, hops int) {
@@ -460,6 +481,10 @@ func (m *Machine) fireTrap(kind core.Kind, initial, final mem.Addr, hops int) {
 		return
 	}
 	m.stats.Traps++
+	if m.tracer != nil {
+		m.tracer.Emit(obs.Event{Cycle: m.Pipe.Now(), Kind: obs.KTrap,
+			Class: uint8(kind), Addr: uint64(initial), Addr2: uint64(final), N: uint64(hops)})
+	}
 	h := m.trap
 	m.trap = nil // traps do not recurse
 	m.Inst(m.cfg.TrapOverheadInst)
@@ -587,7 +612,12 @@ func (m *Machine) PtrEqual(a, b mem.Addr) bool {
 // instruction cost.
 func (m *Machine) Malloc(n uint64) mem.Addr {
 	m.Inst(12) // malloc bookkeeping
-	return m.Alloc.Alloc(n)
+	a := m.Alloc.Alloc(n)
+	if m.tracer != nil {
+		m.tracer.Emit(obs.Event{Cycle: m.Pipe.Now(), Kind: obs.KAlloc,
+			Addr: uint64(a), N: n})
+	}
+	return a
 }
 
 // Free releases the block at a, and — per the deallocation wrapper of
@@ -595,6 +625,9 @@ func (m *Machine) Malloc(n uint64) mem.Addr {
 // chain of the block's first word.
 func (m *Machine) Free(a mem.Addr) {
 	m.Inst(12)
+	if m.tracer != nil {
+		m.tracer.Emit(obs.Event{Cycle: m.Pipe.Now(), Kind: obs.KFree, Addr: uint64(a)})
+	}
 	final, _, err := m.Fwd.Resolve(a, nil)
 	// Free intermediate chain links that are themselves heap blocks
 	// (relocation-pool interiors are owned by their pool and skipped).
@@ -629,6 +662,9 @@ func (m *Machine) Finalize() *Stats {
 	if !m.finalized {
 		m.Pipe.Finalize()
 		m.finalized = true
+		if m.series != nil {
+			m.takeSample() // flush the last partial interval
+		}
 	}
 	return m.fill()
 }

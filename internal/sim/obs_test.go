@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"memfwd/internal/core"
+	"memfwd/internal/mem"
+	"memfwd/internal/obs"
+)
+
+// forwardOne builds a one-hop forwarding chain src -> tgt holding v.
+func forwardOne(m *Machine, v uint64) (src, tgt mem.Addr) {
+	s := m.Malloc(8)
+	d := m.Malloc(8)
+	m.StoreWord(d, v)
+	m.UnforwardedWrite(s, uint64(d), true)
+	return s, d
+}
+
+func kinds(evs []obs.Event) map[obs.Kind]int {
+	out := make(map[obs.Kind]int)
+	for _, ev := range evs {
+		out[ev.Kind]++
+	}
+	return out
+}
+
+func TestTracerSeesMachineEvents(t *testing.T) {
+	m := New(Config{})
+	tr := obs.NewRing(1 << 16)
+	m.SetTracer(tr)
+	if m.Tracer() != tr {
+		t.Fatal("Tracer accessor")
+	}
+
+	m.PhaseBegin("work")
+	src, tgt := forwardOne(m, 42)
+	if got := m.LoadWord(src); got != 42 {
+		t.Fatalf("forwarded load = %d", got)
+	}
+	m.Free(src)
+	m.PhaseEnd("work")
+
+	evs := tr.Events()
+	k := kinds(evs)
+	if k[obs.KAlloc] < 2 {
+		t.Fatalf("want >=2 alloc events, got %d", k[obs.KAlloc])
+	}
+	if k[obs.KForwardHop] != 1 {
+		t.Fatalf("want 1 forwardHop event, got %d", k[obs.KForwardHop])
+	}
+	if k[obs.KCacheMiss] == 0 {
+		t.Fatal("expected cache-miss events on a cold cache")
+	}
+	if k[obs.KFree] != 1 {
+		t.Fatalf("want 1 free event, got %d", k[obs.KFree])
+	}
+	if k[obs.KPhaseBegin] != 1 || k[obs.KPhaseEnd] != 1 {
+		t.Fatalf("phase events wrong: %v", k)
+	}
+	// The forward-hop event carries initial, final, and hop count.
+	for _, ev := range evs {
+		if ev.Kind == obs.KForwardHop {
+			if ev.Addr != uint64(src) || ev.Addr2 != uint64(tgt) || ev.N != 1 || ev.Class != uint8(core.Load) {
+				t.Fatalf("forwardHop event wrong: %+v", ev)
+			}
+		}
+	}
+	for i, ev := range evs {
+		if ev.Cycle < 0 {
+			t.Fatalf("event %d has negative cycle: %+v", i, ev)
+		}
+	}
+}
+
+func TestTrapEventEmitted(t *testing.T) {
+	m := New(Config{})
+	tr := obs.NewRing(1024)
+	m.SetTracer(tr)
+	fired := 0
+	m.SetTrap(func(ev core.Event) { fired++ })
+	src, _ := forwardOne(m, 7)
+	m.LoadWord(src)
+	if fired != 1 {
+		t.Fatalf("trap handler fired %d times", fired)
+	}
+	k := kinds(tr.Events())
+	if k[obs.KTrap] != 1 {
+		t.Fatalf("want 1 trap event, got %d", k[obs.KTrap])
+	}
+}
+
+func TestPhaseNestingAndLabels(t *testing.T) {
+	m := New(Config{})
+	if m.Phase() != "" {
+		t.Fatal("initial phase should be empty")
+	}
+	m.PhaseBegin("outer")
+	m.PhaseBegin("inner")
+	if m.Phase() != "inner" {
+		t.Fatalf("Phase = %q, want inner", m.Phase())
+	}
+	m.PhaseEnd("inner")
+	if m.Phase() != "outer" {
+		t.Fatalf("Phase = %q, want outer", m.Phase())
+	}
+	m.PhaseEnd("outer")
+	if m.Phase() != "" {
+		t.Fatalf("Phase = %q, want empty", m.Phase())
+	}
+	// Unbalanced PhaseEnd must not panic.
+	m.PhaseEnd("stray")
+}
+
+func TestSamplerProducesSeries(t *testing.T) {
+	m := New(Config{})
+	series := &obs.Series{}
+	m.SetSampleEvery(500, series)
+	if series.Every != 500 {
+		t.Fatal("SetSampleEvery should stamp the series period")
+	}
+
+	m.PhaseBegin("build")
+	addrs := make([]mem.Addr, 64)
+	for i := range addrs {
+		a := m.Malloc(64)
+		m.StoreWord(a, uint64(i))
+		addrs[i] = a
+	}
+	m.PhaseEnd("build")
+	m.PhaseBegin("chase")
+	for r := 0; r < 40; r++ {
+		for _, a := range addrs {
+			m.LoadWord(a)
+		}
+		m.Inst(50)
+	}
+	m.PhaseEnd("chase")
+	st := m.Finalize()
+
+	if series.Len() == 0 {
+		t.Fatal("sampler produced no samples")
+	}
+	var prevInstr uint64
+	var sumDInstr uint64
+	var sumDCycles int64
+	for i, s := range series.Samples {
+		if s.Instructions <= prevInstr {
+			t.Fatalf("sample %d instructions not increasing: %d -> %d", i, prevInstr, s.Instructions)
+		}
+		prevInstr = s.Instructions
+		sumDInstr += s.DInstructions
+		sumDCycles += s.DCycles
+		shareSum := s.BusyShare + s.LoadStallShare + s.StoreStallShare + s.InstStallShare
+		if shareSum > 0 && math.Abs(shareSum-1) > 1e-9 {
+			t.Fatalf("sample %d slot shares sum to %v", i, shareSum)
+		}
+		for _, v := range []float64{s.L1MissRate, s.L2MissRate, s.FwdLoadRate, s.FwdStoreRate} {
+			if v < 0 || v > 1 {
+				t.Fatalf("sample %d rate out of range: %+v", i, s)
+			}
+		}
+	}
+	// The intervals partition the whole run: instructions exactly, cycles
+	// up to the one padded graduation cycle Finalize may add after the
+	// last instruction graduates.
+	if sumDInstr != st.Instructions {
+		t.Fatalf("interval instructions sum %d != total %d", sumDInstr, st.Instructions)
+	}
+	if d := st.Cycles - sumDCycles; d < 0 || d > 1 {
+		t.Fatalf("interval cycles sum %d vs total %d", sumDCycles, st.Cycles)
+	}
+	// Phase labels appear in the series.
+	seen := map[string]bool{}
+	for _, s := range series.Samples {
+		seen[s.Phase] = true
+	}
+	if !seen["build"] || !seen["chase"] {
+		t.Fatalf("phase labels missing from series: %v", seen)
+	}
+}
+
+func TestRegisterMetricsMatchesStats(t *testing.T) {
+	m := New(Config{})
+	r := obs.NewRegistry()
+	m.RegisterMetrics(r)
+
+	src, _ := forwardOne(m, 9)
+	m.LoadWord(src)
+	m.Inst(100)
+	st := m.Finalize()
+
+	vals := map[string]float64{}
+	for _, mv := range r.Snapshot() {
+		vals[mv.Name] = mv.Value
+	}
+	if vals["cpu.instructions"] != float64(st.Instructions) {
+		t.Fatalf("cpu.instructions = %v, want %d", vals["cpu.instructions"], st.Instructions)
+	}
+	if vals["cpu.cycles"] != float64(st.Cycles) {
+		t.Fatalf("cpu.cycles = %v, want %d", vals["cpu.cycles"], st.Cycles)
+	}
+	if vals["sim.loads.forwarded"] != float64(st.LoadsForwarded()) {
+		t.Fatalf("sim.loads.forwarded = %v, want %d", vals["sim.loads.forwarded"], st.LoadsForwarded())
+	}
+	l1 := vals["l1.hits.load"] + vals["l1.misses.partial.load"] + vals["l1.misses.full.load"]
+	want := float64(st.L1.Hits[0] + st.L1.PartialMisses[0] + st.L1.FullMisses[0])
+	if l1 != want {
+		t.Fatalf("l1 load accesses = %v, want %v", l1, want)
+	}
+	if vals["heap.peak_bytes"] != float64(st.HeapPeak) {
+		t.Fatalf("heap.peak_bytes = %v, want %d", vals["heap.peak_bytes"], st.HeapPeak)
+	}
+}
+
+func TestDisabledObservabilityAddsNoAllocs(t *testing.T) {
+	m := New(Config{})
+	a := m.Malloc(8)
+	m.StoreWord(a, 42)
+	// Warm the caches and provenance map.
+	for i := 0; i < 100; i++ {
+		m.LoadWord(a)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		m.LoadWord(a)
+	})
+	if allocs != 0 {
+		t.Fatalf("LoadWord with observability disabled allocates %v/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,186 @@
+package memfwd
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// assertMonotone walks two Stats snapshots with reflection and fails if
+// any integer counter decreased between them. Every numeric field of
+// Stats (including the nested cache stats and histogram arrays) is a
+// cumulative counter, so consecutive snapshots must be ordered.
+func assertMonotone(t *testing.T, prev, cur *Stats) {
+	t.Helper()
+	var walk func(path string, p, c reflect.Value)
+	walk = func(path string, p, c reflect.Value) {
+		switch p.Kind() {
+		case reflect.Struct:
+			for i := 0; i < p.NumField(); i++ {
+				walk(path+"."+p.Type().Field(i).Name, p.Field(i), c.Field(i))
+			}
+		case reflect.Array, reflect.Slice:
+			for i := 0; i < p.Len(); i++ {
+				walk(path, p.Index(i), c.Index(i))
+			}
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			if p.Uint() > c.Uint() {
+				t.Fatalf("%s decreased: %d -> %d", path, p.Uint(), c.Uint())
+			}
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			if p.Int() > c.Int() {
+				t.Fatalf("%s decreased: %d -> %d", path, p.Int(), c.Int())
+			}
+		}
+	}
+	walk("Stats", reflect.ValueOf(*prev), reflect.ValueOf(*cur))
+}
+
+// TestSnapshotMonotoneAndConsistentWithFinalize is the sampler's safety
+// property: Machine.Snapshot is non-destructive, consecutive snapshots
+// are monotone in every counter, and after Finalize a further Snapshot
+// agrees with Finalize exactly.
+func TestSnapshotMonotoneAndConsistentWithFinalize(t *testing.T) {
+	m := NewMachine(MachineConfig{})
+	prev := *m.Snapshot()
+	check := func() {
+		cur := *m.Snapshot()
+		assertMonotone(t, &prev, &cur)
+		prev = cur
+	}
+
+	// A workload that exercises every counter family: allocation,
+	// stores, pointer-chasing loads, relocation (forwarding traffic),
+	// traps via the profiler, and frees.
+	p := NewPool(m, 4096)
+	_ = p
+	nodes := make([]Addr, 128)
+	for i := range nodes {
+		nodes[i] = m.Malloc(32)
+		m.StoreWord(nodes[i], uint64(i))
+		if i%16 == 15 {
+			check()
+		}
+	}
+	for i, a := range nodes {
+		if i%2 == 0 {
+			tgt := m.Malloc(32)
+			Relocate(m, a, tgt, 4)
+		}
+	}
+	check()
+	for r := 0; r < 8; r++ {
+		for _, a := range nodes {
+			m.LoadWord(a) // half of these chase a forwarding hop
+		}
+		m.Inst(100)
+		check()
+	}
+	for _, a := range nodes {
+		m.Free(a)
+	}
+	check()
+
+	fin := m.Finalize()
+	assertMonotone(t, &prev, fin)
+	again := m.Snapshot()
+	if !reflect.DeepEqual(*fin, *again) {
+		t.Fatalf("post-Finalize Snapshot disagrees with Finalize:\n%+v\nvs\n%+v", *fin, *again)
+	}
+}
+
+// TestRunOneSampling checks the experiment-harness plumbing: a run with
+// SampleEvery set returns a non-empty time-series carrying the app's
+// phase labels, and a run without it encodes to JSON with no Samples
+// key (so existing encodings are byte-identical).
+func TestRunOneSampling(t *testing.T) {
+	a := MustApp("health")
+	r := RunOne(a, 32, VariantL, 0, Options{SampleEvery: 5000})
+	if len(r.Samples) == 0 {
+		t.Fatal("SampleEvery run returned no samples")
+	}
+	labels := map[string]bool{}
+	var prevInstr uint64
+	for i, s := range r.Samples {
+		labels[s.Phase] = true
+		if s.Instructions <= prevInstr {
+			t.Fatalf("sample %d not monotone in instructions", i)
+		}
+		prevInstr = s.Instructions
+	}
+	if !labels["sim"] {
+		t.Fatalf("expected the health app's sim phase in sample labels, got %v", labels)
+	}
+	if last := r.Samples[len(r.Samples)-1]; last.Instructions != r.Stats.Instructions {
+		t.Fatalf("last sample at %d instructions, run ended at %d",
+			last.Instructions, r.Stats.Instructions)
+	}
+
+	var with, without bytes.Buffer
+	if err := WriteJSON(&with, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(with.String(), `"Samples"`) {
+		t.Fatal("sampled run JSON lacks Samples")
+	}
+	plain := RunOne(a, 32, VariantL, 0, Options{})
+	if err := WriteJSON(&without, plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(without.String(), `"Samples"`) {
+		t.Fatal("unsampled run JSON must omit Samples")
+	}
+}
+
+// TestEndToEndTraceSinks runs a real application with both file formats
+// attached through one tracer and validates each output whole.
+func TestEndToEndTraceSinks(t *testing.T) {
+	var nd, pf bytes.Buffer
+	tr := NewTracer(MultiSink(NewNDJSONSink(&nd), NewPerfettoSink(&pf)), 256)
+	// Cache misses dominate the event stream (and are covered by the
+	// internal/sim tests); filtering them keeps this test fast.
+	tr.EnableOnly(TraceAlloc, TraceFree, TraceRelocate, TraceForwardHop,
+		TraceTrap, TracePhaseBegin, TracePhaseEnd)
+	m := NewMachine(MachineConfig{})
+	m.SetTracer(tr)
+	// SMV is the app whose references actually ride the forwarding
+	// mechanism (Figure 10); the others update their pointers.
+	MustApp("smv").Run(m, AppConfig{Opt: true})
+	m.Finalize()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Emitted() == 0 {
+		t.Fatal("app run emitted no trace events")
+	}
+
+	lines := strings.Split(strings.TrimSpace(nd.String()), "\n")
+	if uint64(len(lines)) != tr.Emitted() {
+		t.Fatalf("NDJSON has %d lines, tracer emitted %d", len(lines), tr.Emitted())
+	}
+	kindSeen := map[string]bool{}
+	for i, ln := range lines {
+		var ev struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("NDJSON line %d invalid: %v", i, err)
+		}
+		kindSeen[ev.Kind] = true
+	}
+	for _, want := range []string{"alloc", "relocate", "forwardHop"} {
+		if !kindSeen[want] {
+			t.Fatalf("NDJSON missing %q events; saw %v", want, kindSeen)
+		}
+	}
+
+	var evs []map[string]any
+	if err := json.Unmarshal(pf.Bytes(), &evs); err != nil {
+		t.Fatalf("Perfetto output is not a JSON array: %v", err)
+	}
+	if uint64(len(evs)) != tr.Emitted() {
+		t.Fatalf("Perfetto has %d events, tracer emitted %d", len(evs), tr.Emitted())
+	}
+}
