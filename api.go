@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"memfwd/internal/core"
+	"memfwd/internal/exp"
 	"memfwd/internal/fprof"
 	"memfwd/internal/mp"
 	"memfwd/internal/obs"
@@ -131,6 +132,12 @@ func MultiSink(sinks ...TraceSink) TraceSink { return obs.MultiSink(sinks...) }
 // NewMetricsRegistry returns an empty metrics registry; populate it
 // with Machine.RegisterMetrics and Profiler.RegisterMetrics.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// JobProgress observes the parallel experiment engine live: jobs
+// queued / running / done and per-cell wall time. Attach one via
+// Options.Progress and expose it with RegisterMetrics; the zero value
+// is ready to use and safe for concurrent access.
+type JobProgress = exp.Progress
 
 // Profiler is the Section 3.2 forwarding profiler: attach it to a
 // machine and it records, per static site, every reference that needed

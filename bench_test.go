@@ -9,6 +9,7 @@ package memfwd
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 )
 
@@ -113,6 +114,26 @@ func BenchmarkFigure10(b *testing.B) {
 	b.ReportMetric(float64(sr.L.Stats.LoadsFwdByHops[1])/float64(sr.L.Stats.Loads), "fwdLoadFrac:L")
 	b.ReportMetric(float64(sr.L.Stats.Cycles)/float64(sr.N.Stats.Cycles), "timeRatio:L/N")
 	b.ReportMetric(float64(sr.Perf.Stats.Cycles)/float64(sr.N.Stats.Cycles), "timeRatio:Perf/N")
+}
+
+// BenchmarkFigure5Jobs measures the experiment engine's wall-clock
+// scaling on the Figure 5 matrix: the same 42 cells at one worker and
+// at GOMAXPROCS workers. Results are byte-identical either way (see
+// TestParallelDeterminism); only the wall time differs. On a
+// single-core host the two legs coincide, which bounds the engine's
+// own overhead.
+func BenchmarkFigure5Jobs(b *testing.B) {
+	for _, jobs := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o := benchOptions()
+				o.Jobs = jobs
+				if len(RunLocality(o).Runs) != 42 {
+					b.Fatal("matrix incomplete")
+				}
+			}
+		})
+	}
 }
 
 // --- microbenchmarks and ablations ----------------------------------
@@ -289,7 +310,7 @@ func BenchmarkLoadObsTracing(b *testing.B) {
 // false-sharing demonstration (Section 2.2's application).
 func BenchmarkExtensionFalseSharing(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab := RunFalseSharing()
+		tab := RunFalseSharing(benchOptions())
 		if len(tab.Rows) != 2 {
 			b.Fatal("incomplete")
 		}

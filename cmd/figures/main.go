@@ -6,19 +6,22 @@
 //
 //	figures                 # everything
 //	figures -only fig5      # one experiment: table1, fig5, fig6, fig7,
-//	                        # fig8, fig9, fig10
+//	                        # fig8, fig9, fig10, ext
 //	figures -scale 2        # larger workloads
+//	figures -jobs 8         # experiment cells across 8 workers
+//	                        # (results identical at any jobs count)
 //	figures -only fig5 -json -sample 10000   # raw runs as JSON, each
 //	                        # carrying a sampler time-series (Samples)
+//	figures -json           # every run series as ONE JSON object
+//	                        # keyed by figure name
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
-	"memfwd"
+	"memfwd/internal/figures"
 )
 
 func main() {
@@ -28,89 +31,20 @@ func main() {
 		scale  = flag.Int("scale", 1, "workload scale factor")
 		asJSON = flag.Bool("json", false, "emit raw runs as JSON instead of tables (fig5/fig6/fig7/fig10)")
 		sample = flag.Uint64("sample", 0, "attach the sampler: a time-series point every N instructions per run, in each run's Samples (JSON) with per-phase labels")
+		jobs   = flag.Int("jobs", 0, "experiment-engine worker count (0 = GOMAXPROCS); results are identical at any value")
 	)
 	flag.Parse()
 
-	o := memfwd.Options{Seed: *seed, Scale: *scale, SampleEvery: *sample}
-	want := func(name string) bool { return *only == "" || *only == name }
-	section := func(name string) {
-		fmt.Fprintf(os.Stderr, "[figures] running %s...\n", name)
+	cfg := figures.Config{
+		Only:   *only,
+		JSON:   *asJSON,
+		Seed:   *seed,
+		Scale:  *scale,
+		Sample: *sample,
+		Jobs:   *jobs,
 	}
-
-	start := time.Now()
-
-	if want("table1") {
-		section("table1")
-		fmt.Println(memfwd.RunTable1(o))
-	}
-
-	if want("fig5") || want("fig6") {
-		section("fig5/fig6")
-		lr := memfwd.RunLocality(o)
-		if *asJSON {
-			emitJSON(lr.Runs)
-		} else {
-			if want("fig5") {
-				fmt.Println(lr.Figure5Table())
-			}
-			if want("fig6") {
-				fmt.Println(lr.Figure6aTable())
-				fmt.Println(lr.Figure6bTable())
-			}
-		}
-	}
-
-	if want("fig7") {
-		section("fig7")
-		pr := memfwd.RunPrefetch(o)
-		if *asJSON {
-			var runs []memfwd.Run
-			for _, rs := range pr.Runs {
-				for _, r := range rs {
-					runs = append(runs, r)
-				}
-			}
-			emitJSON(runs)
-		} else {
-			fmt.Println(pr.Table())
-		}
-	}
-
-	if want("fig8") {
-		section("fig8")
-		fmt.Println(memfwd.Figure8Layout())
-	}
-
-	if want("fig9") {
-		section("fig9")
-		fmt.Println(memfwd.Figure9Layout(128))
-	}
-
-	if want("fig10") {
-		section("fig10")
-		sr := memfwd.RunSMV(o)
-		if *asJSON {
-			emitJSON([]memfwd.Run{sr.N, sr.L, sr.Perf})
-		} else {
-			for _, t := range sr.Tables() {
-				fmt.Println(t)
-			}
-		}
-	}
-
-	if want("ext") {
-		section("ext (false sharing)")
-		fmt.Println(memfwd.RunFalseSharing())
-	}
-
-	fmt.Fprintf(os.Stderr, "[figures] done in %s\n", time.Since(start).Round(time.Millisecond))
-}
-
-// emitJSON routes every machine-readable output through the shared
-// encoder (memfwd.WriteJSON), keeping parity with memfwd-sim -json.
-func emitJSON(v interface{}) {
-	if err := memfwd.WriteJSON(os.Stdout, v); err != nil {
+	if err := figures.Run(cfg, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
 }

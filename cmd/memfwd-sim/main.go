@@ -4,6 +4,7 @@
 // Usage:
 //
 //	memfwd-sim -app health -line 64 -opt -prefetch -block 4 -seed 9
+//	memfwd-sim -app health -lines 32,64,128 -opt -jobs 4 -json
 //
 // Observability:
 //
@@ -22,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"memfwd"
 )
@@ -45,6 +48,9 @@ func main() {
 		sampleCSV    = flag.String("sample-csv", "", "also write the time-series as CSV to this file")
 		metrics      = flag.Bool("metrics", false, "print the metrics registry after the run")
 		asJSON       = flag.Bool("json", false, "emit the final record as JSON (cmd/figures -json encoding)")
+
+		lines = flag.String("lines", "", "comma-separated line sizes (e.g. 32,64,128): sweep them through the parallel experiment engine instead of one -line run")
+		jobs  = flag.Int("jobs", 0, "experiment-engine worker count for -lines sweeps (0 = GOMAXPROCS); results are identical at any value")
 	)
 	flag.Parse()
 
@@ -59,6 +65,35 @@ func main() {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown application %q (use -list)\n", *appName)
 		os.Exit(2)
+	}
+
+	if *lines != "" {
+		// Sweep mode: each line size is one engine job with its own
+		// machine, so per-machine observability flags do not apply.
+		if *tracePath != "" || *perfettoPath != "" || *sampleCSV != "" || *metrics || *profile {
+			fmt.Fprintln(os.Stderr, "memfwd-sim: -lines sweeps do not support -trace, -perfetto, -sample-csv, -metrics, or -profile")
+			os.Exit(2)
+		}
+		ls, err := parseLines(*lines)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memfwd-sim:", err)
+			os.Exit(2)
+		}
+		o := memfwd.Options{Seed: *seed, Scale: *scale, SampleEvery: *sampleEvery, Jobs: *jobs}
+		v := variantOf(*optOn, *prefetch, *perfect)
+		runs := memfwd.RunLines(a, ls, v, blockOf(*prefetch, *block), o)
+		if *asJSON {
+			if err := memfwd.WriteJSON(os.Stdout, runs); err != nil {
+				fmt.Fprintln(os.Stderr, "memfwd-sim:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		for _, r := range runs {
+			fmt.Printf("app=%s line=%dB variant=%-4s cycles=%-12d L1-load-misses=%-10d loads-forwarded=%d\n",
+				r.App, r.Line, r.Variant, r.Stats.Cycles, r.Stats.L1.Misses(0), r.Stats.LoadsForwarded())
+		}
+		return
 	}
 
 	m := memfwd.NewMachine(memfwd.MachineConfig{
@@ -215,4 +250,17 @@ func blockOf(prefetch bool, block int) int {
 		return 0
 	}
 	return block
+}
+
+// parseLines parses the -lines argument ("32,64,128").
+func parseLines(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -lines value %q (want comma-separated positive sizes)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

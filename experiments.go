@@ -3,6 +3,7 @@ package memfwd
 import (
 	"fmt"
 
+	"memfwd/internal/exp"
 	"memfwd/internal/opt"
 	"memfwd/internal/report"
 )
@@ -36,8 +37,12 @@ type Run struct {
 	Samples []Sample `json:",omitempty"`
 }
 
-// Speedup returns base.Cycles / r.Cycles.
+// Speedup returns base.Cycles / r.Cycles, or 0 when either side has no
+// cycles (missing stats or an empty run) — never NaN or +Inf.
 func (r Run) Speedup(base Run) float64 {
+	if r.Stats == nil || base.Stats == nil || r.Stats.Cycles == 0 {
+		return 0
+	}
 	return float64(base.Stats.Cycles) / float64(r.Stats.Cycles)
 }
 
@@ -52,6 +57,21 @@ type Options struct {
 	// run: a time-series point every N graduated instructions (plus one
 	// at every phase boundary), returned in Run.Samples.
 	SampleEvery uint64
+
+	// Jobs is the experiment-engine worker count; <= 0 takes GOMAXPROCS.
+	// Every cell of a run matrix builds its own Machine, so cells execute
+	// concurrently; results are byte-identical at any value.
+	Jobs int
+
+	// Progress, when non-nil, observes the engine live: jobs queued /
+	// running / done and per-cell wall time (JobProgress.RegisterMetrics
+	// exposes it on a metrics registry).
+	Progress *JobProgress
+
+	// JobTracer, when non-nil, receives one phaseBegin/phaseEnd trace
+	// event pair per experiment cell, timestamped in wall-clock
+	// microseconds — a Perfetto sink renders the pool as a span timeline.
+	JobTracer *Tracer
 }
 
 // Norm applies the defaults used throughout the paper's evaluation.
@@ -69,6 +89,11 @@ func (o Options) Norm() Options {
 		o.Blocks = []int{1, 2, 4, 8}
 	}
 	return o
+}
+
+// engine translates the options into an engine configuration.
+func (o Options) engine() exp.Config {
+	return exp.Config{Jobs: o.Jobs, Tracer: o.JobTracer, Progress: o.Progress}
 }
 
 // localityApps are the seven applications of Figure 5 (SMV is studied
@@ -121,29 +146,51 @@ func RunOne(a App, line int, v Variant, block int, o Options) Run {
 type LocalityRuns struct {
 	Lines []int
 	Runs  []Run
+
+	index map[runKey]int // (app, line, variant) -> Runs position
+}
+
+type runKey struct {
+	app  string
+	line int
+	v    Variant
+}
+
+func (lr *LocalityRuns) buildIndex() {
+	lr.index = make(map[runKey]int, len(lr.Runs))
+	for i, r := range lr.Runs {
+		lr.index[runKey{r.App, r.Line, r.Variant}] = i
+	}
 }
 
 // Get returns the run for (app, line, variant).
 func (lr *LocalityRuns) Get(appName string, line int, v Variant) (Run, bool) {
-	for _, r := range lr.Runs {
-		if r.App == appName && r.Line == line && r.Variant == v {
-			return r, true
-		}
+	if lr.index == nil {
+		lr.buildIndex()
 	}
-	return Run{}, false
+	i, ok := lr.index[runKey{appName, line, v}]
+	if !ok {
+		return Run{}, false
+	}
+	return lr.Runs[i], true
 }
 
 // RunLocality executes the full matrix behind Figures 5, 6(a) and 6(b).
 func RunLocality(o Options) *LocalityRuns {
 	o = o.Norm()
 	lr := &LocalityRuns{Lines: o.Lines}
+	var specs []exp.Spec
 	for _, a := range localityApps() {
 		for _, line := range o.Lines {
 			for _, v := range []Variant{VariantN, VariantL} {
-				lr.Runs = append(lr.Runs, RunOne(a, line, v, 0, o))
+				specs = append(specs, exp.Spec{App: a.Name, Line: line, Variant: string(v)})
 			}
 		}
 	}
+	lr.Runs = exp.Run(o.engine(), specs, func(_ int, s exp.Spec) Run {
+		return RunOne(MustApp(s.App), s.Line, Variant(s.Variant), 0, o)
+	})
+	lr.buildIndex()
 	return lr
 }
 
@@ -163,7 +210,11 @@ func (lr *LocalityRuns) Figure5Table() *report.Table {
 			for _, r := range []Run{n, l} {
 				sp := ""
 				if r.Variant == VariantL {
-					sp = fmt.Sprintf("(%+.0f%%)", 100*(l.Speedup(n)-1))
+					if s := l.Speedup(n); s == 0 {
+						sp = "n/a"
+					} else {
+						sp = fmt.Sprintf("(%+.0f%%)", 100*(s-1))
+					}
 				}
 				t.Add(a.Name, fmt.Sprint(line), string(r.Variant),
 					report.Ratio(float64(r.Stats.Cycles)*4, baseSlots),
@@ -230,26 +281,40 @@ type PrefetchRuns struct {
 	Runs map[string]map[Variant]Run
 }
 
-// RunPrefetch executes the Figure 7 experiment.
+// RunPrefetch executes the Figure 7 experiment. The whole matrix —
+// including every block size of the NP/LP sweeps — runs through the
+// engine; the best block per variant is selected afterwards in the
+// original iteration order, so the reported cells match the old serial
+// sweep exactly.
 func RunPrefetch(o Options) *PrefetchRuns {
 	o = o.Norm()
 	const line = 32
-	pr := &PrefetchRuns{Runs: make(map[string]map[Variant]Run)}
+	var specs []exp.Spec
 	for _, a := range localityApps() {
-		rs := make(map[Variant]Run)
-		rs[VariantN] = RunOne(a, line, VariantN, 0, o)
-		rs[VariantL] = RunOne(a, line, VariantL, 0, o)
+		specs = append(specs,
+			exp.Spec{App: a.Name, Line: line, Variant: string(VariantN)},
+			exp.Spec{App: a.Name, Line: line, Variant: string(VariantL)})
 		for _, v := range []Variant{VariantNP, VariantLP} {
-			var best Run
 			for _, blk := range o.Blocks {
-				r := RunOne(a, line, v, blk, o)
-				if best.Stats == nil || r.Stats.Cycles < best.Stats.Cycles {
-					best = r
-				}
+				specs = append(specs, exp.Spec{App: a.Name, Line: line, Variant: string(v), Block: blk})
 			}
-			rs[v] = best
 		}
-		pr.Runs[a.Name] = rs
+	}
+	runs := exp.Run(o.engine(), specs, func(_ int, s exp.Spec) Run {
+		return RunOne(MustApp(s.App), s.Line, Variant(s.Variant), s.Block, o)
+	})
+	pr := &PrefetchRuns{Runs: make(map[string]map[Variant]Run)}
+	for i, s := range specs {
+		rs := pr.Runs[s.App]
+		if rs == nil {
+			rs = make(map[Variant]Run)
+			pr.Runs[s.App] = rs
+		}
+		r := runs[i]
+		v := Variant(s.Variant)
+		if best, swept := rs[v]; !swept || r.Stats.Cycles < best.Stats.Cycles {
+			rs[v] = r
+		}
 	}
 	return pr
 }
@@ -268,9 +333,13 @@ func (pr *PrefetchRuns) Table() *report.Table {
 			if v == VariantNP || v == VariantLP {
 				blk = fmt.Sprint(r.Block)
 			}
+			sp := "n/a"
+			if s := r.Speedup(n); s != 0 {
+				sp = fmt.Sprintf("%.2f", s)
+			}
 			t.Add(a.Name, string(v), blk,
 				report.Ratio(float64(r.Stats.Cycles), float64(n.Stats.Cycles)),
-				fmt.Sprintf("%.2f", r.Speedup(n)))
+				sp)
 		}
 	}
 	return t
@@ -284,13 +353,16 @@ type SMVRuns struct {
 // RunSMV executes the Figure 10 experiment at the given line size.
 func RunSMV(o Options) *SMVRuns {
 	o = o.Norm()
-	a := MustApp("smv")
 	const line = 32
-	return &SMVRuns{
-		N:    RunOne(a, line, VariantN, 0, o),
-		L:    RunOne(a, line, VariantL, 0, o),
-		Perf: RunOne(a, line, VariantPerf, 0, o),
+	specs := []exp.Spec{
+		{App: "smv", Line: line, Variant: string(VariantN)},
+		{App: "smv", Line: line, Variant: string(VariantL)},
+		{App: "smv", Line: line, Variant: string(VariantPerf)},
 	}
+	runs := exp.Run(o.engine(), specs, func(_ int, s exp.Spec) Run {
+		return RunOne(MustApp(s.App), s.Line, Variant(s.Variant), 0, o)
+	})
+	return &SMVRuns{N: runs[0], L: runs[1], Perf: runs[2]}
 }
 
 // Tables renders Figure 10's four panels.
@@ -319,14 +391,29 @@ func (sr *SMVRuns) Tables() []*report.Table {
 			report.Ratio(float64(r.Stats.L1.Misses(1)), bs))
 	}
 
+	// A run with zero loads or stores must render as zero / "n/a", not
+	// NaN: divide only when the denominator is live.
+	frac := func(num, den uint64) float64 {
+		if den == 0 {
+			return 0
+		}
+		return float64(num) / float64(den)
+	}
+	avg := func(cycles, den uint64) string {
+		if den == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.2f", float64(cycles)/float64(den))
+	}
+
 	c := report.New("Figure 10(c): fraction of references forwarded (by hops)",
 		"case", "loads 1 hop", "loads 2+ hops", "stores 1 hop", "stores 2+ hops")
 	for _, r := range runs {
 		st := r.Stats
-		l1 := float64(st.LoadsFwdByHops[1]) / float64(st.Loads)
-		l2 := float64(st.LoadsForwarded()-st.LoadsFwdByHops[1]) / float64(st.Loads)
-		s1 := float64(st.StoresFwdByHops[1]) / float64(st.Stores)
-		s2 := float64(st.StoresForwarded()-st.StoresFwdByHops[1]) / float64(st.Stores)
+		l1 := frac(st.LoadsFwdByHops[1], st.Loads)
+		l2 := frac(st.LoadsForwarded()-st.LoadsFwdByHops[1], st.Loads)
+		s1 := frac(st.StoresFwdByHops[1], st.Stores)
+		s2 := frac(st.StoresForwarded()-st.StoresFwdByHops[1], st.Stores)
 		c.Add(string(r.Variant), report.Pct(l1), report.Pct(l2), report.Pct(s1), report.Pct(s2))
 	}
 
@@ -335,10 +422,10 @@ func (sr *SMVRuns) Tables() []*report.Table {
 	for _, r := range runs {
 		st := r.Stats
 		d.Add(string(r.Variant),
-			fmt.Sprintf("%.2f", float64(st.LoadCycles)/float64(st.Loads)),
-			fmt.Sprintf("%.2f", float64(st.LoadFwdCycles)/float64(st.Loads)),
-			fmt.Sprintf("%.2f", float64(st.StoreCycles)/float64(st.Stores)),
-			fmt.Sprintf("%.2f", float64(st.StoreFwdCycles)/float64(st.Stores)))
+			avg(st.LoadCycles, st.Loads),
+			avg(st.LoadFwdCycles, st.Loads),
+			avg(st.StoreCycles, st.Stores),
+			avg(st.StoreFwdCycles, st.Stores))
 	}
 	return []*report.Table{a, b, c, d}
 }
@@ -347,14 +434,34 @@ func (sr *SMVRuns) Tables() []*report.Table {
 // applied, and the measured space overhead of relocation.
 func RunTable1(o Options) *report.Table {
 	o = o.Norm()
+	specs := make([]exp.Spec, len(apps))
+	for i, a := range apps {
+		specs[i] = exp.Spec{App: a.Name, Line: 128, Variant: string(VariantL)}
+	}
+	runs := exp.Run(o.engine(), specs, func(_ int, s exp.Spec) Run {
+		return RunOne(MustApp(s.App), s.Line, Variant(s.Variant), 0, o)
+	})
 	t := report.New("Table 1: applications and optimizations",
 		"app", "optimization", "relocated objs", "space overhead", "insts (opt run)")
-	for _, a := range apps {
-		r := RunOne(a, 128, VariantL, 0, o)
+	for i, a := range apps {
+		r := runs[i]
 		t.Add(a.Name, a.Optimization, fmt.Sprint(r.Result.Relocated),
 			report.KB(r.Result.SpaceOverhead), fmt.Sprint(r.Stats.Instructions))
 	}
 	return t
+}
+
+// RunLines executes one application under one variant across several
+// line sizes through the engine — the sweep behind memfwd-sim -lines.
+func RunLines(a App, lines []int, v Variant, block int, o Options) []Run {
+	o = o.Norm()
+	specs := make([]exp.Spec, len(lines))
+	for i, line := range lines {
+		specs[i] = exp.Spec{App: a.Name, Line: line, Variant: string(v), Block: block}
+	}
+	return exp.Run(o.engine(), specs, func(_ int, s exp.Spec) Run {
+		return RunOne(a, s.Line, Variant(s.Variant), s.Block, o)
+	})
 }
 
 // Figure8Layout demonstrates the eqntott layout transformation on a
@@ -436,11 +543,15 @@ func Figure9Layout(clusterBytes uint64) *report.Table {
 // application of Section 2.2 on the mp extension: four processors
 // increment per-processor counters that share one cache line, then the
 // counters are relocated one-per-line (forwarding-safe) and the
-// ping-pong disappears.
-func RunFalseSharing() *report.Table {
+// ping-pong disappears. Both layouts run as independent engine jobs.
+func RunFalseSharing(o Options) *report.Table {
 	t := report.New("Extension: false sharing cured by forwarding-safe relocation (Section 2.2)",
 		"layout", "invalidations", "false-sharing", "cycles", "speedup")
-	run := func(relocate bool) (Stats uint64, falseInv uint64, cycles int64) {
+	type fsRun struct {
+		inv, falseInv uint64
+		cycles        int64
+	}
+	run := func(relocate bool) fsRun {
 		s := NewSystem(SystemConfig{Processors: 4, LineSize: 64})
 		base := s.Heap.Alloc(4 * 8)
 		counters := make([]Addr, 4)
@@ -457,11 +568,18 @@ func RunFalseSharing() *report.Table {
 				c.Inst(6)
 			}
 		}
-		return s.Stats.Invalidations, s.Stats.FalseInvalidations, s.Cycles()
+		return fsRun{s.Stats.Invalidations, s.Stats.FalseInvalidations, s.Cycles()}
 	}
-	i0, f0, c0 := run(false)
-	i1, f1, c1 := run(true)
-	t.Addf("packed (one line)", i0, f0, c0, "")
-	t.Addf("relocated (one line each)", i1, f1, c1, report.Ratio(float64(c0), float64(c1)))
+	specs := []exp.Spec{
+		{App: "false-sharing", Variant: "packed"},
+		{App: "false-sharing", Variant: "relocated"},
+	}
+	runs := exp.Run(o.engine(), specs, func(_ int, s exp.Spec) fsRun {
+		return run(s.Variant == "relocated")
+	})
+	p, r := runs[0], runs[1]
+	t.Addf("packed (one line)", p.inv, p.falseInv, p.cycles, "")
+	t.Addf("relocated (one line each)", r.inv, r.falseInv, r.cycles,
+		report.Ratio(float64(p.cycles), float64(r.cycles)))
 	return t
 }

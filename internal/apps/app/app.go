@@ -43,6 +43,44 @@ type Config struct {
 
 	// Scale multiplies the default workload size (1 = standard).
 	Scale int
+
+	// Hooks are optional per-run observation callbacks (test support).
+	// They travel with the Config instead of living in package-level
+	// variables so that concurrent runs on the experiment engine never
+	// share mutable state.
+	Hooks Hooks
+}
+
+// Hooks are the per-run observation callbacks. Each field is consulted
+// only by the application named in its comment; nil fields cost one
+// comparison. Hooks observe simulated state mid-run and must not
+// retain the *sim.Machine beyond the callback.
+type Hooks struct {
+	// BHTree observes (machine, rootHandle, bodyList) after each
+	// build+summarize+cluster step (bh).
+	BHTree func(m *sim.Machine, rootHandle, bodyList mem.Addr)
+
+	// Table observes (machine, bucketsBase, nBuckets) after table
+	// construction and any packing/linearization (eqntott, smv).
+	Table func(m *sim.Machine, buckets mem.Addr, n int)
+
+	// HealthStep is invoked after every simulation step with the
+	// machine and the village addresses (health).
+	HealthStep func(m *sim.Machine, villages []mem.Addr)
+
+	// HealthVillage is invoked after each village's sub-step with
+	// (step, villageIndex, villageAddr) (health).
+	HealthVillage func(m *sim.Machine, step, village int, addr mem.Addr)
+
+	// MSTEdge observes every inserted edge (mst; a host-side reference
+	// MST can be computed over the same graph).
+	MSTEdge func(a, b int, w uint64)
+
+	// CompressInput receives the generated input bytes and
+	// CompressEmit every output code, so tests can decode the stream
+	// and verify the round trip (compress).
+	CompressInput func([]byte)
+	CompressEmit  func(uint64)
 }
 
 // Norm returns cfg with defaults applied.

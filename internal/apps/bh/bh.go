@@ -44,10 +44,6 @@ const (
 	bBytes = 48
 )
 
-// DebugTree, when non-nil, observes (machine, rootHandle, bodyList)
-// after each build+summarize+cluster (test support).
-var DebugTree func(m *sim.Machine, rootHandle, bodyList mem.Addr)
-
 var cellDesc = opt.TreeDesc{
 	NodeBytes: cBytes,
 	ChildOffs: []uint64{24, 32, 40, 48, 56, 64, 72, 80},
@@ -131,8 +127,8 @@ func run(m *sim.Machine, cfg app.Config) app.Result {
 			// layouts, hence the timings, coincide with N).
 			s.reloc += s.clusterCells(rootHandle, clusterBytes)
 		}
-		if DebugTree != nil {
-			DebugTree(m, rootHandle, bodyList)
+		if cfg.Hooks.BHTree != nil {
+			cfg.Hooks.BHTree(m, rootHandle, bodyList)
 		}
 
 		// Force computation in fairly random body order.

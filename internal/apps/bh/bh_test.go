@@ -62,7 +62,8 @@ func peek(m *sim.Machine, a uint64) uint64 {
 func TestMassConservation(t *testing.T) {
 	for _, optOn := range []bool{false, true} {
 		checked := 0
-		DebugTree = func(m *sim.Machine, rootHandle, bodyList mem.Addr) {
+		cfg := app.Config{Seed: 13, Opt: optOn}
+		cfg.Hooks.BHTree = func(m *sim.Machine, rootHandle, bodyList mem.Addr) {
 			var bodyMass uint64
 			nBodies := 0
 			for p := bodyList; p != 0; p = mem.Addr(peek(m, uint64(p)+bNext)) {
@@ -80,8 +81,7 @@ func TestMassConservation(t *testing.T) {
 			}
 			checked++
 		}
-		apptest.Run(App, app.Config{Seed: 13, Opt: optOn})
-		DebugTree = nil
+		apptest.Run(App, cfg)
 		if checked == 0 {
 			t.Fatal("hook never fired")
 		}
@@ -92,7 +92,8 @@ func TestMassConservation(t *testing.T) {
 // child reachable once, kinds valid, and (optimized case) clustered
 // cells still form a proper tree.
 func TestTreeWellFormed(t *testing.T) {
-	DebugTree = func(m *sim.Machine, rootHandle, bodyList mem.Addr) {
+	cfg := app.Config{Seed: 13, Opt: true}
+	cfg.Hooks.BHTree = func(m *sim.Machine, rootHandle, bodyList mem.Addr) {
 		seen := map[uint64]bool{}
 		var walk func(p mem.Addr)
 		nodes := 0
@@ -122,6 +123,5 @@ func TestTreeWellFormed(t *testing.T) {
 			t.Fatalf("suspiciously small tree: %d nodes", nodes)
 		}
 	}
-	defer func() { DebugTree = nil }()
-	apptest.Run(App, app.Config{Seed: 13, Opt: true})
+	apptest.Run(App, cfg)
 }

@@ -38,14 +38,6 @@ const (
 	maxCode = tableSize * 4 / 5
 )
 
-// Debug hooks (test support): when non-nil, DebugInput receives the
-// generated input and DebugEmit every output code, so tests can decode
-// the stream and verify the round trip.
-var (
-	DebugInput func([]byte)
-	DebugEmit  func(uint64)
-)
-
 type state struct {
 	m   *sim.Machine
 	cfg app.Config
@@ -112,12 +104,12 @@ func run(m *sim.Machine, cfg app.Config) app.Result {
 	emit := func(code uint64) {
 		outCount++
 		outXor = outXor*31 + code
-		if DebugEmit != nil {
-			DebugEmit(code)
+		if cfg.Hooks.CompressEmit != nil {
+			cfg.Hooks.CompressEmit(code)
 		}
 	}
-	if DebugInput != nil {
-		DebugInput(input)
+	if cfg.Hooks.CompressInput != nil {
+		cfg.Hooks.CompressInput(input)
 	}
 
 	ent := uint64(input[0])

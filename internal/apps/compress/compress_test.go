@@ -83,11 +83,11 @@ func TestRoundTrip(t *testing.T) {
 	for _, optOn := range []bool{false, true} {
 		var input []byte
 		var codes []uint64
-		DebugInput = func(b []byte) { input = append([]byte{}, b...) }
-		DebugEmit = func(c uint64) { codes = append(codes, c) }
+		cfg := app.Config{Seed: 21, Opt: optOn}
+		cfg.Hooks.CompressInput = func(b []byte) { input = append([]byte{}, b...) }
+		cfg.Hooks.CompressEmit = func(c uint64) { codes = append(codes, c) }
 		m := sim.New(sim.Config{})
-		App.Run(m, app.Config{Seed: 21, Opt: optOn})
-		DebugInput, DebugEmit = nil, nil
+		App.Run(m, cfg)
 
 		got := lzwDecode(codes)
 		if len(got) != len(input) {

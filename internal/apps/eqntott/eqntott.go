@@ -33,10 +33,6 @@ const (
 	arrayBytes = nShorts * 2
 )
 
-// DebugTable, when non-nil, observes (machine, bucketsBase, nBuckets)
-// after construction and any packing (test support).
-var DebugTable func(m *sim.Machine, buckets mem.Addr, nBkts int)
-
 // App is the registry entry.
 var App = app.App{
 	Name:         "eqntott",
@@ -84,8 +80,8 @@ func run(m *sim.Machine, cfg app.Config) app.Result {
 			s.packTable()
 		}
 	}
-	if DebugTable != nil {
-		DebugTable(m, s.buckets, s.nBkts)
+	if cfg.Hooks.Table != nil {
+		cfg.Hooks.Table(m, s.buckets, s.nBkts)
 	}
 
 	probe := s.makeProbe()

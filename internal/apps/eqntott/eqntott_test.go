@@ -51,11 +51,11 @@ func peek(m *sim.Machine, a mem.Addr) uint64 {
 func TestPackedLayoutContiguous(t *testing.T) {
 	var buckets mem.Addr
 	var nBkts int
-	DebugTable = func(m *sim.Machine, b mem.Addr, n int) { buckets, nBkts = b, n }
-	defer func() { DebugTable = nil }()
+	cfg := app.Config{Seed: 5, Opt: true}
+	cfg.Hooks.Table = func(m *sim.Machine, b mem.Addr, n int) { buckets, nBkts = b, n }
 
 	m := sim.New(sim.Config{})
-	App.Run(m, app.Config{Seed: 5, Opt: true})
+	App.Run(m, cfg)
 
 	const chunk = tBytes + arrayBytes
 	pairs, contiguous := 0, 0
@@ -89,11 +89,11 @@ func TestPackedLayoutContiguous(t *testing.T) {
 // original layout, records and their arrays are not adjacent.
 func TestUnpackedLayoutScattered(t *testing.T) {
 	var buckets mem.Addr
-	DebugTable = func(m *sim.Machine, b mem.Addr, n int) { buckets = b }
-	defer func() { DebugTable = nil }()
+	cfg := app.Config{Seed: 5}
+	cfg.Hooks.Table = func(m *sim.Machine, b mem.Addr, n int) { buckets = b }
 
 	m := sim.New(sim.Config{})
-	App.Run(m, app.Config{Seed: 5})
+	App.Run(m, cfg)
 
 	adjacent, total := 0, 0
 	for b := 0; b < 16; b++ {

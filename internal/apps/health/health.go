@@ -45,14 +45,6 @@ var listDesc = opt.ListDesc{NodeBytes: pBytes, NextOff: pNext}
 // Section 2.2).
 const linearizePeriod = 12
 
-// DebugStepHook, when non-nil, is invoked after every simulation step
-// with the machine and the village addresses (test support only).
-var DebugStepHook func(m *sim.Machine, villages []mem.Addr)
-
-// DebugVillageHook, when non-nil, is invoked after each village's
-// sub-step with (step, villageIndex) (test support only).
-var DebugVillageHook func(m *sim.Machine, step, village int, addr mem.Addr)
-
 // App is the registry entry.
 var App = app.App{
 	Name:         "health",
@@ -114,12 +106,12 @@ func run(m *sim.Machine, cfg app.Config) app.Result {
 		s.step = t
 		for vi, v := range s.villages {
 			s.stepVillage(v)
-			if DebugVillageHook != nil {
-				DebugVillageHook(m, t, vi, v)
+			if cfg.Hooks.HealthVillage != nil {
+				cfg.Hooks.HealthVillage(m, t, vi, v)
 			}
 		}
-		if DebugStepHook != nil {
-			DebugStepHook(m, s.villages)
+		if cfg.Hooks.HealthStep != nil {
+			cfg.Hooks.HealthStep(m, s.villages)
 		}
 	}
 	m.PhaseEnd("sim")

@@ -94,7 +94,8 @@ func peek(m *sim.Machine, a mem.Addr) uint64 {
 func TestListsWellFormedEveryStep(t *testing.T) {
 	for _, optOn := range []bool{false, true} {
 		steps := 0
-		DebugStepHook = func(m *sim.Machine, villages []mem.Addr) {
+		cfg := app.Config{Seed: 11, Opt: optOn}
+		cfg.Hooks.HealthStep = func(m *sim.Machine, villages []mem.Addr) {
 			steps++
 			if steps%5 != 0 { // every 5th step keeps the test quick
 				return
@@ -125,8 +126,7 @@ func TestListsWellFormedEveryStep(t *testing.T) {
 				}
 			}
 		}
-		_, _ = runCfg(app.Config{Seed: 11, Opt: optOn})
-		DebugStepHook = nil
+		_, _ = runCfg(cfg)
 		if steps == 0 {
 			t.Fatal("hook never fired")
 		}

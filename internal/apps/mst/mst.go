@@ -28,10 +28,6 @@ const (
 
 var chainDesc = opt.ListDesc{NodeBytes: eBytes, NextOff: eNext}
 
-// DebugEdge, when non-nil, observes every inserted edge (test support:
-// a host-side reference MST is computed over the same graph).
-var DebugEdge func(a, b int, w uint64)
-
 // App is the registry entry.
 var App = app.App{
 	Name:         "mst",
@@ -142,8 +138,8 @@ func (s *state) insert(a, b int, w uint64) {
 	m.StoreWord(e+eWeight, w)
 	m.StorePtr(e+eNext, m.LoadPtr(h))
 	m.StorePtr(h, e)
-	if DebugEdge != nil {
-		DebugEdge(a, b, w)
+	if s.cfg.Hooks.MSTEdge != nil {
+		s.cfg.Hooks.MSTEdge(a, b, w)
 	}
 }
 

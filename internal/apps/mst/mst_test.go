@@ -49,7 +49,8 @@ func TestAgainstReferencePrim(t *testing.T) {
 		}
 		adj := map[int][]edge{}
 		maxV := 0
-		DebugEdge = func(a, b int, w uint64) {
+		cfg := app.Config{Seed: 17, Opt: optOn}
+		cfg.Hooks.MSTEdge = func(a, b int, w uint64) {
 			adj[a] = append(adj[a], edge{b, w})
 			if a > maxV {
 				maxV = a
@@ -58,8 +59,7 @@ func TestAgainstReferencePrim(t *testing.T) {
 				maxV = b
 			}
 		}
-		r, _ := apptest.Run(App, app.Config{Seed: 17, Opt: optOn})
-		DebugEdge = nil
+		r, _ := apptest.Run(App, cfg)
 
 		n := maxV + 1
 		const inf = ^uint64(0)

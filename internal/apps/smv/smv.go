@@ -43,11 +43,6 @@ var App = app.App{
 
 const nBuckets = 512
 
-// DebugTable, when non-nil, observes (machine, bucketsBase, nBuckets)
-// after the build (and optional linearization) completes (test
-// support).
-var DebugTable func(m *sim.Machine, buckets mem.Addr, n int)
-
 type state struct {
 	m       *sim.Machine
 	cfg     app.Config
@@ -106,8 +101,8 @@ func run(m *sim.Machine, cfg app.Config) app.Result {
 		}
 	}
 
-	if DebugTable != nil {
-		DebugTable(m, s.buckets, nBuckets)
+	if cfg.Hooks.Table != nil {
+		cfg.Hooks.Table(m, s.buckets, nBuckets)
 	}
 
 	// Evaluation phase: tree walks through low/high pointers (these

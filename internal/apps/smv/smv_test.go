@@ -72,10 +72,10 @@ func TestUniqueTableInvariant(t *testing.T) {
 	for _, optOn := range []bool{false, true} {
 		var buckets mem.Addr
 		var nBkts int
-		DebugTable = func(m *sim.Machine, b mem.Addr, n int) { buckets, nBkts = b, n }
+		cfg := app.Config{Seed: 5, Opt: optOn}
+		cfg.Hooks.Table = func(m *sim.Machine, b mem.Addr, n int) { buckets, nBkts = b, n }
 		m := sim.New(sim.Config{})
-		App.Run(m, app.Config{Seed: 5, Opt: optOn})
-		DebugTable = nil
+		App.Run(m, cfg)
 
 		final := func(a mem.Addr) mem.Addr {
 			f, _, err := m.Fwd.Resolve(a, nil)
@@ -118,10 +118,10 @@ func TestUniqueTableInvariant(t *testing.T) {
 func TestLinearizedChainsContiguous(t *testing.T) {
 	var buckets mem.Addr
 	var nBkts int
-	DebugTable = func(m *sim.Machine, b mem.Addr, n int) { buckets, nBkts = b, n }
-	defer func() { DebugTable = nil }()
+	cfg := app.Config{Seed: 5, Opt: true}
+	cfg.Hooks.Table = func(m *sim.Machine, b mem.Addr, n int) { buckets, nBkts = b, n }
 	m := sim.New(sim.Config{})
-	App.Run(m, app.Config{Seed: 5, Opt: true})
+	App.Run(m, cfg)
 
 	pairs, contiguous := 0, 0
 	for b := 0; b < nBkts; b++ {

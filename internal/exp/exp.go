@@ -1,0 +1,258 @@
+// Package exp is the parallel experiment engine behind the figure
+// runners. The paper's evaluation is a large matrix of independent
+// simulations — app × line size × variant × prefetch block — and every
+// cell constructs its own Machine, so the matrix is embarrassingly
+// parallel. The engine turns a runner's nested loops into a slice of
+// job Specs, executes them across a worker pool, and returns results
+// indexed exactly as the specs were given: callers observe the same
+// deterministic order as the old serial loops, byte for byte, at any
+// worker count.
+//
+// Progress is observable through the existing observability layer
+// (internal/obs): an optional Progress publishes jobs queued / running
+// / done and per-cell wall time as metrics-registry views, and an
+// optional Tracer receives one phaseBegin/phaseEnd event pair per cell
+// (timestamped in wall-clock microseconds since the engine started, so
+// a Perfetto sink renders the pool as a span timeline).
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"memfwd/internal/obs"
+)
+
+// Spec identifies one cell of an experiment matrix. Zero fields are
+// simply absent (the false-sharing experiment has no line size or
+// prefetch block, for example); App and Variant carry the identity.
+type Spec struct {
+	App     string
+	Line    int // cache line size in bytes, 0 if not swept
+	Variant string
+	Block   int // prefetch block size in lines, 0 if none
+}
+
+// String renders the cell compactly ("health/line32/NP/blk4") for
+// trace labels and progress output.
+func (s Spec) String() string {
+	parts := make([]string, 0, 4)
+	if s.App != "" {
+		parts = append(parts, s.App)
+	}
+	if s.Line > 0 {
+		parts = append(parts, fmt.Sprintf("line%d", s.Line))
+	}
+	if s.Variant != "" {
+		parts = append(parts, s.Variant)
+	}
+	if s.Block > 0 {
+		parts = append(parts, fmt.Sprintf("blk%d", s.Block))
+	}
+	return strings.Join(parts, "/")
+}
+
+// Config parameterizes one engine invocation.
+type Config struct {
+	// Jobs is the worker-pool size; <= 0 takes GOMAXPROCS. Results are
+	// identical at every value — only wall time changes.
+	Jobs int
+
+	// Tracer, when non-nil, receives a phaseBegin/phaseEnd event pair
+	// per job (Label = Spec.String(), N = job index, Cycle = wall-clock
+	// microseconds since Run started). The engine serializes its own
+	// emissions; the tracer must not be fed concurrently by others
+	// while Run executes.
+	Tracer *obs.Tracer
+
+	// Progress, when non-nil, is updated live as jobs move through the
+	// pool; register it on a metrics registry to watch long suites.
+	Progress *Progress
+}
+
+// Run executes run(i, specs[i]) for every spec across a worker pool and
+// returns the results in spec order. The result slice layout is
+// independent of worker count and completion order, which is what keeps
+// tables, golden files, and -json output byte-identical between
+// -jobs=1 and -jobs=N. A panic in run propagates and crashes the
+// process, exactly as it would have in the serial loops.
+func Run[R any](cfg Config, specs []Spec, run func(i int, s Spec) R) []R {
+	results := make([]R, len(specs))
+	if len(specs) == 0 {
+		return results
+	}
+	jobs := cfg.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(specs) {
+		jobs = len(specs)
+	}
+
+	cfg.Progress.enqueue(len(specs))
+	start := time.Now()
+	var traceMu sync.Mutex
+	emit := func(kind obs.Kind, i int) {
+		if cfg.Tracer == nil {
+			return
+		}
+		traceMu.Lock()
+		cfg.Tracer.Emit(obs.Event{
+			Cycle: time.Since(start).Microseconds(),
+			Kind:  kind,
+			N:     uint64(i),
+			Label: specs[i].String(),
+		})
+		traceMu.Unlock()
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				cfg.Progress.begin()
+				emit(obs.KPhaseBegin, i)
+				t0 := time.Now()
+				results[i] = run(i, specs[i])
+				d := time.Since(t0)
+				emit(obs.KPhaseEnd, i)
+				cfg.Progress.finish(d)
+			}
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// Progress is the engine's observable state: jobs queued, running, and
+// done, plus per-cell wall-time aggregates. One Progress may be shared
+// across several Run invocations (a whole figure suite); counts
+// accumulate. All methods are safe for concurrent use and are no-ops
+// on a nil receiver, mirroring the obs.Tracer idiom.
+type Progress struct {
+	mu       sync.Mutex
+	queued   int
+	running  int
+	done     int
+	wallSum  time.Duration
+	wallMax  time.Duration
+	lastSpan time.Duration
+}
+
+func (p *Progress) enqueue(n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.queued += n
+	p.mu.Unlock()
+}
+
+func (p *Progress) begin() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.queued--
+	p.running++
+	p.mu.Unlock()
+}
+
+func (p *Progress) finish(d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.running--
+	p.done++
+	p.wallSum += d
+	p.lastSpan = d
+	if d > p.wallMax {
+		p.wallMax = d
+	}
+	p.mu.Unlock()
+}
+
+// Queued returns the number of jobs submitted but not yet started.
+func (p *Progress) Queued() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.queued
+}
+
+// Running returns the number of jobs currently executing.
+func (p *Progress) Running() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.running
+}
+
+// Done returns the number of completed jobs.
+func (p *Progress) Done() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.done
+}
+
+// CellWallSum returns the summed wall time of all completed cells (the
+// serial-equivalent cost of the work done so far).
+func (p *Progress) CellWallSum() time.Duration {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.wallSum
+}
+
+// CellWallMax returns the wall time of the slowest completed cell.
+func (p *Progress) CellWallMax() time.Duration {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.wallMax
+}
+
+// CellWallLast returns the wall time of the most recently completed
+// cell.
+func (p *Progress) CellWallLast() time.Duration {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastSpan
+}
+
+// RegisterMetrics exposes the progress counters on a metrics registry
+// as live views: exp.jobs.queued / running / done and
+// exp.cell.wall_seconds.{sum,max,last}. Register once per registry.
+func (p *Progress) RegisterMetrics(r *obs.Registry) {
+	r.GaugeFunc("exp.jobs.queued", func() float64 { return float64(p.Queued()) })
+	r.GaugeFunc("exp.jobs.running", func() float64 { return float64(p.Running()) })
+	r.GaugeFunc("exp.jobs.done", func() float64 { return float64(p.Done()) })
+	r.GaugeFunc("exp.cell.wall_seconds.sum", func() float64 { return p.CellWallSum().Seconds() })
+	r.GaugeFunc("exp.cell.wall_seconds.max", func() float64 { return p.CellWallMax().Seconds() })
+	r.GaugeFunc("exp.cell.wall_seconds.last", func() float64 { return p.CellWallLast().Seconds() })
+}

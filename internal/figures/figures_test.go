@@ -1,0 +1,95 @@
+package figures
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"memfwd"
+)
+
+func TestKnownNames(t *testing.T) {
+	for _, n := range Names {
+		if !Known(n) {
+			t.Errorf("%q not recognized", n)
+		}
+	}
+	for _, n := range []string{"fig11", "FIG5", "table", ""} {
+		if Known(n) {
+			t.Errorf("%q wrongly recognized", n)
+		}
+	}
+}
+
+// TestUnknownOnlyFails is the silent-no-op fix: an unknown -only value
+// used to run nothing and exit 0; it must now be an error that names
+// the valid selectors and produces no output.
+func TestUnknownOnlyFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := Run(Config{Only: "fig99", Seed: 9, Scale: 1}, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("unknown -only accepted")
+	}
+	if !strings.Contains(err.Error(), "fig99") || !strings.Contains(err.Error(), "table1") {
+		t.Fatalf("error %q should name the bad value and the valid set", err)
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("unknown -only still produced output: %q", stdout.String())
+	}
+}
+
+// TestEnvelopeShape checks the aggregated -json document: one
+// top-level object keyed by figure name, keys in a fixed order.
+func TestEnvelopeShape(t *testing.T) {
+	env := Envelope{
+		Fig5:  []memfwd.Run{{App: "health", Line: 32, Variant: memfwd.VariantN}},
+		Fig7:  []memfwd.Run{{App: "health", Line: 32, Variant: memfwd.VariantNP, Block: 4}},
+		Fig10: []memfwd.Run{{App: "smv", Line: 32, Variant: memfwd.VariantPerf}},
+	}
+	var buf bytes.Buffer
+	if err := memfwd.WriteJSON(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string][]memfwd.Run
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("envelope is not one JSON object: %v", err)
+	}
+	for _, key := range []string{"fig5", "fig7", "fig10"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("envelope missing key %q", key)
+		}
+	}
+	if len(m) != 3 {
+		t.Errorf("envelope has %d keys, want 3", len(m))
+	}
+	i5 := bytes.Index(buf.Bytes(), []byte(`"fig5"`))
+	i7 := bytes.Index(buf.Bytes(), []byte(`"fig7"`))
+	i10 := bytes.Index(buf.Bytes(), []byte(`"fig10"`))
+	if !(i5 < i7 && i7 < i10) {
+		t.Errorf("key order not fixed: fig5@%d fig7@%d fig10@%d", i5, i7, i10)
+	}
+}
+
+// TestJSONDeterministicAcrossJobs runs the cheapest run-series figure
+// end to end and requires byte-identical stdout at different worker
+// counts — the pipeline-level determinism guarantee.
+func TestJSONDeterministicAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs six SMV simulations")
+	}
+	out := func(jobs int) []byte {
+		var stdout, stderr bytes.Buffer
+		if err := Run(Config{Only: "fig10", JSON: true, Seed: 9, Scale: 1, Jobs: jobs}, &stdout, &stderr); err != nil {
+			t.Fatal(err)
+		}
+		return stdout.Bytes()
+	}
+	a, b := out(1), out(8)
+	if len(a) == 0 {
+		t.Fatal("no JSON output")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("fig10 JSON differs between jobs=1 and jobs=8")
+	}
+}

@@ -55,6 +55,10 @@ type (
 	App = app.App
 	// AppConfig selects an application run variant.
 	AppConfig = app.Config
+	// AppHooks carries per-run debug/test callbacks inside an AppConfig;
+	// keeping them per-run (not package-level) is what makes concurrent
+	// experiment cells race-free.
+	AppHooks = app.Hooks
 	// AppResult is what an application run reports.
 	AppResult = app.Result
 )

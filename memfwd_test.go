@@ -289,7 +289,7 @@ func TestTrapAPIVisible(t *testing.T) {
 }
 
 func TestRunFalseSharingTable(t *testing.T) {
-	tab := RunFalseSharing()
+	tab := RunFalseSharing(Options{})
 	if len(tab.Rows) != 2 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}

@@ -1,0 +1,68 @@
+package memfwd
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestParallelDeterminism is the engine's core guarantee: the figure
+// matrices encode byte-identically no matter how many workers ran them.
+// The jobs=8 leg also exercises concurrent application runs under
+// `go test -race`.
+func TestParallelDeterminism(t *testing.T) {
+	encode := func(jobs int) []byte {
+		var buf bytes.Buffer
+		lr := RunLocality(Options{Seed: 9, Lines: []int{32}, Jobs: jobs})
+		if err := WriteJSON(&buf, lr.Runs); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(encode(1), encode(8)) {
+		t.Fatal("RunLocality JSON differs between jobs=1 and jobs=8")
+	}
+}
+
+// TestParallelProgressObserved runs a matrix with a Progress attached
+// and checks the engine surfaced every cell.
+func TestParallelProgressObserved(t *testing.T) {
+	p := &JobProgress{}
+	lr := RunLocality(Options{Seed: 9, Lines: []int{32}, Jobs: 4, Progress: p})
+	if p.Done() != len(lr.Runs) {
+		t.Fatalf("progress saw %d cells, matrix has %d", p.Done(), len(lr.Runs))
+	}
+	if p.CellWallSum() <= 0 {
+		t.Fatal("no cell wall time recorded")
+	}
+}
+
+func TestLocalityRunsGetMiss(t *testing.T) {
+	lr := RunLocality(Options{Seed: 9, Lines: []int{32}})
+	if _, ok := lr.Get("health", 32, VariantN); !ok {
+		t.Fatal("known cell not found")
+	}
+	if _, ok := lr.Get("nosuch", 32, VariantN); ok {
+		t.Fatal("unknown app found")
+	}
+	if _, ok := lr.Get("health", 4096, VariantN); ok {
+		t.Fatal("unswept line size found")
+	}
+}
+
+func TestSpeedupZeroGuard(t *testing.T) {
+	var zero Run
+	full := Run{Stats: &Stats{Cycles: 100}}
+	if s := zero.Speedup(full); s != 0 {
+		t.Fatalf("Speedup with nil stats = %v, want 0", s)
+	}
+	if s := full.Speedup(zero); s != 0 {
+		t.Fatalf("Speedup against nil base = %v, want 0", s)
+	}
+	empty := Run{Stats: &Stats{}}
+	if s := empty.Speedup(full); s != 0 {
+		t.Fatalf("Speedup with zero cycles = %v, want 0", s)
+	}
+	if s := full.Speedup(Run{Stats: &Stats{Cycles: 200}}); s != 2 {
+		t.Fatalf("Speedup = %v, want 2", s)
+	}
+}
