@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"memfwd/internal/figures"
+	"memfwd/internal/pprofutil"
 )
 
 func main() {
@@ -32,8 +33,17 @@ func main() {
 		asJSON = flag.Bool("json", false, "emit raw runs as JSON instead of tables (fig5/fig6/fig7/fig10)")
 		sample = flag.Uint64("sample", 0, "attach the sampler: a time-series point every N instructions per run, in each run's Samples (JSON) with per-phase labels")
 		jobs   = flag.Int("jobs", 0, "experiment-engine worker count (0 = GOMAXPROCS); results are identical at any value")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a Go CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a Go heap profile (after GC) to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := pprofutil.StartCPU(*cpuProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
 
 	cfg := figures.Config{
 		Only:   *only,
@@ -43,8 +53,14 @@ func main() {
 		Sample: *sample,
 		Jobs:   *jobs,
 	}
-	if err := figures.Run(cfg, os.Stdout, os.Stderr); err != nil {
+	runErr := figures.Run(cfg, os.Stdout, os.Stderr)
+
+	stopProf()
+	if err := pprofutil.WriteHeap(*memProfile); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "figures:", runErr)
 		os.Exit(2)
 	}
 }

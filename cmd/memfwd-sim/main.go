@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"memfwd"
+	"memfwd/internal/pprofutil"
 )
 
 func main() {
@@ -51,8 +52,23 @@ func main() {
 
 		lines = flag.String("lines", "", "comma-separated line sizes (e.g. 32,64,128): sweep them through the parallel experiment engine instead of one -line run")
 		jobs  = flag.Int("jobs", 0, "experiment-engine worker count for -lines sweeps (0 = GOMAXPROCS); results are identical at any value")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a Go CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a Go heap profile (after GC) to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := pprofutil.StartCPU(*cpuProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memfwd-sim:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		stopProf()
+		if err := pprofutil.WriteHeap(*memProfile); err != nil {
+			fmt.Fprintln(os.Stderr, "memfwd-sim:", err)
+		}
+	}()
 
 	if *list {
 		for _, a := range memfwd.Apps() {

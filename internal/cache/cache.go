@@ -111,9 +111,13 @@ type mshr struct {
 
 // Cache is one set-associative write-back, write-allocate level.
 type Cache struct {
-	cfg   Config
-	next  Backend
-	sets  [][]line
+	cfg  Config
+	next Backend
+	// lines holds all sets contiguously (assoc entries per set): one
+	// flat slice keeps set selection to a single index computation with
+	// no per-set slice header chase on the hit path.
+	lines []line
+	assoc int
 	mshrs []mshr
 
 	setShift uint
@@ -151,16 +155,14 @@ func New(cfg Config, next Backend) *Cache {
 	c := &Cache{
 		cfg:      cfg,
 		next:     next,
-		sets:     make([][]line, nSets),
+		lines:    make([]line, nLines),
+		assoc:    cfg.Assoc,
 		mshrs:    make([]mshr, cfg.MSHRs),
 		lineMask: ^uint64(cfg.LineSize - 1),
 		setMask:  uint64(nSets - 1),
 	}
 	for s := uint(0); (1 << s) < cfg.LineSize; s++ {
 		c.setShift = s + 1
-	}
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Assoc)
 	}
 	return c
 }
@@ -199,7 +201,8 @@ func (c *Cache) LineSize() int { return c.cfg.LineSize }
 func (c *Cache) LineAddr(a uint64) uint64 { return a & c.lineMask }
 
 func (c *Cache) set(lineAddr uint64) []line {
-	return c.sets[(lineAddr>>c.setShift)&c.setMask]
+	s := int((lineAddr >> c.setShift) & c.setMask)
+	return c.lines[s*c.assoc : (s+1)*c.assoc]
 }
 
 func (c *Cache) lookup(lineAddr uint64) *line {
@@ -214,6 +217,13 @@ func (c *Cache) lookup(lineAddr uint64) *line {
 
 // outstanding returns the MSHR tracking lineAddr if its fill has not yet
 // completed by cycle now.
+//
+// The scan is deliberately not short-circuited by a max-ready
+// watermark: access timestamps are only approximately monotone (store
+// drains run at graduation time, loads at issue time), and the lazy
+// inUse-clearing side effects of the scan at large now values are
+// observable by later calls at smaller now values; skipping them
+// changes miss classifications.
 func (c *Cache) outstanding(lineAddr uint64, now int64) *mshr {
 	for i := range c.mshrs {
 		m := &c.mshrs[i]
@@ -380,11 +390,9 @@ func (c *Cache) Present(a uint64) bool { return c.lookup(a&c.lineMask) != nil }
 // Contents returns the number of valid lines (test support).
 func (c *Cache) Contents() int {
 	n := 0
-	for _, set := range c.sets {
-		for _, ln := range set {
-			if ln.valid {
-				n++
-			}
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
 		}
 	}
 	return n

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"memfwd/internal/mem"
+)
+
+var benchAddr mem.Addr
+
+func BenchmarkResolveUnforwarded(b *testing.B) {
+	f := newF()
+	f.Mem.WriteWord(0x8000, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, _, _ := f.Resolve(0x8004, nil)
+		benchAddr += a
+	}
+}
+
+func BenchmarkResolveChain4(b *testing.B) {
+	f := newF()
+	buildChain(f, 0x8000, 0x40000, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, _, _ := f.Resolve(0x8004, nil)
+		benchAddr += a
+	}
+}
+
+func BenchmarkResolveChain4WithHopFunc(b *testing.B) {
+	f := newF()
+	buildChain(f, 0x8000, 0x40000, 4)
+	var hops []mem.Addr
+	hopFn := func(wa mem.Addr, hop int) { hops = append(hops, wa) }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hops = hops[:0]
+		a, _, _ := f.Resolve(0x8004, hopFn)
+		benchAddr += a
+	}
+}
+
+func BenchmarkAppendChainWords4(b *testing.B) {
+	f := newF()
+	buildChain(f, 0x8000, 0x40000, 4)
+	buf := make([]mem.Addr, 0, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = f.AppendChainWords(buf[:0], 0x8000)
+	}
+	benchAddr += buf[0]
+}
+
+// Resolving a chain below the hop limit — the universal per-access
+// operation — must not allocate, with or without a pre-bound hop
+// callback.
+func TestResolveZeroAlloc(t *testing.T) {
+	f := newF()
+	buildChain(f, 0x8000, 0x40000, 4)
+	var hops []mem.Addr
+	hopFn := func(wa mem.Addr, hop int) { hops = append(hops, wa) }
+	// Warm the hop slice so append growth is amortized out.
+	for i := 0; i < 4; i++ {
+		hops = hops[:0]
+		f.Resolve(0x8004, hopFn)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		hops = hops[:0]
+		a, _, _ := f.Resolve(0x8004, hopFn)
+		benchAddr += a
+	})
+	if allocs != 0 {
+		t.Fatalf("Resolve allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -129,7 +129,7 @@ func (f *Forwarder) Resolve(a mem.Addr, onHop HopFunc) (final mem.Addr, hops int
 		}
 		if hops > f.HopLimit {
 			// Exception: run the accurate check once, from the start.
-			if f.cycleCheck(mem.WordAlign(a)) {
+			if f.cycleCheck(mem.WordAlign(a), off) {
 				f.CyclesDetected++
 				return 0, hops, ErrCycle
 			}
@@ -138,7 +138,7 @@ func (f *Forwarder) Resolve(a mem.Addr, onHop HopFunc) (final mem.Addr, hops int
 			// with the hard cap as the new bound).
 			return f.resolveUnbounded(a, wa, off, hops, onHop)
 		}
-		wa = mem.WordAlign(mem.Addr(f.Mem.ReadWord(wa)) + off)
+		wa = f.step(wa, off)
 	}
 	if hops > f.MaxChain {
 		f.MaxChain = hops
@@ -146,10 +146,21 @@ func (f *Forwarder) Resolve(a mem.Addr, onHop HopFunc) (final mem.Addr, hops int
 	return wa + off, hops, nil
 }
 
+// step performs one offset-preserving chain hop: it dereferences the
+// forwarding address stored at wa and rounds the result (plus the byte
+// offset the original reference carried) back to a word boundary. Every
+// chain walker — Resolve, resolveUnbounded, cycleCheck, chain
+// enumeration — goes through this one function so they all traverse the
+// identical sequence of words (Section 2.1: the final address is the
+// forwarding address plus the byte offset within the word).
+func (f *Forwarder) step(wa, off mem.Addr) mem.Addr {
+	return mem.WordAlign(mem.Addr(f.Mem.ReadWord(wa)) + off)
+}
+
 // resolveUnbounded continues a chain walk after a false-alarm cycle
 // check, bounded only by ChainCap.
 func (f *Forwarder) resolveUnbounded(orig, wa, off mem.Addr, hops int, onHop HopFunc) (mem.Addr, int, error) {
-	wa = mem.WordAlign(mem.Addr(f.Mem.ReadWord(wa)) + off)
+	wa = f.step(wa, off)
 	for f.Mem.FBit(wa) {
 		hops++
 		if onHop != nil {
@@ -158,7 +169,7 @@ func (f *Forwarder) resolveUnbounded(orig, wa, off mem.Addr, hops int, onHop Hop
 		if hops > f.ChainCap {
 			return 0, hops, fmt.Errorf("core: forwarding chain from %#x exceeds cap %d", orig, f.ChainCap)
 		}
-		wa = mem.WordAlign(mem.Addr(f.Mem.ReadWord(wa)) + off)
+		wa = f.step(wa, off)
 	}
 	if hops > f.MaxChain {
 		f.MaxChain = hops
@@ -166,22 +177,34 @@ func (f *Forwarder) resolveUnbounded(orig, wa, off mem.Addr, hops int, onHop Hop
 	return wa + off, hops, nil
 }
 
-// cycleCheck is the accurate (slow) cycle detector: it re-walks the
-// chain recording visited words. This is the software exception handler
-// of Section 3.2.
-func (f *Forwarder) cycleCheck(wa mem.Addr) bool {
-	visited := make(map[mem.Addr]struct{})
-	for f.Mem.FBit(wa) {
-		if _, seen := visited[wa]; seen {
+// cycleCheck is the accurate (slow) cycle detector — the software
+// exception handler of Section 3.2. It walks the same
+// offset-preserving chain the fast path walks (an earlier version
+// dropped the byte offset here, so on a misaligned forwarding address
+// it checked a different chain than Resolve was following) using
+// Floyd's tortoise-and-hare, which needs no visited set and therefore
+// no allocation. The step bound is a belt-and-suspenders guard: Floyd
+// terminates on any functional graph, but an absurdly long walk is
+// treated as a cycle so the simulation aborts deterministically.
+func (f *Forwarder) cycleCheck(wa, off mem.Addr) bool {
+	slow, fast := wa, wa
+	for steps := 0; ; steps++ {
+		if !f.Mem.FBit(fast) {
+			return false
+		}
+		fast = f.step(fast, off)
+		if !f.Mem.FBit(fast) {
+			return false
+		}
+		fast = f.step(fast, off)
+		slow = f.step(slow, off)
+		if slow == fast {
 			return true
 		}
-		visited[wa] = struct{}{}
-		if len(visited) > f.ChainCap {
-			return true // treat absurd chains as cycles: abort
+		if steps > f.ChainCap {
+			return true
 		}
-		wa = mem.WordAlign(mem.Addr(f.Mem.ReadWord(wa)))
 	}
-	return false
 }
 
 // FinalAddr resolves a without hop observation; it is the functional
@@ -212,22 +235,43 @@ func (f *Forwarder) UnforwardedWrite(a mem.Addr, v uint64, fbit bool) {
 	f.Mem.WriteWordFBit(mem.WordAlign(a), v, fbit)
 }
 
-// ChainWords returns every word address on the forwarding chain rooted
-// at the word containing a, excluding the final (unforwarded) word.
-// Deallocation wrappers use this to free all memory reachable through a
-// relocated object's chain (Section 3.3, "Deallocating Forwarded
-// Data"). The walk is bounded by ChainCap and tolerates cycles.
-func (f *Forwarder) ChainWords(a mem.Addr) []mem.Addr {
-	var out []mem.Addr
-	seen := make(map[mem.Addr]struct{})
+// AppendChainWords appends every word address on the forwarding chain
+// rooted at the word containing a — excluding the final (unforwarded)
+// word — to dst and returns the extended slice. Deallocation wrappers
+// use this to free all memory reachable through a relocated object's
+// chain (Section 3.3, "Deallocating Forwarded Data"); passing a reused
+// scratch buffer keeps that path allocation-free. The walk preserves
+// a's byte offset (the same chain Resolve follows), is bounded by
+// ChainCap, and tolerates cycles by stopping at the first revisited
+// word.
+func (f *Forwarder) AppendChainWords(dst []mem.Addr, a mem.Addr) []mem.Addr {
+	off := mem.Addr(mem.WordOffset(a))
 	wa := mem.WordAlign(a)
+	start := len(dst)
 	for f.Mem.FBit(wa) {
-		if _, dup := seen[wa]; dup || len(out) > f.ChainCap {
+		if len(dst)-start > f.ChainCap || addrSeen(dst[start:], wa) {
 			break
 		}
-		seen[wa] = struct{}{}
-		out = append(out, wa)
-		wa = mem.WordAlign(mem.Addr(f.Mem.ReadWord(wa)))
+		dst = append(dst, wa)
+		wa = f.step(wa, off)
 	}
-	return out
+	return dst
+}
+
+// addrSeen reports whether wa already appears in walked. Chains are
+// short in practice (a handful of hops), so a linear scan beats a map
+// and allocates nothing; the scan is quadratic only on pathological
+// walks that ChainCap bounds anyway.
+func addrSeen(walked []mem.Addr, wa mem.Addr) bool {
+	for _, w := range walked {
+		if w == wa {
+			return true
+		}
+	}
+	return false
+}
+
+// ChainWords is AppendChainWords into a fresh slice.
+func (f *Forwarder) ChainWords(a mem.Addr) []mem.Addr {
+	return f.AppendChainWords(nil, a)
 }

@@ -306,6 +306,73 @@ func TestChainWordsBoundedOnLongChain(t *testing.T) {
 	}
 }
 
+// Regression: cycleCheck must walk the same offset-preserving chain as
+// Resolve. The forwarding words below hold misaligned addresses, so the
+// chain is cyclic only when the reference's byte offset (+4) is carried
+// through each hop: WordAlign(0x8FFC+4) = 0x9000 but WordAlign(0x8FFC) =
+// 0x8FF8, whose fbit is clear. An offset-dropping checker follows the
+// second path, sees no cycle, and lets resolveUnbounded spin to ChainCap
+// instead of reporting ErrCycle.
+func TestCycleCheckPreservesOffset(t *testing.T) {
+	f := newF()
+	f.UnforwardedWrite(0x8000, 0x8FFC, true)
+	f.UnforwardedWrite(0x9000, 0x7FFC, true)
+	_, _, err := f.Resolve(0x8004, nil)
+	if !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v, want ErrCycle", err)
+	}
+	if f.CyclesDetected != 1 || f.CycleFalseAlarms != 0 {
+		t.Fatalf("detected %d, false alarms %d; want 1, 0",
+			f.CyclesDetected, f.CycleFalseAlarms)
+	}
+}
+
+// Regression: ChainWords must enumerate the same words Resolve visits
+// when the forwarding words hold misaligned addresses. Dropping the
+// byte offset would leave 0x8FF8 (fbit clear) as the second step and
+// truncate the chain after one entry.
+func TestChainWordsPreservesOffset(t *testing.T) {
+	f := newF()
+	f.UnforwardedWrite(0x8000, 0x8FFC, true)  // +4 -> word 0x9000
+	f.UnforwardedWrite(0x9000, 0x1FFFC, true) // +4 -> word 0x20000, unforwarded
+	var hops []mem.Addr
+	final, _, err := f.Resolve(0x8004, func(wa mem.Addr, hop int) {
+		hops = append(hops, wa)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final != 0x20004 {
+		t.Fatalf("final = %#x, want 0x20004", final)
+	}
+	words := f.ChainWords(0x8004)
+	if len(words) != len(hops) {
+		t.Fatalf("ChainWords %v, Resolve hops %v", words, hops)
+	}
+	for i := range hops {
+		if words[i] != hops[i] {
+			t.Fatalf("ChainWords %v diverges from Resolve hops %v", words, hops)
+		}
+	}
+}
+
+// AppendChainWords reuses the caller's buffer: no allocation once the
+// buffer has grown to the chain length.
+func TestAppendChainWordsReusesBuffer(t *testing.T) {
+	f := newF()
+	buildChain(f, 0x8000, 0x40000, 3)
+	buf := make([]mem.Addr, 0, 8)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = f.AppendChainWords(buf[:0], 0x8000)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendChainWords allocated %.1f times per run", allocs)
+	}
+	if len(buf) != 3 || buf[0] != 0x8000 {
+		t.Fatalf("chain %v", buf)
+	}
+}
+
 func TestKindString(t *testing.T) {
 	if Load.String() != "load" || Store.String() != "store" {
 		t.Fatal("Kind strings")

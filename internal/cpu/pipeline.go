@@ -341,7 +341,11 @@ func (p *Pipeline) Store(init, final Range, drain func(start int64) int64) int64
 	}
 	g := p.graduate(ready, class)
 	done := drain(g)
-	p.sb[(p.sbHead+p.sbCount)%p.cfg.StoreBuffer] = done
+	slot := p.sbHead + p.sbCount
+	if slot >= p.cfg.StoreBuffer {
+		slot -= p.cfg.StoreBuffer
+	}
+	p.sb[slot] = done
 	p.sbCount++
 
 	p.stores = append(p.stores, inflightStore{init: init, final: final, gradTime: g})
@@ -377,6 +381,13 @@ func (p *Pipeline) pruneStores(t int64) {
 
 // Now returns the current graduation cycle (monotone during a run).
 func (p *Pipeline) Now() int64 { return p.gradCycle }
+
+// DispatchFloor returns a monotone lower bound on the dispatch cycle of
+// every future instruction: dispatch times only move forward, so any
+// operand-ready constraint (Load/Prefetch minIssue) at or below this
+// value can never delay anything again. The machine layer uses this to
+// evict dead pointer-provenance entries without perturbing timing.
+func (p *Pipeline) DispatchFloor() int64 { return p.dispCycle }
 
 // Finalize closes the run: the last partially used graduation cycle is
 // padded into inst stall so busy+stalls exactly partitions width×cycles.

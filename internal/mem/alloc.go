@@ -205,15 +205,21 @@ func (ar *Arena) Alloc(n uint64) Addr {
 
 // AlignTo advances the arena cursor to the next multiple of align
 // (a power of two), so the following Alloc starts a fresh cache line or
-// cluster. Wasted bytes are simply skipped.
+// cluster. Wasted bytes are simply skipped. If the aligned position
+// falls beyond the arena's end, the cursor advances to the end instead:
+// the arena is exhausted and the next Alloc returns 0, rather than
+// quietly handing out a block that violates the alignment the caller
+// just requested.
 func (ar *Arena) AlignTo(align uint64) {
 	if align == 0 || align&(align-1) != 0 {
 		panic("mem: AlignTo requires a power of two")
 	}
 	next := (uint64(ar.next) + align - 1) &^ (align - 1)
-	if Addr(next) <= ar.end {
-		ar.next = Addr(next)
+	if Addr(next) > ar.end {
+		ar.next = ar.end
+		return
 	}
+	ar.next = Addr(next)
 }
 
 // Remaining returns the bytes left in the arena.

@@ -234,6 +234,45 @@ func TestPinnedBlocks(t *testing.T) {
 	}()
 }
 
+func TestArenaAlignTo(t *testing.T) {
+	al := newTestAlloc()
+	ar := NewArena(al, 256)
+	ar.Alloc(8)
+	ar.AlignTo(64)
+	a := ar.Alloc(8)
+	if a == 0 || uint64(a)%64 != 0 {
+		t.Fatalf("post-AlignTo block %#x not 64-byte aligned", a)
+	}
+	// Aligning an already-aligned cursor is a no-op.
+	used := ar.Used()
+	ar.AlignTo(8)
+	if ar.Used() != used {
+		t.Fatalf("AlignTo on aligned cursor moved it: %d -> %d", used, ar.Used())
+	}
+}
+
+// Regression: when the aligned position falls beyond the arena's end,
+// AlignTo must exhaust the arena (cursor to end, next Alloc returns 0).
+// An earlier version left the cursor where it was, so the next Alloc
+// quietly handed out a block violating the alignment just requested.
+func TestArenaAlignToPastEnd(t *testing.T) {
+	al := newTestAlloc()
+	ar := NewArena(al, 40)
+	if uint64(ar.Base())%64 != 0 {
+		t.Fatalf("test precondition: arena base %#x must be 64-aligned", ar.Base())
+	}
+	if ar.Alloc(8) == 0 {
+		t.Fatal("fresh arena exhausted")
+	}
+	ar.AlignTo(64) // base is 64-aligned, so next boundary is past end
+	if got := ar.Alloc(8); got != 0 {
+		t.Fatalf("Alloc after past-end AlignTo returned %#x, want 0 (exhausted)", got)
+	}
+	if ar.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", ar.Remaining())
+	}
+}
+
 func TestArenaAlignToBadArg(t *testing.T) {
 	al := newTestAlloc()
 	ar := NewArena(al, 256)

@@ -64,8 +64,25 @@ func (p *page) putFbit(w uint, b bool) {
 // forwarding bits clear — this models the operating system's
 // Unforwarded_Write(0,0) initialization obligation from Section 3.3 of
 // the paper.
+//
+// A small direct page cache (the MRU page plus a 2-way victim file)
+// front-ends the page map: simulated programs overwhelmingly touch the
+// same page on consecutive references, so the hot word/fbit accessors
+// resolve without a map lookup or any allocation. The cache holds only
+// materialized pages (never negative "no page" results), and pages are
+// never unmapped, so cached entries cannot go stale; materialization
+// simply installs the fresh page as the MRU entry. Memory is not safe
+// for concurrent use — the cache mutates on reads.
 type Memory struct {
 	pages map[Addr]*page
+
+	// Page cache: mru is the last page touched, vic holds the two most
+	// recently demoted pages (round-robin fill via vicPtr).
+	mruPN  Addr
+	mru    *page
+	vicPN  [2]Addr
+	vic    [2]*page
+	vicPtr uint8
 
 	// PagesTouched counts pages materialized so far; it backs the
 	// space-overhead accounting in Table 1.
@@ -77,19 +94,59 @@ func New() *Memory {
 	return &Memory{pages: make(map[Addr]*page)}
 }
 
-func (m *Memory) page(a Addr) *page {
+// lookup returns the materialized page containing a, or nil. The MRU
+// check is the hit path taken by nearly every access.
+func (m *Memory) lookup(a Addr) *page {
 	pn := a >> PageShift
+	if pn == m.mruPN && m.mru != nil {
+		return m.mru
+	}
+	return m.lookupSlow(pn)
+}
+
+// lookupSlow probes the victim file, then the page map, promoting any
+// hit to MRU.
+func (m *Memory) lookupSlow(pn Addr) *page {
+	for i := range m.vic {
+		if m.vicPN[i] == pn && m.vic[i] != nil {
+			// Swap with the MRU slot so neither entry is lost.
+			p := m.vic[i]
+			m.vic[i], m.vicPN[i] = m.mru, m.mruPN
+			m.mru, m.mruPN = p, pn
+			return p
+		}
+	}
 	p := m.pages[pn]
-	if p == nil {
-		p = new(page)
-		m.pages[pn] = p
-		m.PagesTouched++
+	if p != nil {
+		m.install(pn, p)
 	}
 	return p
 }
 
+// install makes (pn, p) the MRU cache entry, demoting the previous MRU
+// page into the victim file.
+func (m *Memory) install(pn Addr, p *page) {
+	if m.mru != nil {
+		m.vic[m.vicPtr], m.vicPN[m.vicPtr] = m.mru, m.mruPN
+		m.vicPtr ^= 1
+	}
+	m.mru, m.mruPN = p, pn
+}
+
+func (m *Memory) page(a Addr) *page {
+	if p := m.lookup(a); p != nil {
+		return p
+	}
+	pn := a >> PageShift
+	p := new(page)
+	m.pages[pn] = p
+	m.PagesTouched++
+	m.install(pn, p)
+	return p
+}
+
 // peek returns the page containing a if it has been touched, else nil.
-func (m *Memory) peek(a Addr) *page { return m.pages[a>>PageShift] }
+func (m *Memory) peek(a Addr) *page { return m.lookup(a) }
 
 func wordIndex(a Addr) uint { return uint((a & pageMask) >> WordShift) }
 
@@ -192,13 +249,23 @@ func (m *Memory) WriteData(a Addr, v uint64, size uint) error {
 	return nil
 }
 
-// Zero clears n bytes starting at a (word-aligned region) and clears the
-// forwarding bits, modelling OS initialization of fresh memory.
+// Zero clears exactly n bytes starting at a (word-aligned base),
+// clearing the forwarding bit of every fully covered word — modelling
+// OS initialization of fresh memory. If n is not a word multiple, the
+// final partial word has only its low n%8 bytes cleared; the remaining
+// bytes and that word's forwarding bit are preserved, since they belong
+// to a neighbouring object that Zero has no licence to clobber.
 func (m *Memory) Zero(a Addr, n uint64) {
 	if a&WordMask != 0 {
 		panic("mem: Zero requires word-aligned base")
 	}
-	for off := uint64(0); off < n; off += WordSize {
+	full := n &^ uint64(WordMask)
+	for off := uint64(0); off < full; off += WordSize {
 		m.WriteWordFBit(a+Addr(off), 0, false)
+	}
+	if rem := n & WordMask; rem != 0 {
+		wa := a + Addr(full)
+		mask := (uint64(1) << (rem * 8)) - 1
+		m.WriteWord(wa, m.ReadWord(wa)&^mask)
 	}
 }

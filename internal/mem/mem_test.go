@@ -152,6 +152,115 @@ func TestZero(t *testing.T) {
 	}
 }
 
+// Zero with a non-word-multiple length clears only the low n%8 bytes of
+// the final word; the remaining bytes and that word's forwarding bit
+// belong to a neighbouring object and must survive. (An earlier version
+// zeroed the whole final word, clobbering the neighbour.)
+func TestZeroPartialFinalWord(t *testing.T) {
+	m := New()
+	m.WriteWordFBit(0x5000, 0xAAAAAAAAAAAAAAAA, true)
+	m.WriteWordFBit(0x5008, 0xBBBBBBBBCCCCCCCC, true)
+	m.Zero(0x5000, 12)
+	if v, f := m.ReadWordFBit(0x5000); v != 0 || f {
+		t.Fatalf("fully covered word after Zero: (%#x,%v)", v, f)
+	}
+	v, f := m.ReadWordFBit(0x5008)
+	if v != 0xBBBBBBBB00000000 {
+		t.Fatalf("partial word = %#x, want high bytes preserved", v)
+	}
+	if !f {
+		t.Fatal("Zero cleared the fbit of a partially covered word")
+	}
+	// Zero of zero bytes touches nothing.
+	m.Zero(0x5008, 0)
+	if v, f := m.ReadWordFBit(0x5008); v != 0xBBBBBBBB00000000 || !f {
+		t.Fatalf("Zero(_, 0) modified memory: (%#x,%v)", v, f)
+	}
+}
+
+// The page cache in front of the page map must never affect visibility:
+// a miss on an untouched page (which returns zero without materializing)
+// must not be cached as if the page existed, and a later write to that
+// page must be observed by subsequent reads.
+func TestPageCacheMaterializationVisibility(t *testing.T) {
+	m := New()
+	pageA := Addr(0x10000)
+	pageB := Addr(0x20000)
+	m.WriteWord(pageA, 111)
+	if v := m.ReadWord(pageB); v != 0 {
+		t.Fatalf("untouched page read %d", v)
+	}
+	if m.PagesTouched != 1 {
+		t.Fatalf("read materialized a page: %d", m.PagesTouched)
+	}
+	m.WriteWord(pageB, 222)
+	if v := m.ReadWord(pageB); v != 222 {
+		t.Fatalf("write to previously-missed page invisible: %d", v)
+	}
+	if v := m.ReadWord(pageA); v != 111 {
+		t.Fatalf("page A lost after B materialized: %d", v)
+	}
+	if v := m.ReadWord(pageB); v != 222 {
+		t.Fatalf("page B lost after re-reading A: %d", v)
+	}
+}
+
+// Sweeping across more pages than the cache holds (MRU + 2 victims)
+// must still read every word back, exercising victim promotion and
+// map refill.
+func TestPageCacheCrossPageSweep(t *testing.T) {
+	m := New()
+	const pages = 8
+	for i := 0; i < pages; i++ {
+		for w := 0; w < 4; w++ {
+			a := Addr(i)*PageBytes + Addr(w*WordSize)
+			m.WriteWord(a, uint64(i*100+w))
+		}
+	}
+	check := func(order []int) {
+		for _, i := range order {
+			for w := 0; w < 4; w++ {
+				a := Addr(i)*PageBytes + Addr(w*WordSize)
+				if v := m.ReadWord(a); v != uint64(i*100+w) {
+					t.Fatalf("page %d word %d = %d", i, w, v)
+				}
+			}
+		}
+	}
+	check([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	check([]int{7, 6, 5, 4, 3, 2, 1, 0})
+	check([]int{0, 4, 1, 5, 2, 6, 3, 7, 0, 7})
+	if m.PagesTouched != pages {
+		t.Fatalf("PagesTouched = %d, want %d", m.PagesTouched, pages)
+	}
+}
+
+// Forwarding bits must stay coherent when their page cycles through the
+// cache's MRU and victim slots.
+func TestPageCacheFBitCoherence(t *testing.T) {
+	m := New()
+	pageA := Addr(0x100000)
+	m.WriteWordFBit(pageA, 0x9000, true)
+	// Push A out of MRU and through both victim slots.
+	for i := 1; i <= 4; i++ {
+		m.WriteWord(pageA+Addr(i)*PageBytes, uint64(i))
+	}
+	if !m.FBit(pageA) {
+		t.Fatal("fbit lost after page cycled through the cache")
+	}
+	v, f := m.ReadWordFBit(pageA)
+	if v != 0x9000 || !f {
+		t.Fatalf("ReadWordFBit = (%#x,%v)", v, f)
+	}
+	m.WriteWordFBit(pageA, 7, false)
+	for i := 1; i <= 4; i++ {
+		m.WriteWord(pageA+Addr(i)*PageBytes, uint64(i))
+	}
+	if m.FBit(pageA) {
+		t.Fatal("cleared fbit resurrected after eviction")
+	}
+}
+
 // Property: for any word value and any naturally-aligned subword slot,
 // writing then reading that slot round-trips, and the other bytes of the
 // word are untouched.

@@ -1,0 +1,52 @@
+// Package pprofutil wraps runtime/pprof for the command-line tools: a
+// CPU profile that brackets the run and a heap profile written at exit.
+// The simulator's hot path is a per-access interpreter loop, so these
+// two profiles are the primary tools for keeping it allocation-free
+// (see EXPERIMENTS.md, "Hot-path performance").
+package pprofutil
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins a CPU profile written to path and returns a stop
+// function. An empty path is a no-op (the returned stop still must be
+// safe to call).
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap writes a heap profile to path after a full GC, so the
+// profile reflects live memory rather than collectable garbage. An
+// empty path is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -170,8 +170,16 @@ type Machine struct {
 	sites   []string
 	curSite int
 
-	opCount    uint64 // drives the DepEvery policy
-	hopScratch []mem.Addr
+	// Down-counters driving the instruction-mix policy in Inst: branch
+	// mispredicts every 48th op, a dependence-chain latency every
+	// DepEvery-th. Counting down replaces two integer modulos on the
+	// per-instruction path with two decrements.
+	mispredictCtr uint32
+	depCtr        uint32
+
+	hopScratch   []mem.Addr
+	hopFn        core.HopFunc // pre-bound append-to-hopScratch, so resolve never allocates
+	chainScratch []mem.Addr   // reused by Free's chain enumeration
 
 	// ptrProv tracks pointer provenance: the completion time of the
 	// load that most recently produced each heap-pointer value. A later
@@ -179,7 +187,15 @@ type Machine struct {
 	// this serializes pointer-chasing chains exactly as real hardware
 	// dependences do. Keyed by value>>8 (objects are well under 256
 	// bytes); each entry keeps the exact base for validation.
-	ptrProv map[uint64]ptrEntry
+	//
+	// The table is bounded by a clock-style sweep (see recordPtr): once
+	// it reaches provLimit entries, every entry whose ready time is at
+	// or below the pipeline's dispatch floor is evicted. Such entries
+	// can never again raise a minIssue constraint, so eviction is
+	// invisible to timing — outputs stay byte-identical — while the
+	// table stops growing linearly with run length.
+	ptrProv   provTable
+	provLimit int
 
 	// Observability (see obs.go). All nil/zero when disabled, leaving
 	// the hot paths with a single nil check each.
@@ -265,18 +281,38 @@ func New(cfg Config) *Machine {
 		TransferBytesPerCycle: cfg.FillBytesPerCycle,
 	}, l2)
 
-	return &Machine{
-		cfg:     cfg,
-		Mem:     m,
-		Alloc:   mem.NewAllocator(m, cfg.HeapBase, cfg.HeapLimit),
-		Fwd:     core.NewForwarder(m),
-		L1:      l1,
-		L2:      l2,
-		MM:      mm,
-		Pipe:    cpu.New(cfg.CPU),
-		sites:   []string{"<unknown>"},
-		ptrProv: make(map[uint64]ptrEntry),
+	mach := &Machine{
+		cfg:   cfg,
+		Mem:   m,
+		Alloc: mem.NewAllocator(m, cfg.HeapBase, cfg.HeapLimit),
+		Fwd:   core.NewForwarder(m),
+		L1:    l1,
+		L2:    l2,
+		MM:    mm,
+		Pipe:  cpu.New(cfg.CPU),
+		sites: []string{"<unknown>"},
 	}
+	mach.provLimit = provLimitFor(mach.Pipe.Config())
+	mach.ptrProv = newProvTable(mach.provLimit)
+	mach.mispredictCtr = mispredictEvery
+	mach.depCtr = uint32(cfg.DepEvery)
+	mach.hopFn = func(wa mem.Addr, hop int) {
+		mach.hopScratch = append(mach.hopScratch, wa)
+	}
+	return mach
+}
+
+// provLimitFor sizes the provenance map's sweep trigger. Entries stay
+// unevictable only while their producing load's completion time is
+// ahead of the dispatch floor, a window bounded by the ROB; anything
+// comfortably above that keeps sweeps rare (amortized O(1) per record)
+// while still bounding the map.
+func provLimitFor(c cpu.Config) int {
+	limit := 4096
+	if r := 4 * c.ROB; r > limit {
+		limit = r
+	}
+	return limit
 }
 
 // Config returns the effective configuration.
@@ -310,20 +346,32 @@ func (m *Machine) SiteName(id int) string {
 	return m.sites[id]
 }
 
+// mispredictEvery is the instruction period of the modelled branch
+// mispredict in Inst.
+const mispredictEvery = 48
+
 // Inst accounts n non-memory instructions. Most execute in one cycle;
 // every DepEvery-th carries a dependence-chain latency, and roughly
 // every 48th models a mispredicted branch — together these produce the
-// inst-stall component of Figure 5.
+// inst-stall component of Figure 5. A mispredict takes precedence when
+// both periods land on the same instruction (both counters still
+// reload, exactly as the modular arithmetic this replaces behaved).
 func (m *Machine) Inst(n int) {
 	for i := 0; i < n; i++ {
-		m.opCount++
+		m.mispredictCtr--
+		m.depCtr--
 		switch {
-		case m.opCount%48 == 0:
+		case m.mispredictCtr == 0:
+			m.mispredictCtr = mispredictEvery
+			if m.depCtr == 0 {
+				m.depCtr = uint32(m.cfg.DepEvery)
+			}
 			// Branch mispredict: the front end refills for several
 			// cycles before dispatch resumes.
 			m.Pipe.Op(2)
 			m.Pipe.Bubble(5)
-		case m.opCount%uint64(m.cfg.DepEvery) == 0:
+		case m.depCtr == 0:
+			m.depCtr = uint32(m.cfg.DepEvery)
 			m.Pipe.Op(m.cfg.DepLat)
 		default:
 			m.Pipe.Op(1)
@@ -346,9 +394,7 @@ func (m *Machine) resolve(a mem.Addr) (final mem.Addr, hops []mem.Addr) {
 		}
 		return final, nil
 	}
-	final, _, err = m.Fwd.Resolve(a, func(wa mem.Addr, hop int) {
-		m.hopScratch = append(m.hopScratch, wa)
-	})
+	final, _, err = m.Fwd.Resolve(a, m.hopFn)
 	if err != nil {
 		panic(fmt.Sprintf("sim: %v (initial %#x)", err, a))
 	}
@@ -362,24 +408,40 @@ type ptrEntry struct {
 }
 
 // recordPtr notes that a load produced value v (a plausible heap
-// pointer) at cycle ready.
+// pointer) at cycle ready. When the provenance map reaches its bound, a
+// clock sweep evicts every entry already at or below the dispatch
+// floor — entries that can never again delay an issue (see ptrProv).
 func (m *Machine) recordPtr(v uint64, ready int64) {
 	if v == 0 || mem.Addr(v) < m.cfg.HeapBase || mem.Addr(v) >= m.cfg.HeapBase+mem.Addr(m.cfg.HeapLimit) {
 		return
 	}
-	m.ptrProv[v>>8] = ptrEntry{base: v, ready: ready}
+	if m.ptrProv.n >= m.provLimit {
+		m.evictProv()
+	}
+	m.ptrProv.put(v>>8, ptrEntry{base: v, ready: ready})
+}
+
+// evictProv drops provenance entries whose ready time the dispatch
+// stream has already passed. Timing-invisible by construction: Load,
+// Prefetch, and timedRawLoad apply provenance as max(dispatch, ready),
+// and dispatch never moves backwards.
+func (m *Machine) evictProv() {
+	m.ptrProv.sweep(m.Pipe.DispatchFloor())
 }
 
 // addrReady returns the earliest cycle at which the address a is
 // available, given pointer provenance: if a falls within 256 bytes of a
 // recently loaded pointer value, the access depends on that load.
 func (m *Machine) addrReady(a mem.Addr) int64 {
+	if m.ptrProv.n == 0 {
+		return 0
+	}
 	u := uint64(a)
-	if e, ok := m.ptrProv[u>>8]; ok && u >= e.base && u-e.base < 256 {
+	if e, ok := m.ptrProv.get(u >> 8); ok && u >= e.base && u-e.base < 256 {
 		return e.ready
 	}
 	if k := u >> 8; k > 0 {
-		if e, ok := m.ptrProv[k-1]; ok && u >= e.base && u-e.base < 256 {
+		if e, ok := m.ptrProv.get(k - 1); ok && u >= e.base && u-e.base < 256 {
 			return e.ready
 		}
 	}
@@ -631,7 +693,8 @@ func (m *Machine) Free(a mem.Addr) {
 	final, _, err := m.Fwd.Resolve(a, nil)
 	// Free intermediate chain links that are themselves heap blocks
 	// (relocation-pool interiors are owned by their pool and skipped).
-	for _, wa := range m.Fwd.ChainWords(a) {
+	m.chainScratch = m.Fwd.AppendChainWords(m.chainScratch[:0], a)
+	for _, wa := range m.chainScratch {
 		if wa != a && m.Alloc.Freeable(wa) {
 			m.Alloc.Free(wa)
 		}

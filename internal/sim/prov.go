@@ -1,0 +1,122 @@
+package sim
+
+// provTable is the pointer-provenance store behind addrReady/recordPtr:
+// a linear-probe open-addressed hash table mapping provenance keys
+// (pointer value >> 8) to ptrEntry. It is semantically an exact map —
+// last write per key wins, lookups match exact keys only — but a probe
+// costs one multiply and (at the enforced load factor) close to one
+// cache line, where the built-in map showed up as a top-five profile
+// entry on the per-access path. The machine bounds its population with
+// clock sweeps (Machine.evictProv), so the table is sized once and
+// essentially never grows.
+type provTable struct {
+	slots []provSlot
+	// scratch carries sweep survivors between the clear and the
+	// reinsert, reused across sweeps so steady state allocates nothing.
+	scratch []provSlot
+	n       int
+	mask    uint64
+	shift   uint
+}
+
+// provSlot stores key+1 so the zero value marks an empty slot. Keys are
+// heap addresses shifted right by 8, far below overflow.
+type provSlot struct {
+	key uint64
+	ent ptrEntry
+}
+
+// provHashMult is the 64-bit Fibonacci-hashing multiplier.
+const provHashMult = 0x9E3779B97F4A7C15
+
+// newProvTable sizes the table to hold minEntries at no more than half
+// load.
+func newProvTable(minEntries int) provTable {
+	capSlots := 8
+	for capSlots < 2*minEntries {
+		capSlots <<= 1
+	}
+	return makeProvTable(capSlots)
+}
+
+func makeProvTable(capSlots int) provTable {
+	shift := uint(64)
+	for c := capSlots; c > 1; c >>= 1 {
+		shift--
+	}
+	return provTable{
+		slots: make([]provSlot, capSlots),
+		mask:  uint64(capSlots - 1),
+		shift: shift,
+	}
+}
+
+func (t *provTable) idx(k uint64) uint64 { return (k * provHashMult) >> t.shift }
+
+// get returns the entry stored under k.
+func (t *provTable) get(k uint64) (ptrEntry, bool) {
+	i := t.idx(k)
+	for {
+		s := &t.slots[i]
+		if s.key == 0 {
+			return ptrEntry{}, false
+		}
+		if s.key == k+1 {
+			return s.ent, true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// put inserts or overwrites the entry under k.
+func (t *provTable) put(k uint64, e ptrEntry) {
+	if 4*(t.n+1) > 3*len(t.slots) {
+		t.grow()
+	}
+	i := t.idx(k)
+	for {
+		s := &t.slots[i]
+		if s.key == 0 {
+			s.key = k + 1
+			s.ent = e
+			t.n++
+			return
+		}
+		if s.key == k+1 {
+			s.ent = e
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// grow doubles the table. With clock sweeps bounding the population it
+// should never trigger; it exists so an unexpectedly deep in-flight
+// window degrades to a resize instead of an unbounded probe chain.
+func (t *provTable) grow() {
+	old := t.slots
+	*t = makeProvTable(2 * len(old))
+	for i := range old {
+		if old[i].key != 0 {
+			t.put(old[i].key-1, old[i].ent)
+		}
+	}
+}
+
+// sweep deletes every entry whose ready time is at or below floor,
+// rehashing the survivors (linear-probe tables cannot delete in place
+// without breaking probe chains).
+func (t *provTable) sweep(floor int64) {
+	surv := t.scratch[:0]
+	for i := range t.slots {
+		if t.slots[i].key != 0 && t.slots[i].ent.ready > floor {
+			surv = append(surv, t.slots[i])
+		}
+		t.slots[i] = provSlot{}
+	}
+	t.n = 0
+	for _, s := range surv {
+		t.put(s.key-1, s.ent)
+	}
+	t.scratch = surv[:0]
+}
