@@ -10,9 +10,84 @@ package app
 import (
 	"math/rand"
 
+	"memfwd/internal/core"
 	"memfwd/internal/mem"
-	"memfwd/internal/sim"
 )
+
+// Machine is the guest-facing contract of a simulated machine: every
+// operation a benchmark application (or a layout-optimization pass in
+// internal/opt) may perform. The full out-of-order simulator
+// (internal/sim) implements it with real timing; the functional
+// reference machine (internal/oracle) implements it with direct word
+// semantics and no timing at all. Because guest programs are written
+// against this interface, the differential harness can run the same
+// program on both and demand identical functional results — the
+// mechanically-checked version of the paper's "relocation is always
+// safe" guarantee.
+//
+// Functional determinism contract: every implementation must produce
+// identical values from Load*, identical addresses from Malloc (the
+// allocator is shared state driven only by the guest's call sequence),
+// and identical trap-firing decisions (a handler fires exactly when a
+// reference took at least one forwarding hop). Timing-only methods
+// (Inst, Prefetch, Site, SetSite, PhaseBegin, PhaseEnd, TraceRelocate)
+// may be no-ops.
+type Machine interface {
+	// Inst accounts n non-memory instructions.
+	Inst(n int)
+
+	// Forwarded data references (sizes 1, 2, 4, 8; natural alignment).
+	Load(a mem.Addr, size uint) uint64
+	Store(a mem.Addr, v uint64, size uint)
+	LoadWord(a mem.Addr) uint64
+	StoreWord(a mem.Addr, v uint64)
+	LoadPtr(a mem.Addr) mem.Addr
+	StorePtr(a, p mem.Addr)
+	Load32(a mem.Addr) uint32
+	Store32(a mem.Addr, v uint32)
+	Load16(a mem.Addr) uint16
+	Store16(a mem.Addr, v uint16)
+	Load8(a mem.Addr) uint8
+	Store8(a mem.Addr, v uint8)
+
+	// Prefetch issues a block prefetch of consecutive lines.
+	Prefetch(a mem.Addr, lines int)
+
+	// The three ISA extensions of Figure 3 plus the compiler-inserted
+	// final-address helpers of Section 2.1.
+	ReadFBit(a mem.Addr) bool
+	UnforwardedRead(a mem.Addr) (uint64, bool)
+	UnforwardedWrite(a mem.Addr, v uint64, fbit bool)
+	FinalAddr(a mem.Addr) mem.Addr
+	PtrEqual(a, b mem.Addr) bool
+
+	// User-level forwarding traps (Section 3.2).
+	SetTrap(h core.TrapHandler)
+
+	// Heap. Allocator exposes the raw (untimed) allocator for arena
+	// carving and heap aging; Malloc/Free are the timed guest calls.
+	Malloc(n uint64) mem.Addr
+	Free(a mem.Addr)
+	Allocator() *mem.Allocator
+
+	// Untimed functional substrate (tests, tools, digests): the tagged
+	// memory and the dereference mechanism themselves. Reads through
+	// these charge no simulated time and must not be used by guest code
+	// on any measured path.
+	Memory() *mem.Memory
+	Forwarder() *core.Forwarder
+
+	// LineSize is the primary-cache line size the layout optimizations
+	// target (the oracle reports the configured target line size).
+	LineSize() int
+
+	// Observability; free of functional effect.
+	Site(name string) int
+	SetSite(id int)
+	PhaseBegin(name string)
+	PhaseEnd(name string)
+	TraceRelocate(src, tgt mem.Addr, nWords int)
+}
 
 // Config selects one run variant of an application.
 type Config struct {
@@ -58,19 +133,19 @@ type Config struct {
 type Hooks struct {
 	// BHTree observes (machine, rootHandle, bodyList) after each
 	// build+summarize+cluster step (bh).
-	BHTree func(m *sim.Machine, rootHandle, bodyList mem.Addr)
+	BHTree func(m Machine, rootHandle, bodyList mem.Addr)
 
 	// Table observes (machine, bucketsBase, nBuckets) after table
 	// construction and any packing/linearization (eqntott, smv).
-	Table func(m *sim.Machine, buckets mem.Addr, n int)
+	Table func(m Machine, buckets mem.Addr, n int)
 
 	// HealthStep is invoked after every simulation step with the
 	// machine and the village addresses (health).
-	HealthStep func(m *sim.Machine, villages []mem.Addr)
+	HealthStep func(m Machine, villages []mem.Addr)
 
 	// HealthVillage is invoked after each village's sub-step with
 	// (step, villageIndex, villageAddr) (health).
-	HealthVillage func(m *sim.Machine, step, village int, addr mem.Addr)
+	HealthVillage func(m Machine, step, village int, addr mem.Addr)
 
 	// MSTEdge observes every inserted edge (mst; a host-side reference
 	// MST can be computed over the same graph).
@@ -121,7 +196,7 @@ type App struct {
 	Optimization string
 
 	// Run executes the workload on m under cfg.
-	Run func(m *sim.Machine, cfg Config) Result
+	Run func(m Machine, cfg Config) Result
 }
 
 // NewRand returns the deterministic workload generator for a seed.
@@ -140,14 +215,15 @@ func NewRand(seed int64) *rand.Rand {
 // execute hundreds of millions of instructions before and during the
 // measured phases). The aging itself is untimed: it models pre-existing
 // heap state, not work done by the application.
-func FragmentHeap(m *sim.Machine, blockBytes uint64, count int, keepFrac float64, rng *rand.Rand) {
+func FragmentHeap(m Machine, blockBytes uint64, count int, keepFrac float64, rng *rand.Rand) {
+	al := m.Allocator()
 	blocks := make([]mem.Addr, count)
 	for i := range blocks {
-		blocks[i] = m.Alloc.Alloc(blockBytes)
+		blocks[i] = al.Alloc(blockBytes)
 	}
 	rng.Shuffle(count, func(i, j int) { blocks[i], blocks[j] = blocks[j], blocks[i] })
 	nFree := int(float64(count) * (1 - keepFrac))
 	for _, a := range blocks[:nFree] {
-		m.Alloc.Free(a)
+		al.Free(a)
 	}
 }

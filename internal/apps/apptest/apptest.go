@@ -5,9 +5,14 @@
 package apptest
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
+	"testing/quick"
 
 	"memfwd/internal/apps/app"
+	"memfwd/internal/oracle"
+	"memfwd/internal/quickseed"
 	"memfwd/internal/sim"
 )
 
@@ -74,3 +79,98 @@ func Conformance(t *testing.T, a app.App) {
 		t.Errorf("%s: slots %d != 4*cycles %d", a.Name, slots, optStats.Cycles*4)
 	}
 }
+
+// diffMachine is the machine geometry every differential and chaos run
+// uses; it matches Run (128-byte lines keep all optimizations active).
+var diffMachine = sim.Config{LineSize: 128}
+
+// Differential runs a under every functional variant — baseline, the
+// application's optimization pass, and the prefetch combinations — on
+// both the timing simulator and the functional oracle, demanding
+// identical results and identical final-heap digests modulo forwarding
+// (see oracle.RunDifferential). This is the per-app end-to-end check
+// that "relocation is always safe": any functional effect of the
+// timing machinery, or any value a relocated run computes differently,
+// fails here with the first divergence named.
+func Differential(t *testing.T, a app.App) {
+	t.Helper()
+	variants := []struct {
+		name string
+		cfg  app.Config
+	}{
+		{"base", app.Config{Seed: 11}},
+		{"opt", app.Config{Seed: 11, Opt: true}},
+		{"prefetch", app.Config{Seed: 11, Prefetch: true, PrefetchBlock: 4}},
+		{"opt+prefetch", app.Config{Seed: 11, Opt: true, Prefetch: true, PrefetchBlock: 4}},
+	}
+	if testing.Short() {
+		variants = variants[:2]
+	}
+	for _, v := range variants {
+		v := v
+		t.Run("differential/"+v.name, func(t *testing.T) {
+			if err := oracle.RunDifferential(diffMachine, a, v.cfg); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// Chaos runs seeded relocation-chaos episodes of a (see
+// oracle.ChaosEpisode): the guest executes with an adversary randomly
+// relocating its heap blocks — including chain-lengthening
+// re-relocations and misaligned probe chains — and the run must be
+// functionally indistinguishable from an unperturbed one. episodes is
+// the full-mode episode count; short mode trims episodes (never
+// coverage: both the timed-simulator and pure-oracle adversaries, and
+// both the base and opt variants, always run at least once).
+func Chaos(t *testing.T, a app.App, episodes int) {
+	t.Helper()
+	if episodes < 2 {
+		episodes = 2
+	}
+	if testing.Short() {
+		episodes = 2
+	}
+	cfgs := []struct {
+		name string
+		cfg  app.Config
+	}{
+		{"base", app.Config{Seed: 11}},
+		{"opt", app.Config{Seed: 11, Opt: true}},
+	}
+	for i := 0; i < episodes; i++ {
+		v := cfgs[i%len(cfgs)]
+		// Episode 0 runs on the full timing simulator; the rest use the
+		// cheap pure-oracle adversary with distinct seeds.
+		ch := oracle.ChaosConfig{
+			Seed:   int64(1000*i) + 7,
+			Timed:  i == 0 || i == 1,
+			SimCfg: diffMachine,
+		}
+		mode := "oracle"
+		if ch.Timed {
+			mode = "sim"
+		}
+		t.Run(fmt.Sprintf("chaos/%s/%s/seed=%d", mode, v.name, ch.Seed), func(t *testing.T) {
+			rel, err := oracle.ChaosEpisode(a, v.cfg, ch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rel.Relocations == 0 {
+				t.Errorf("%s: chaos episode (seed %d) performed no relocations", a.Name, ch.Seed)
+			}
+		})
+	}
+}
+
+// Seed re-exports quickseed.Seed for test packages above apptest in
+// the import graph; in-package tests of the lower layers (mem, cache,
+// cpu) import internal/quickseed directly.
+func Seed(t *testing.T) int64 { return quickseed.Seed(t) }
+
+// Rand re-exports quickseed.Rand.
+func Rand(t *testing.T) *rand.Rand { return quickseed.Rand(t) }
+
+// QuickConfig re-exports quickseed.Config.
+func QuickConfig(t *testing.T, maxCount int) *quick.Config { return quickseed.Config(t, maxCount) }

@@ -14,7 +14,6 @@ import (
 	"memfwd/internal/apps/app"
 	"memfwd/internal/mem"
 	"memfwd/internal/opt"
-	"memfwd/internal/sim"
 )
 
 // Node kind tags.
@@ -65,7 +64,7 @@ func unpack(p uint64) (x, y, z uint64) {
 }
 
 type state struct {
-	m      *sim.Machine
+	m      app.Machine
 	cfg    app.Config
 	rng    *rand.Rand
 	pool   *opt.Pool
@@ -74,7 +73,7 @@ type state struct {
 	reloc  int
 }
 
-func run(m *sim.Machine, cfg app.Config) app.Result {
+func run(m app.Machine, cfg app.Config) app.Result {
 	cfg = cfg.Norm()
 	s := &state{
 		m:     m,
@@ -109,7 +108,7 @@ func run(m *sim.Machine, cfg app.Config) app.Result {
 	// The clusterBytes follows the line size, so short lines cannot
 	// hold more than one 88-byte cell — the paper's observation that
 	// meaningful clustering needs 256B lines or longer.
-	clusterBytes := uint64(m.L1.LineSize())
+	clusterBytes := uint64(m.LineSize())
 
 	order := make([]int, nBodies)
 	for i := range order {

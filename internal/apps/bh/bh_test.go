@@ -47,12 +47,12 @@ func TestClusteringNeedsLongLines(t *testing.T) {
 }
 
 // peek reads a guest word functionally (through forwarding, untimed).
-func peek(m *sim.Machine, a uint64) uint64 {
-	f, _, err := m.Fwd.Resolve(mem.Addr(a), nil)
+func peek(m app.Machine, a uint64) uint64 {
+	f, _, err := m.Forwarder().Resolve(mem.Addr(a), nil)
 	if err != nil {
 		panic(err)
 	}
-	return m.Mem.ReadWord(mem.WordAlign(f))
+	return m.Memory().ReadWord(mem.WordAlign(f))
 }
 
 // TestMassConservation checks, after every build+summarize, that the
@@ -63,7 +63,7 @@ func TestMassConservation(t *testing.T) {
 	for _, optOn := range []bool{false, true} {
 		checked := 0
 		cfg := app.Config{Seed: 13, Opt: optOn}
-		cfg.Hooks.BHTree = func(m *sim.Machine, rootHandle, bodyList mem.Addr) {
+		cfg.Hooks.BHTree = func(m app.Machine, rootHandle, bodyList mem.Addr) {
 			var bodyMass uint64
 			nBodies := 0
 			for p := bodyList; p != 0; p = mem.Addr(peek(m, uint64(p)+bNext)) {
@@ -93,7 +93,7 @@ func TestMassConservation(t *testing.T) {
 // cells still form a proper tree.
 func TestTreeWellFormed(t *testing.T) {
 	cfg := app.Config{Seed: 13, Opt: true}
-	cfg.Hooks.BHTree = func(m *sim.Machine, rootHandle, bodyList mem.Addr) {
+	cfg.Hooks.BHTree = func(m app.Machine, rootHandle, bodyList mem.Addr) {
 		seen := map[uint64]bool{}
 		var walk func(p mem.Addr)
 		nodes := 0
@@ -101,7 +101,7 @@ func TestTreeWellFormed(t *testing.T) {
 			if p == 0 {
 				return
 			}
-			f, _, _ := m.Fwd.Resolve(p, nil)
+			f, _, _ := m.Forwarder().Resolve(p, nil)
 			if seen[uint64(f)] {
 				t.Fatalf("node %#x reachable twice", p)
 			}
@@ -125,3 +125,7 @@ func TestTreeWellFormed(t *testing.T) {
 	}
 	apptest.Run(App, cfg)
 }
+
+func TestDifferential(t *testing.T) { apptest.Differential(t, App) }
+
+func TestChaos(t *testing.T) { apptest.Chaos(t, App, 13) }

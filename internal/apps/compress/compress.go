@@ -16,7 +16,6 @@ import (
 	"memfwd/internal/apps/app"
 	"memfwd/internal/mem"
 	"memfwd/internal/opt"
-	"memfwd/internal/sim"
 )
 
 // App is the registry entry.
@@ -39,7 +38,7 @@ const (
 )
 
 type state struct {
-	m   *sim.Machine
+	m   app.Machine
 	cfg app.Config
 
 	// Layout state: in the original layout, htab[i] and codetab[i] are
@@ -65,7 +64,7 @@ func (s *state) cslot(i uint64) mem.Addr {
 	return s.codetab + mem.Addr(i*8)
 }
 
-func run(m *sim.Machine, cfg app.Config) app.Result {
+func run(m app.Machine, cfg app.Config) app.Result {
 	cfg = cfg.Norm()
 	s := &state{m: m, cfg: cfg, pool: opt.NewPool(m, (tableSize*16)+64)}
 

@@ -103,3 +103,7 @@ func TestRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestDifferential(t *testing.T) { apptest.Differential(t, App) }
+
+func TestChaos(t *testing.T) { apptest.Chaos(t, App, 13) }

@@ -16,7 +16,6 @@ import (
 	"memfwd/internal/apps/app"
 	"memfwd/internal/mem"
 	"memfwd/internal/opt"
-	"memfwd/internal/sim"
 )
 
 // PTERM record layout (24 bytes).
@@ -42,7 +41,7 @@ var App = app.App{
 }
 
 type state struct {
-	m       *sim.Machine
+	m       app.Machine
 	cfg     app.Config
 	rng     *rand.Rand
 	pool    *opt.Pool
@@ -52,7 +51,7 @@ type state struct {
 	reloc   int
 }
 
-func run(m *sim.Machine, cfg app.Config) app.Result {
+func run(m app.Machine, cfg app.Config) app.Result {
 	cfg = cfg.Norm()
 	s := &state{
 		m:     m,

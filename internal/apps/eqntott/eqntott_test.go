@@ -52,7 +52,7 @@ func TestPackedLayoutContiguous(t *testing.T) {
 	var buckets mem.Addr
 	var nBkts int
 	cfg := app.Config{Seed: 5, Opt: true}
-	cfg.Hooks.Table = func(m *sim.Machine, b mem.Addr, n int) { buckets, nBkts = b, n }
+	cfg.Hooks.Table = func(m app.Machine, b mem.Addr, n int) { buckets, nBkts = b, n }
 
 	m := sim.New(sim.Config{})
 	App.Run(m, cfg)
@@ -90,7 +90,7 @@ func TestPackedLayoutContiguous(t *testing.T) {
 func TestUnpackedLayoutScattered(t *testing.T) {
 	var buckets mem.Addr
 	cfg := app.Config{Seed: 5}
-	cfg.Hooks.Table = func(m *sim.Machine, b mem.Addr, n int) { buckets = b }
+	cfg.Hooks.Table = func(m app.Machine, b mem.Addr, n int) { buckets = b }
 
 	m := sim.New(sim.Config{})
 	App.Run(m, cfg)
@@ -139,3 +139,7 @@ func TestStaticPlacementOrdering(t *testing.T) {
 		t.Fatal("static placement must never forward")
 	}
 }
+
+func TestDifferential(t *testing.T) { apptest.Differential(t, App) }
+
+func TestChaos(t *testing.T) { apptest.Chaos(t, App, 13) }

@@ -13,7 +13,6 @@ import (
 	"memfwd/internal/apps/app"
 	"memfwd/internal/mem"
 	"memfwd/internal/opt"
-	"memfwd/internal/sim"
 )
 
 // Village layout (80 bytes).
@@ -54,7 +53,7 @@ var App = app.App{
 }
 
 type state struct {
-	m        *sim.Machine
+	m        app.Machine
 	cfg      app.Config
 	rng      *rand.Rand
 	pool     *opt.Pool
@@ -67,7 +66,7 @@ type state struct {
 	sites    struct{ traverse int }
 }
 
-func run(m *sim.Machine, cfg app.Config) app.Result {
+func run(m app.Machine, cfg app.Config) app.Result {
 	cfg = cfg.Norm()
 	s := &state{
 		m:     m,

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"memfwd/internal/apps/app"
+	"memfwd/internal/apps/apptest"
 	"memfwd/internal/mem"
 	"memfwd/internal/sim"
 )
@@ -78,12 +79,12 @@ func TestForwardingRareWhenPointersUpdated(t *testing.T) {
 	}
 }
 
-func peek(m *sim.Machine, a mem.Addr) uint64 {
-	f, _, err := m.Fwd.Resolve(a, nil)
+func peek(m app.Machine, a mem.Addr) uint64 {
+	f, _, err := m.Forwarder().Resolve(a, nil)
 	if err != nil {
 		panic(err)
 	}
-	return m.Mem.ReadWord(mem.WordAlign(f))
+	return m.Memory().ReadWord(mem.WordAlign(f))
 }
 
 // TestListsWellFormedEveryStep walks all village lists after every
@@ -95,7 +96,7 @@ func TestListsWellFormedEveryStep(t *testing.T) {
 	for _, optOn := range []bool{false, true} {
 		steps := 0
 		cfg := app.Config{Seed: 11, Opt: optOn}
-		cfg.Hooks.HealthStep = func(m *sim.Machine, villages []mem.Addr) {
+		cfg.Hooks.HealthStep = func(m app.Machine, villages []mem.Addr) {
 			steps++
 			if steps%5 != 0 { // every 5th step keeps the test quick
 				return
@@ -106,7 +107,7 @@ func TestListsWellFormedEveryStep(t *testing.T) {
 					p := mem.Addr(peek(m, v+off))
 					hops := 0
 					for p != 0 {
-						f, _, err := m.Fwd.Resolve(p, nil)
+						f, _, err := m.Forwarder().Resolve(p, nil)
 						if err != nil {
 							t.Fatalf("opt=%v: %v", optOn, err)
 						}
@@ -141,3 +142,7 @@ func TestScaleGrowsWork(t *testing.T) {
 		t.Fatalf("Scale=2 loads %d not much larger than Scale=1 %d", s2.Loads, s1.Loads)
 	}
 }
+
+func TestDifferential(t *testing.T) { apptest.Differential(t, App) }
+
+func TestChaos(t *testing.T) { apptest.Chaos(t, App, 13) }

@@ -12,7 +12,6 @@ import (
 	"memfwd/internal/apps/app"
 	"memfwd/internal/mem"
 	"memfwd/internal/opt"
-	"memfwd/internal/sim"
 )
 
 // Vertex layout (guest): bucket-head pointer array, one word per bucket.
@@ -37,7 +36,7 @@ var App = app.App{
 }
 
 type state struct {
-	m     *sim.Machine
+	m     app.Machine
 	cfg   app.Config
 	rng   *rand.Rand
 	pool  *opt.Pool
@@ -46,7 +45,7 @@ type state struct {
 	reloc int
 }
 
-func run(m *sim.Machine, cfg app.Config) app.Result {
+func run(m app.Machine, cfg app.Config) app.Result {
 	cfg = cfg.Norm()
 	s := &state{
 		m:     m,

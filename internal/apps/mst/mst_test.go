@@ -95,3 +95,7 @@ func TestAgainstReferencePrim(t *testing.T) {
 		}
 	}
 }
+
+func TestDifferential(t *testing.T) { apptest.Differential(t, App) }
+
+func TestChaos(t *testing.T) { apptest.Chaos(t, App, 13) }

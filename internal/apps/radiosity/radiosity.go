@@ -13,7 +13,6 @@ import (
 	"memfwd/internal/apps/app"
 	"memfwd/internal/mem"
 	"memfwd/internal/opt"
-	"memfwd/internal/sim"
 )
 
 // Patch layout (32 bytes): energy accumulator, incoming energy, the
@@ -53,7 +52,7 @@ var App = app.App{
 }
 
 type state struct {
-	m       *sim.Machine
+	m       app.Machine
 	cfg     app.Config
 	rng     *rand.Rand
 	pool    *opt.Pool
@@ -62,7 +61,7 @@ type state struct {
 	reloc   int
 }
 
-func run(m *sim.Machine, cfg app.Config) app.Result {
+func run(m app.Machine, cfg app.Config) app.Result {
 	cfg = cfg.Norm()
 	s := &state{
 		m:     m,

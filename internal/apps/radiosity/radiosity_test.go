@@ -44,3 +44,7 @@ func TestCounterTriggersRepeatedly(t *testing.T) {
 		t.Fatalf("only %d relocations; periodic linearization looks dead", r.Relocated)
 	}
 }
+
+func TestDifferential(t *testing.T) { apptest.Differential(t, App) }
+
+func TestChaos(t *testing.T) { apptest.Chaos(t, App, 13) }

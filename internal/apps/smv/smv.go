@@ -18,7 +18,6 @@ import (
 	"memfwd/internal/apps/app"
 	"memfwd/internal/mem"
 	"memfwd/internal/opt"
-	"memfwd/internal/sim"
 )
 
 // BDD node layout (40 bytes).
@@ -44,7 +43,7 @@ var App = app.App{
 const nBuckets = 512
 
 type state struct {
-	m       *sim.Machine
+	m       app.Machine
 	cfg     app.Config
 	rng     *rand.Rand
 	pool    *opt.Pool
@@ -57,7 +56,7 @@ type state struct {
 	siteEval, siteLookup int
 }
 
-func run(m *sim.Machine, cfg app.Config) app.Result {
+func run(m app.Machine, cfg app.Config) app.Result {
 	cfg = cfg.Norm()
 	s := &state{
 		m:     m,

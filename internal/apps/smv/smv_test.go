@@ -73,7 +73,7 @@ func TestUniqueTableInvariant(t *testing.T) {
 		var buckets mem.Addr
 		var nBkts int
 		cfg := app.Config{Seed: 5, Opt: optOn}
-		cfg.Hooks.Table = func(m *sim.Machine, b mem.Addr, n int) { buckets, nBkts = b, n }
+		cfg.Hooks.Table = func(m app.Machine, b mem.Addr, n int) { buckets, nBkts = b, n }
 		m := sim.New(sim.Config{})
 		App.Run(m, cfg)
 
@@ -119,7 +119,7 @@ func TestLinearizedChainsContiguous(t *testing.T) {
 	var buckets mem.Addr
 	var nBkts int
 	cfg := app.Config{Seed: 5, Opt: true}
-	cfg.Hooks.Table = func(m *sim.Machine, b mem.Addr, n int) { buckets, nBkts = b, n }
+	cfg.Hooks.Table = func(m app.Machine, b mem.Addr, n int) { buckets, nBkts = b, n }
 	m := sim.New(sim.Config{})
 	App.Run(m, cfg)
 
@@ -142,3 +142,7 @@ func TestLinearizedChainsContiguous(t *testing.T) {
 		t.Fatalf("chains not linearized: %d/%d contiguous", contiguous, pairs)
 	}
 }
+
+func TestDifferential(t *testing.T) { apptest.Differential(t, App) }
+
+func TestChaos(t *testing.T) { apptest.Chaos(t, App, 13) }

@@ -17,7 +17,6 @@ import (
 	"memfwd/internal/apps/app"
 	"memfwd/internal/mem"
 	"memfwd/internal/opt"
-	"memfwd/internal/sim"
 )
 
 // List head record (32 bytes): head pointer, element count, and the
@@ -51,7 +50,7 @@ var App = app.App{
 }
 
 type state struct {
-	m     *sim.Machine
+	m     app.Machine
 	cfg   app.Config
 	rng   *rand.Rand
 	pool  *opt.Pool
@@ -59,7 +58,7 @@ type state struct {
 	reloc int
 }
 
-func run(m *sim.Machine, cfg app.Config) app.Result {
+func run(m app.Machine, cfg app.Config) app.Result {
 	cfg = cfg.Norm()
 	s := &state{
 		m:     m,

@@ -66,3 +66,7 @@ func TestScaleGrowsWork(t *testing.T) {
 		t.Fatalf("Scale=2 loads %d vs Scale=1 %d", s2.Loads, s1.Loads)
 	}
 }
+
+func TestDifferential(t *testing.T) { apptest.Differential(t, App) }
+
+func TestChaos(t *testing.T) { apptest.Chaos(t, App, 13) }

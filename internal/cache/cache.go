@@ -387,6 +387,17 @@ func (c *Cache) Invalidate(a uint64) bool {
 // Present reports whether the line containing a is resident.
 func (c *Cache) Present(a uint64) bool { return c.lookup(a&c.lineMask) != nil }
 
+// ForEachLine calls fn for every valid line with its line-aligned
+// address and dirty bit. Invariant checkers use it to verify that the
+// timing model only caches lines of memory that functionally exists.
+func (c *Cache) ForEachLine(fn func(lineAddr uint64, dirty bool)) {
+	for i := range c.lines {
+		if c.lines[i].valid {
+			fn(c.lines[i].tag, c.lines[i].dirty)
+		}
+	}
+}
+
 // Contents returns the number of valid lines (test support).
 func (c *Cache) Contents() int {
 	n := 0

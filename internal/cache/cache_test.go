@@ -3,6 +3,8 @@ package cache
 import (
 	"testing"
 	"testing/quick"
+
+	"memfwd/internal/quickseed"
 )
 
 // testHierarchy builds a small L1 -> L2 -> memory stack with easily
@@ -267,7 +269,7 @@ func TestAccessDeterminismProperty(t *testing.T) {
 		}
 		return h1[Load]+p1[Load]+f1[Load] == uint64(len(addrs))
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+	if err := quick.Check(prop, quickseed.Config(t, 100)); err != nil {
 		t.Fatal(err)
 	}
 }

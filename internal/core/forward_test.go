@@ -5,6 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"memfwd/internal/quickseed"
+
 	"memfwd/internal/mem"
 )
 
@@ -269,7 +271,7 @@ func TestResolveProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+	if err := quick.Check(prop, quickseed.Config(t, 500)); err != nil {
 		t.Fatal(err)
 	}
 }

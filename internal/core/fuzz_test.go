@@ -10,8 +10,12 @@ import (
 // FuzzResolve feeds arbitrary forwarding-bit graphs to the dereference
 // mechanism: Resolve must always terminate, returning either a clean
 // final address (whose word has a clear fbit) or ErrCycle — never hang,
-// never panic. Seeds cover straight chains, self-loops, two-cycles, and
-// convergent chains; `go test -fuzz=FuzzResolve` explores further.
+// never panic — and must carry the start's byte offset through every
+// hop unchanged (the Figure 3 offset-preservation rule; an earlier
+// cycle-detection bug dropped the offset and is pinned by the
+// misaligned seeds below). startSel's low 5 bits select the start
+// word, its high 3 bits a byte offset into it; `go test
+// -fuzz=FuzzResolve` explores further from testdata/fuzz.
 func FuzzResolve(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3}, uint8(0)) // chain 0->1->2->3
 	f.Add([]byte{0, 0}, uint8(0))       // self loop
@@ -19,6 +23,11 @@ func FuzzResolve(f *testing.F) {
 	f.Add([]byte{3, 3, 3, 3}, uint8(2)) // convergent
 	f.Add([]byte{}, uint8(0))           // no forwarding at all
 	f.Add([]byte{5, 9, 1, 1, 9}, uint8(3))
+	// Misaligned-offset chains: same graphs, entered mid-word.
+	f.Add([]byte{0, 1, 2, 3}, uint8(3<<5|0)) // chain walked at offset 3
+	f.Add([]byte{0, 0}, uint8(7<<5|0))       // self loop probed at offset 7
+	f.Add([]byte{1, 0}, uint8(5<<5|1))       // two-cycle entered at offset 5
+	f.Add([]byte{5, 9, 1, 1, 9}, uint8(1<<5|3))
 
 	f.Fuzz(func(t *testing.T, links []byte, startSel uint8) {
 		if len(links) > 64 {
@@ -38,7 +47,8 @@ func FuzzResolve(f *testing.F) {
 		if n == 0 {
 			n = 1
 		}
-		start := base + mem.Addr(int(startSel)%n*8)
+		off := mem.Addr(startSel >> 5)
+		start := base + mem.Addr(int(startSel&0x1F)%n*8) + off
 		final, hops, err := fw.Resolve(start, nil)
 		if err != nil {
 			if !errors.Is(err, ErrCycle) {
@@ -48,6 +58,11 @@ func FuzzResolve(f *testing.F) {
 		}
 		if fw.Mem.FBit(final) {
 			t.Fatalf("final address %#x still has its forwarding bit set", final)
+		}
+		// Offset preservation: every stored forwarding value here is
+		// word-aligned, so the start's offset must survive the walk.
+		if final-mem.WordAlign(final) != off {
+			t.Fatalf("resolve(%#x) = %#x: byte offset %d not preserved", start, final, off)
 		}
 		if hops > n {
 			t.Fatalf("%d hops through %d words without a cycle error", hops, n)

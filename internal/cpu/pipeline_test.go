@@ -3,6 +3,8 @@ package cpu
 import (
 	"testing"
 	"testing/quick"
+
+	"memfwd/internal/quickseed"
 )
 
 func fixedLat(lat int64) func(int64) int64 {
@@ -259,7 +261,7 @@ func TestPipelineInvariantProperty(t *testing.T) {
 		}
 		return p1.Stats.TotalSlots() == uint64(p1.Stats.Cycles)*4
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+	if err := quick.Check(prop, quickseed.Config(t, 200)); err != nil {
 		t.Fatal(err)
 	}
 }

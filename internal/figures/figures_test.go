@@ -2,12 +2,20 @@ package figures
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"memfwd"
 )
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite the committed golden digests under testdata/")
 
 func TestKnownNames(t *testing.T) {
 	for _, n := range Names {
@@ -73,7 +81,12 @@ func TestEnvelopeShape(t *testing.T) {
 
 // TestJSONDeterministicAcrossJobs runs the cheapest run-series figure
 // end to end and requires byte-identical stdout at different worker
-// counts — the pipeline-level determinism guarantee.
+// counts — the pipeline-level determinism guarantee — and then checks
+// the output against the golden digest committed under testdata/, so
+// the whole simulator stack (allocator layout, relocation order, cycle
+// accounting, JSON encoding) is pinned across commits, not just across
+// worker counts. Regenerate deliberately with -update-golden after a
+// change that is supposed to move the numbers.
 func TestJSONDeterministicAcrossJobs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs six SMV simulations")
@@ -91,5 +104,22 @@ func TestJSONDeterministicAcrossJobs(t *testing.T) {
 	}
 	if !bytes.Equal(a, b) {
 		t.Fatal("fig10 JSON differs between jobs=1 and jobs=8")
+	}
+
+	got := fmt.Sprintf("sha256:%x bytes:%d\n", sha256.Sum256(a), len(a))
+	golden := filepath.Join("testdata", "fig10-json.digest")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden digest (regenerate with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("fig10 JSON drifted from the committed golden:\n got %s want %s"+
+			"(run with -update-golden if the change is intentional)", got, want)
 	}
 }

@@ -159,6 +159,14 @@ func (al *Allocator) Brk() Addr { return al.brk }
 // Contains reports whether a falls inside the arena's reserved range.
 func (al *Allocator) Contains(a Addr) bool { return a >= al.base && a < al.end }
 
+// Range returns the reserved address range [base, end) of the heap.
+// The chaos relocator places its target storage outside this range so
+// adversarial relocation never perturbs guest allocation addresses.
+func (al *Allocator) Range() (base, end Addr) { return al.base, al.end }
+
+// Pinned reports whether a is the base of an arena-pinned block.
+func (al *Allocator) Pinned(a Addr) bool { return al.pinned[a] }
+
 // LiveBlocks returns the sorted bases of all live blocks (test support).
 func (al *Allocator) LiveBlocks() []Addr {
 	out := make([]Addr, 0, len(al.live))

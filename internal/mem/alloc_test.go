@@ -3,6 +3,8 @@ package mem
 import (
 	"testing"
 	"testing/quick"
+
+	"memfwd/internal/quickseed"
 )
 
 func newTestAlloc() *Allocator {
@@ -151,7 +153,7 @@ func TestAllocatorProperty(t *testing.T) {
 		}
 		return sum == al.BytesLive
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+	if err := quick.Check(f, quickseed.Config(t, 200)); err != nil {
 		t.Fatal(err)
 	}
 }

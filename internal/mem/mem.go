@@ -13,6 +13,7 @@ package mem
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Addr is a simulated 64-bit virtual address.
@@ -247,6 +248,23 @@ func (m *Memory) WriteData(a Addr, v uint64, size uint) error {
 	old := m.ReadWord(wa)
 	m.WriteWord(wa, (old&^mask)|((v<<shift)&mask))
 	return nil
+}
+
+// Touched reports whether the page containing a has been materialized.
+// Untouched pages read as zero with clear forwarding bits; a touched
+// page is one some write has reached.
+func (m *Memory) Touched(a Addr) bool { return m.lookup(a) != nil }
+
+// TouchedPages returns the base addresses of all materialized pages in
+// ascending order. Heap digests and whole-memory invariant sweeps use
+// it to enumerate every word that can differ from the zero-fill state.
+func (m *Memory) TouchedPages() []Addr {
+	out := make([]Addr, 0, len(m.pages))
+	for pn := range m.pages {
+		out = append(out, pn<<PageShift)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // Zero clears exactly n bytes starting at a (word-aligned base),

@@ -3,6 +3,8 @@ package mem
 import (
 	"testing"
 	"testing/quick"
+
+	"memfwd/internal/quickseed"
 )
 
 func TestWordAlign(t *testing.T) {
@@ -290,7 +292,7 @@ func TestSubwordRoundTripProperty(t *testing.T) {
 		wantFull := (word &^ (mask << shift)) | ((v & mask) << shift)
 		return full == wantFull
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+	if err := quick.Check(f, quickseed.Config(t, 2000)); err != nil {
 		t.Fatal(err)
 	}
 }

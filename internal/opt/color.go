@@ -1,8 +1,8 @@
 package opt
 
 import (
+	"memfwd/internal/apps/app"
 	"memfwd/internal/mem"
-	"memfwd/internal/sim"
 )
 
 // Data coloring (Section 2.2, "Reducing Cache Conflicts", after
@@ -17,7 +17,7 @@ import (
 // heap; within each frame, byte offsets map one-to-one onto cache sets,
 // so constraining the offset constrains the set.
 type ColorPool struct {
-	m          *sim.Machine
+	m          app.Machine
 	frameBytes uint64 // bytes that map the cache's sets exactly once
 	colors     int
 
@@ -31,7 +31,7 @@ type ColorPool struct {
 
 // NewColorPool creates a pool for a cache whose one-way span is
 // waySizeBytes (cache size / associativity), split into colors regions.
-func NewColorPool(m *sim.Machine, waySizeBytes uint64, colors int) *ColorPool {
+func NewColorPool(m app.Machine, waySizeBytes uint64, colors int) *ColorPool {
 	if colors < 1 {
 		colors = 1
 	}
@@ -57,7 +57,7 @@ func (p *ColorPool) regionBytes() uint64 { return p.frameBytes / uint64(p.colors
 // newFrame allocates a frame-aligned region of frameBytes.
 func (p *ColorPool) newFrame() mem.Addr {
 	p.m.Inst(6)
-	ar := mem.NewArena(p.m.Alloc, 2*p.frameBytes)
+	ar := mem.NewArena(p.m.Allocator(), 2*p.frameBytes)
 	ar.AlignTo(p.frameBytes)
 	base := ar.Alloc(p.frameBytes)
 	if base == 0 || uint64(base)%p.frameBytes != 0 {
@@ -102,7 +102,7 @@ func (p *ColorPool) Color(a mem.Addr) int {
 // ColorRelocate relocates the object at addr (nBytes, word multiple)
 // into the given color's region and returns its new address. Forwarding
 // keeps every stale pointer valid.
-func ColorRelocate(m *sim.Machine, p *ColorPool, addr mem.Addr, nBytes uint64, color int) mem.Addr {
+func ColorRelocate(m app.Machine, p *ColorPool, addr mem.Addr, nBytes uint64, color int) mem.Addr {
 	tgt := p.Alloc(color, nBytes)
 	Relocate(m, addr, tgt, int(nBytes/mem.WordSize))
 	return tgt

@@ -15,15 +15,15 @@
 package opt
 
 import (
+	"memfwd/internal/apps/app"
 	"memfwd/internal/mem"
-	"memfwd/internal/sim"
 )
 
 // Relocate moves nWords words of data from src to tgt and installs tgt
 // as the forwarding address of src, as in Figure 4(a). If a word of src
 // has already been relocated, the walk follows its chain so tgt is
 // appended at the end. src and tgt must be word-aligned and disjoint.
-func Relocate(m *sim.Machine, src, tgt mem.Addr, nWords int) {
+func Relocate(m app.Machine, src, tgt mem.Addr, nWords int) {
 	for i := 0; i < nWords; i++ {
 		s := src + mem.Addr(i*mem.WordSize)
 		d := tgt + mem.Addr(i*mem.WordSize)
@@ -46,7 +46,7 @@ func Relocate(m *sim.Machine, src, tgt mem.Addr, nWords int) {
 // within an arena are strictly adjacent, which is what creates spatial
 // locality after relocation.
 type Pool struct {
-	m     *sim.Machine
+	m     app.Machine
 	arena *mem.Arena
 	chunk uint64
 
@@ -56,7 +56,7 @@ type Pool struct {
 }
 
 // NewPool creates a pool whose arenas are chunkBytes each.
-func NewPool(m *sim.Machine, chunkBytes uint64) *Pool {
+func NewPool(m app.Machine, chunkBytes uint64) *Pool {
 	if chunkBytes < 4*mem.WordSize {
 		chunkBytes = 4 * mem.WordSize
 	}
@@ -76,7 +76,7 @@ func (p *Pool) Alloc(n uint64) mem.Addr {
 	if n > chunk {
 		chunk = n
 	}
-	p.arena = mem.NewArena(p.m.Alloc, chunk)
+	p.arena = mem.NewArena(p.m.Allocator(), chunk)
 	a := p.arena.Alloc(n)
 	if a == 0 {
 		panic("opt: fresh arena could not satisfy allocation")
@@ -90,7 +90,7 @@ func (p *Pool) Alloc(n uint64) mem.Addr {
 func (p *Pool) AlignTo(align uint64) {
 	p.m.Inst(2)
 	if p.arena == nil {
-		p.arena = mem.NewArena(p.m.Alloc, p.chunk)
+		p.arena = mem.NewArena(p.m.Allocator(), p.chunk)
 	}
 	p.arena.AlignTo(align)
 }
@@ -107,7 +107,7 @@ type ListDesc struct {
 // updated to the new locations, so subsequent traversals through the
 // head touch only the new, dense layout. Stray pointers to old node
 // addresses keep working via forwarding. Returns the node count.
-func ListLinearize(m *sim.Machine, p *Pool, headHandle mem.Addr, d ListDesc) int {
+func ListLinearize(m app.Machine, p *Pool, headHandle mem.Addr, d ListDesc) int {
 	words := int(d.NodeBytes / mem.WordSize)
 	n := 0
 	handle := headHandle
@@ -137,7 +137,7 @@ type TreeDesc struct {
 // packed in the most balanced (breadth-first) form, per the BH
 // case study (Figure 9). Children that do not fit the current cluster
 // seed new clusters. Returns the number of nodes relocated.
-func SubtreeCluster(m *sim.Machine, p *Pool, rootHandle mem.Addr, d TreeDesc, clusterBytes uint64) int {
+func SubtreeCluster(m app.Machine, p *Pool, rootHandle mem.Addr, d TreeDesc, clusterBytes uint64) int {
 	perCluster := int(clusterBytes / d.NodeBytes)
 	if perCluster < 1 {
 		perCluster = 1

@@ -4,6 +4,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"memfwd/internal/quickseed"
+
 	"memfwd/internal/mem"
 	"memfwd/internal/sim"
 )
@@ -355,7 +357,7 @@ func TestRelocatePreservesDataProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+	if err := quick.Check(prop, quickseed.Config(t, 150)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,399 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+
+	"memfwd/internal/apps/app"
+	"memfwd/internal/core"
+	"memfwd/internal/mem"
+)
+
+// Relocator is a seeded adversary implementing app.Machine: it wraps an
+// inner machine, delegates every guest operation, and interleaves the
+// guest's execution with random legal relocations of the guest's own
+// heap blocks. The paper's central claim is that relocation is *always*
+// safe — at any point, of any object, any number of times — so an
+// adversary that relocates behind the program's back must never change
+// what the program computes. The differential harness checks exactly
+// that: a chaos-wrapped run must produce the same app.Result and the
+// same heap digest (modulo forwarding) as an unperturbed run.
+//
+// Adversarial repertoire, all legal per the paper's rules:
+//
+//   - block relocation to a private arena *outside* the guest heap
+//     (so allocator behaviour, which is functional state, is never
+//     perturbed), word by word with offset-preserving chains;
+//   - chain-lengthening re-relocation: an already-relocated block is
+//     relocated again by appending a forwarding word at the current
+//     chain end, growing chains past the forwarder's HopLimit and into
+//     its false-alarm cycle-check path;
+//   - chain-head re-relocation: the original word is repointed at a
+//     fresh copy, orphaning the old one (what opt.Relocate does);
+//   - misaligned probe chains: forwarding words holding *misaligned*
+//     addresses, built for a specific byte offset and verified at that
+//     offset through the inner machine's full load path (Section 2.1:
+//     the byte offset within the word is preserved at every hop);
+//   - cyclic probes: deliberately closed misaligned chains, verified
+//     to be reported as ErrCycle by the accurate cycle check, then
+//     dissolved.
+//
+// Every probe word holds a misaligned address on purpose: whole-memory
+// sweeps (CheckForwarding) resolve only offset-independent — i.e.
+// word-aligned — forwarding words, so keeping probes misaligned marks
+// them as offset-specific and leaves the sweep sound.
+//
+// All decisions come from a seeded rand.Rand driven only by the guest's
+// operation sequence, so a failing episode replays from its seed.
+type Relocator struct {
+	inner app.Machine
+	rng   *rand.Rand
+
+	// Countdown in guest operations until the next chaos action.
+	countdown int
+	interval  int
+
+	// Tracked guest blocks eligible for relocation (Malloc-intercepted,
+	// size-capped; arena and FragmentHeap blocks bypass Malloc and are
+	// deliberately not tracked). wordBudget bounds the episode's total
+	// relocated words so apps whose heaps are a few large tables (e.g.
+	// compress) get a handful of whole-table relocations rather than
+	// thousands.
+	blocks     []mem.Addr
+	maxBytes   uint64
+	maxBlocks  int
+	wordBudget int64
+
+	// Private target arena, strictly outside the guest heap.
+	arenaNext, arenaEnd mem.Addr
+
+	guestTrap core.TrapHandler
+	inChaos   bool
+
+	// Episode statistics.
+	Relocations  int
+	Lengthenings int
+	Probes       int
+	CyclicProbes int
+}
+
+var _ app.Machine = (*Relocator)(nil)
+
+// NewRelocator wraps inner with a chaos adversary seeded by seed.
+// interval is the mean number of guest operations between chaos
+// actions (0 takes a default of 64).
+func NewRelocator(inner app.Machine, seed int64, interval int) *Relocator {
+	if interval <= 0 {
+		interval = 64
+	}
+	_, heapEnd := inner.Allocator().Range()
+	arena := (heapEnd + 0xF_FFFF) &^ 0xF_FFFF // 1MB-aligned guard gap
+	r := &Relocator{
+		inner:      inner,
+		rng:        rand.New(rand.NewSource(seed)),
+		interval:   interval,
+		maxBytes:   1 << 19,
+		maxBlocks:  1 << 14,
+		wordBudget: 1 << 19,
+		arenaNext:  arena + 0x10_0000,
+		arenaEnd:   arena + 0x10_0000 + (1 << 28),
+	}
+	r.reload()
+	return r
+}
+
+func (r *Relocator) reload() { r.countdown = 1 + r.rng.Intn(2*r.interval) }
+
+// arenaTake bumps n bytes (word-rounded) off the private arena,
+// returning 0 when exhausted (the adversary then simply goes quiet).
+func (r *Relocator) arenaTake(n uint64) mem.Addr {
+	n = (n + mem.WordSize - 1) &^ uint64(mem.WordSize-1)
+	if r.arenaNext+mem.Addr(n) > r.arenaEnd {
+		return 0
+	}
+	a := r.arenaNext
+	r.arenaNext += mem.Addr(n)
+	return a
+}
+
+// tick runs before every intercepted guest operation and fires a chaos
+// action when the countdown expires. Actions run with the guest's trap
+// handler masked: the adversary models an agent outside the program,
+// and its own probe references must not invoke guest trap code.
+func (r *Relocator) tick() {
+	if r.inChaos {
+		return
+	}
+	r.countdown--
+	if r.countdown > 0 {
+		return
+	}
+	r.reload()
+	r.inChaos = true
+	r.inner.SetTrap(nil)
+	defer func() {
+		r.inner.SetTrap(r.guestTrap)
+		r.inChaos = false
+	}()
+	switch n := r.rng.Intn(10); {
+	case n < 7:
+		r.relocateRandom()
+	case n < 9:
+		r.probe(false)
+	default:
+		r.probe(true)
+	}
+}
+
+// relocateRandom relocates one randomly chosen tracked block.
+func (r *Relocator) relocateRandom() {
+	al := r.inner.Allocator()
+	for len(r.blocks) > 0 {
+		i := r.rng.Intn(len(r.blocks))
+		base := r.blocks[i]
+		if !al.Live(base) {
+			// Stale (freed outside our Free interception); drop lazily.
+			r.blocks[i] = r.blocks[len(r.blocks)-1]
+			r.blocks = r.blocks[:len(r.blocks)-1]
+			continue
+		}
+		r.relocateBlock(base)
+		return
+	}
+}
+
+// relocateBlock moves the block at base to a fresh arena copy, word by
+// word, appending the new forwarding word at the *end* of any existing
+// chain — the Figure 4(a) rule, and the only legal form: the program
+// (or an opt pass acting for it) may hold direct pointers to the
+// current final copy, so the data must move from there and leave a
+// forwarding word behind there. (An earlier version of this adversary
+// also re-pointed the chain head directly at the new copy; the
+// differential harness immediately caught that as a heap divergence —
+// guest stores through direct pool pointers no longer reached the copy
+// being read back — which is itself a nice demonstration that the
+// harness rejects *illegal* relocations, not just buggy machinery.)
+// Re-relocating an already-moved block therefore lengthens its chain,
+// driving chains past HopLimit and into the false-alarm cycle check.
+func (r *Relocator) relocateBlock(base mem.Addr) {
+	size, ok := r.inner.Allocator().SizeOf(base)
+	if !ok {
+		return
+	}
+	if r.wordBudget < int64(size/mem.WordSize) {
+		return
+	}
+	r.wordBudget -= int64(size / mem.WordSize)
+	tgt := r.arenaTake(size)
+	if tgt == 0 {
+		return
+	}
+	fwd := r.inner.Forwarder()
+	for off := mem.Addr(0); off < mem.Addr(size); off += mem.WordSize {
+		s := base + off
+		d := tgt + off
+		final, hops, err := fwd.Resolve(s, nil)
+		if err != nil {
+			panic(fmt.Sprintf("oracle: chaos relocation of %#x: %v", s, err))
+		}
+		fw := mem.WordAlign(final)
+		v, _ := r.inner.UnforwardedRead(fw)
+		r.inner.UnforwardedWrite(d, v, false)
+		r.inner.UnforwardedWrite(fw, uint64(d), true)
+		if off == 0 && hops > 0 {
+			r.Lengthenings++
+		}
+	}
+	r.inner.TraceRelocate(base, tgt, int(size/mem.WordSize))
+	r.Relocations++
+}
+
+// misalignedDelta returns a nonzero delta such that a forwarding word
+// holding target+delta still resolves to target at byte offset off:
+// WordAlign(target+delta+off) == target requires delta in [-off, 7-off].
+func (r *Relocator) misalignedDelta(off mem.Addr) int64 {
+	for {
+		d := int64(r.rng.Intn(8)) - int64(off) // [-off, 7-off]
+		if d != 0 {
+			return d
+		}
+	}
+}
+
+// probe builds a misaligned forwarding chain in the private arena and
+// verifies its resolution at the offset it was built for — through the
+// inner machine's full load path for acyclic chains, and through the
+// accurate cycle detector for deliberately cyclic ones (which are then
+// dissolved so the memory ends in a clean state).
+func (r *Relocator) probe(cyclic bool) {
+	off := mem.Addr(1 + r.rng.Intn(7))
+	k := 1 + r.rng.Intn(3)
+	base := r.arenaTake(uint64(k+1) * mem.WordSize)
+	if base == 0 {
+		return
+	}
+	words := make([]mem.Addr, k+1)
+	for i := range words {
+		words[i] = base + mem.Addr(i)*mem.WordSize
+	}
+	payload := r.rng.Uint64()
+	r.inner.UnforwardedWrite(words[k], payload, false)
+	for i := k - 1; i >= 0; i-- {
+		delta := r.misalignedDelta(off)
+		r.inner.UnforwardedWrite(words[i], uint64(int64(words[i+1])+delta), true)
+	}
+	fwd := r.inner.Forwarder()
+	if cyclic {
+		delta := r.misalignedDelta(off)
+		r.inner.UnforwardedWrite(words[k], uint64(int64(words[0])+delta), true)
+		if _, _, err := fwd.Resolve(words[0]+off, nil); err != core.ErrCycle {
+			panic(fmt.Sprintf("oracle: cyclic probe at %#x+%d not detected: err=%v", words[0], off, err))
+		}
+		for _, w := range words {
+			r.inner.UnforwardedWrite(w, 0, false)
+		}
+		r.CyclicProbes++
+		return
+	}
+	if got, want := r.inner.Load8(words[0]+off), uint8(payload>>(8*uint(off))); got != want {
+		panic(fmt.Sprintf("oracle: probe at %#x+%d read %#x, want %#x", words[0], off, got, want))
+	}
+	chain := fwd.ChainWords(words[0] + off)
+	if len(chain) != k {
+		panic(fmt.Sprintf("oracle: probe chain at %#x+%d enumerates %d words, want %d", words[0], off, len(chain), k))
+	}
+	for i := range chain {
+		if chain[i] != words[i] {
+			panic(fmt.Sprintf("oracle: probe chain at %#x+%d diverges at hop %d: %#x, want %#x",
+				words[0], off, i+1, chain[i], words[i]))
+		}
+	}
+	r.Probes++
+}
+
+// --- app.Machine interception ---------------------------------------
+
+// Inst delegates (timing only; does not advance the chaos clock).
+func (r *Relocator) Inst(n int) { r.inner.Inst(n) }
+
+// Load intercepts a load: possibly act, then delegate.
+func (r *Relocator) Load(a mem.Addr, size uint) uint64 {
+	r.tick()
+	return r.inner.Load(a, size)
+}
+
+// Store intercepts a store: possibly act, then delegate.
+func (r *Relocator) Store(a mem.Addr, v uint64, size uint) {
+	r.tick()
+	r.inner.Store(a, v, size)
+}
+
+// LoadWord routes through Load.
+func (r *Relocator) LoadWord(a mem.Addr) uint64 { return r.Load(a, 8) }
+
+// StoreWord routes through Store.
+func (r *Relocator) StoreWord(a mem.Addr, v uint64) { r.Store(a, v, 8) }
+
+// LoadPtr routes through Load.
+func (r *Relocator) LoadPtr(a mem.Addr) mem.Addr { return mem.Addr(r.Load(a, 8)) }
+
+// StorePtr routes through Store.
+func (r *Relocator) StorePtr(a, p mem.Addr) { r.Store(a, uint64(p), 8) }
+
+// Load32 routes through Load.
+func (r *Relocator) Load32(a mem.Addr) uint32 { return uint32(r.Load(a, 4)) }
+
+// Store32 routes through Store.
+func (r *Relocator) Store32(a mem.Addr, v uint32) { r.Store(a, uint64(v), 4) }
+
+// Load16 routes through Load.
+func (r *Relocator) Load16(a mem.Addr) uint16 { return uint16(r.Load(a, 2)) }
+
+// Store16 routes through Store.
+func (r *Relocator) Store16(a mem.Addr, v uint16) { r.Store(a, uint64(v), 2) }
+
+// Load8 routes through Load.
+func (r *Relocator) Load8(a mem.Addr) uint8 { return uint8(r.Load(a, 1)) }
+
+// Store8 routes through Store.
+func (r *Relocator) Store8(a mem.Addr, v uint8) { r.Store(a, uint64(v), 1) }
+
+// Prefetch delegates.
+func (r *Relocator) Prefetch(a mem.Addr, lines int) { r.inner.Prefetch(a, lines) }
+
+// ReadFBit delegates.
+func (r *Relocator) ReadFBit(a mem.Addr) bool { return r.inner.ReadFBit(a) }
+
+// UnforwardedRead delegates.
+func (r *Relocator) UnforwardedRead(a mem.Addr) (uint64, bool) { return r.inner.UnforwardedRead(a) }
+
+// UnforwardedWrite delegates.
+func (r *Relocator) UnforwardedWrite(a mem.Addr, v uint64, fbit bool) {
+	r.inner.UnforwardedWrite(a, v, fbit)
+}
+
+// FinalAddr delegates.
+func (r *Relocator) FinalAddr(a mem.Addr) mem.Addr { return r.inner.FinalAddr(a) }
+
+// PtrEqual delegates.
+func (r *Relocator) PtrEqual(a, b mem.Addr) bool { return r.inner.PtrEqual(a, b) }
+
+// SetTrap records the guest handler (so chaos actions can mask it) and
+// delegates.
+func (r *Relocator) SetTrap(h core.TrapHandler) {
+	r.guestTrap = h
+	r.inner.SetTrap(h)
+}
+
+// Malloc intercepts an allocation: possibly act, delegate, and track
+// the new block as a relocation candidate.
+func (r *Relocator) Malloc(n uint64) mem.Addr {
+	r.tick()
+	a := r.inner.Malloc(n)
+	if n <= r.maxBytes && len(r.blocks) < r.maxBlocks {
+		r.blocks = append(r.blocks, a)
+	}
+	return a
+}
+
+// Free intercepts a deallocation: untrack, possibly act, delegate.
+func (r *Relocator) Free(a mem.Addr) {
+	for i, b := range r.blocks {
+		if b == a {
+			r.blocks[i] = r.blocks[len(r.blocks)-1]
+			r.blocks = r.blocks[:len(r.blocks)-1]
+			break
+		}
+	}
+	r.tick()
+	r.inner.Free(a)
+}
+
+// Allocator delegates.
+func (r *Relocator) Allocator() *mem.Allocator { return r.inner.Allocator() }
+
+// Memory delegates.
+func (r *Relocator) Memory() *mem.Memory { return r.inner.Memory() }
+
+// Forwarder delegates.
+func (r *Relocator) Forwarder() *core.Forwarder { return r.inner.Forwarder() }
+
+// LineSize delegates.
+func (r *Relocator) LineSize() int { return r.inner.LineSize() }
+
+// Site delegates.
+func (r *Relocator) Site(name string) int { return r.inner.Site(name) }
+
+// SetSite delegates.
+func (r *Relocator) SetSite(id int) { r.inner.SetSite(id) }
+
+// PhaseBegin delegates.
+func (r *Relocator) PhaseBegin(name string) { r.inner.PhaseBegin(name) }
+
+// PhaseEnd delegates.
+func (r *Relocator) PhaseEnd(name string) { r.inner.PhaseEnd(name) }
+
+// TraceRelocate delegates.
+func (r *Relocator) TraceRelocate(src, tgt mem.Addr, nWords int) {
+	r.inner.TraceRelocate(src, tgt, nWords)
+}

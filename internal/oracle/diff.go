@@ -1,0 +1,121 @@
+package oracle
+
+import (
+	"fmt"
+
+	"memfwd/internal/apps/app"
+	"memfwd/internal/sim"
+)
+
+// RunDifferential executes app a under cfg twice — once on the full
+// out-of-order timing simulator and once on the functional oracle —
+// and returns an error describing the first divergence in functional
+// behaviour: the app.Result (checksum, relocation count, space
+// overhead), the final-heap digest modulo forwarding, or any machine
+// invariant. A nil error is the mechanically-checked statement that
+// the timing machinery (pipeline, caches, provenance, hop costs,
+// traps' overhead accounting) had no functional effect on this run.
+func RunDifferential(simCfg sim.Config, a app.App, cfg app.Config) error {
+	sm := sim.New(simCfg)
+	eff := sm.Config()
+	simRes := a.Run(sm, cfg)
+	sm.Finalize()
+
+	om := New(Config{LineSize: eff.LineSize, HeapBase: eff.HeapBase, HeapLimit: eff.HeapLimit})
+	oRes := a.Run(om, cfg)
+
+	if simRes != oRes {
+		return fmt.Errorf("oracle: %s diverged: sim result %+v, oracle result %+v", a.Name, simRes, oRes)
+	}
+	simDig, err := DigestModuloForwarding(sm.Mem, sm.Fwd, sm.Alloc)
+	if err != nil {
+		return fmt.Errorf("oracle: %s sim digest: %w", a.Name, err)
+	}
+	oDig, err := DigestModuloForwarding(om.Mem, om.Fwd, om.Alloc)
+	if err != nil {
+		return fmt.Errorf("oracle: %s oracle digest: %w", a.Name, err)
+	}
+	if simDig != oDig {
+		return fmt.Errorf("oracle: %s heap digests diverged: sim %#x, oracle %#x", a.Name, simDig, oDig)
+	}
+	if err := CheckMachine(sm); err != nil {
+		return fmt.Errorf("oracle: %s sim invariants: %w", a.Name, err)
+	}
+	if err := CheckForwarding(om.Mem, om.Fwd); err != nil {
+		return fmt.Errorf("oracle: %s oracle invariants: %w", a.Name, err)
+	}
+	return nil
+}
+
+// ChaosConfig parameterizes one chaos episode.
+type ChaosConfig struct {
+	// Seed drives the adversary; a failing episode replays from it.
+	Seed int64
+
+	// Interval is the mean number of guest operations between chaos
+	// actions (0 takes the Relocator default).
+	Interval int
+
+	// Timed runs the chaos-wrapped guest on the full timing simulator
+	// (expensive, exercises pipeline/cache interplay with adversarial
+	// chains); false runs it on a second oracle (cheap, pure
+	// functional semantics).
+	Timed bool
+
+	// SimCfg configures the simulator for the Timed variant and
+	// supplies the heap/line geometry for both (zero fields take
+	// simulator defaults).
+	SimCfg sim.Config
+}
+
+// ChaosEpisode runs app a under cfg once unperturbed on the oracle and
+// once wrapped in a seeded chaos Relocator, then demands identical
+// results and identical heap digests modulo forwarding, plus clean
+// invariant sweeps. It returns the adversary's statistics so callers
+// can assert the episode actually exercised relocation.
+func ChaosEpisode(a app.App, cfg app.Config, ch ChaosConfig) (*Relocator, error) {
+	eff := sim.New(ch.SimCfg).Config()
+	ocfg := Config{LineSize: eff.LineSize, HeapBase: eff.HeapBase, HeapLimit: eff.HeapLimit}
+
+	base := New(ocfg)
+	baseRes := a.Run(base, cfg)
+	baseDig, err := DigestModuloForwarding(base.Mem, base.Fwd, base.Alloc)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: %s baseline digest: %w", a.Name, err)
+	}
+
+	var inner app.Machine
+	var sm *sim.Machine
+	if ch.Timed {
+		sm = sim.New(ch.SimCfg)
+		inner = sm
+	} else {
+		inner = New(ocfg)
+	}
+	rel := NewRelocator(inner, ch.Seed, ch.Interval)
+	chaosRes := a.Run(rel, cfg)
+	if sm != nil {
+		sm.Finalize()
+	}
+
+	if chaosRes != baseRes {
+		return rel, fmt.Errorf("oracle: %s chaos(seed=%d) diverged: %+v, want %+v",
+			a.Name, ch.Seed, chaosRes, baseRes)
+	}
+	chaosDig, err := DigestModuloForwarding(inner.Memory(), inner.Forwarder(), inner.Allocator())
+	if err != nil {
+		return rel, fmt.Errorf("oracle: %s chaos(seed=%d) digest: %w", a.Name, ch.Seed, err)
+	}
+	if chaosDig != baseDig {
+		return rel, fmt.Errorf("oracle: %s chaos(seed=%d) heap digest diverged: %#x, want %#x",
+			a.Name, ch.Seed, chaosDig, baseDig)
+	}
+	if sm != nil {
+		if err := CheckMachine(sm); err != nil {
+			return rel, fmt.Errorf("oracle: %s chaos(seed=%d) invariants: %w", a.Name, ch.Seed, err)
+		}
+	} else if err := CheckForwarding(inner.Memory(), inner.Forwarder()); err != nil {
+		return rel, fmt.Errorf("oracle: %s chaos(seed=%d) invariants: %w", a.Name, ch.Seed, err)
+	}
+	return rel, nil
+}

@@ -1,0 +1,51 @@
+package oracle
+
+import (
+	"fmt"
+
+	"memfwd/internal/core"
+	"memfwd/internal/mem"
+)
+
+// DigestModuloForwarding hashes the functional contents of the heap as
+// a guest program can observe them: every word of every live allocator
+// block, read through its full forwarding chain. Two heaps are
+// equivalent modulo forwarding when a guest dereferencing its original
+// pointers would read identical values from both — which is precisely
+// the paper's safety property, so a run with relocation (or with the
+// chaos adversary relocating behind the program's back) must digest
+// identically to a run with none.
+//
+// The digest keys each word by its original (pre-relocation) address:
+// malloc addresses are functionally deterministic, so block bases and
+// sizes agree across the runs being compared, while the relocated
+// copies live at addresses the digest deliberately never looks at.
+// FNV-1a over (base, size, words...) in ascending block order.
+func DigestModuloForwarding(m *mem.Memory, f *core.Forwarder, al *mem.Allocator) (uint64, error) {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, base := range al.LiveBlocks() {
+		size, _ := al.SizeOf(base)
+		mix(uint64(base))
+		mix(size)
+		for off := uint64(0); off < size; off += mem.WordSize {
+			a := base + mem.Addr(off)
+			final, _, err := f.Resolve(a, nil)
+			if err != nil {
+				return 0, fmt.Errorf("oracle: digest chase at %#x: %w", a, err)
+			}
+			mix(m.ReadWord(mem.WordAlign(final)))
+		}
+	}
+	return h, nil
+}

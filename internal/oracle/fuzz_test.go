@@ -1,0 +1,93 @@
+package oracle
+
+import (
+	"testing"
+
+	"memfwd/internal/apps/app"
+	"memfwd/internal/mem"
+)
+
+// FuzzChaos feeds an arbitrary guest byte program to a plain oracle
+// and to an oracle under the seeded chaos relocator. The adversary
+// relocates blocks, lengthens chains, and plants misaligned probe
+// chains between guest operations; the guest-visible trace and the
+// final-heap digest modulo forwarding must be identical to the
+// unperturbed run.
+func FuzzChaos(f *testing.F) {
+	f.Add(uint8(1), []byte{0, 0, 1, 3, 2, 3, 0, 1, 1, 9, 4, 9, 2, 1})
+	f.Add(uint8(9), []byte{0, 0, 0, 1, 0, 2, 1, 5, 3, 0, 2, 7, 1, 6, 2, 6})
+	f.Add(uint8(200), []byte{0, 0, 1, 1, 3, 1, 0, 2, 1, 2, 2, 2, 3, 2, 4, 0})
+	f.Fuzz(func(t *testing.T, seed uint8, prog []byte) {
+		if len(prog) > 192 {
+			prog = prog[:192]
+		}
+		run := func(m app.Machine) []uint64 {
+			const blockBytes = 64
+			var out []uint64
+			var blocks []mem.Addr
+			for pc := 0; pc+1 < len(prog); pc += 2 {
+				op, x := prog[pc], prog[pc+1]
+				switch op % 5 {
+				case 0: // malloc
+					if len(blocks) < 32 {
+						a := m.Malloc(blockBytes)
+						blocks = append(blocks, a)
+						out = append(out, uint64(a))
+					}
+				case 1: // store word
+					if len(blocks) > 0 {
+						b := blocks[int(x)%len(blocks)]
+						m.StoreWord(b+mem.Addr(x%8)*8, uint64(x)*2654435761)
+					}
+				case 2: // load word
+					if len(blocks) > 0 {
+						b := blocks[int(x)%len(blocks)]
+						out = append(out, m.LoadWord(b+mem.Addr(x%8)*8))
+					}
+				case 3: // byte load at arbitrary offset
+					if len(blocks) > 0 {
+						b := blocks[int(x)%len(blocks)]
+						out = append(out, uint64(m.Load8(b+mem.Addr(x%blockBytes))))
+					}
+				case 4: // free
+					if len(blocks) > 0 {
+						i := int(x) % len(blocks)
+						m.Free(blocks[i])
+						blocks = append(blocks[:i], blocks[i+1:]...)
+					}
+				}
+			}
+			return out
+		}
+
+		plain := New(Config{})
+		want := run(plain)
+		dWant, err := DigestModuloForwarding(plain.Mem, plain.Fwd, plain.Alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		stirred := New(Config{})
+		rel := NewRelocator(stirred, int64(seed)+1, 8)
+		got := run(rel)
+		dGot, err := DigestModuloForwarding(stirred.Mem, stirred.Fwd, stirred.Alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if len(got) != len(want) {
+			t.Fatalf("trace lengths diverged: chaos %d, plain %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trace[%d]: chaos %#x, plain %#x", i, got[i], want[i])
+			}
+		}
+		if dGot != dWant {
+			t.Fatalf("heap digest diverged under chaos: %#x vs %#x", dGot, dWant)
+		}
+		if err := CheckForwarding(stirred.Mem, stirred.Fwd); err != nil {
+			t.Error(err)
+		}
+	})
+}

@@ -1,0 +1,104 @@
+package oracle
+
+import (
+	"fmt"
+
+	"memfwd/internal/core"
+	"memfwd/internal/mem"
+	"memfwd/internal/sim"
+)
+
+// CheckForwarding sweeps every materialized word of memory and verifies
+// the structural invariants of the forwarding graph. It is meant to be
+// called from any test after an optimization pass, a chaos episode, or
+// a full app run:
+//
+//   - fbit ⇒ valid target: a forwarding word must hold a non-nil
+//     address whose containing word lies in materialized memory
+//     (relocation writes the target copy before the forwarding word,
+//     so a pointer into never-touched memory means a torn relocation).
+//   - acyclicity: resolving from a word-aligned forwarding word must
+//     terminate without ErrCycle. This applies only to words holding
+//     word-aligned forwarding addresses; a chain built for a specific
+//     misaligned byte offset is only well-defined at that offset (the
+//     chaos relocator validates its misaligned probe chains itself, at
+//     the offset it built them for).
+//   - chain bookkeeping: the hop sequence Resolve reports via HopFunc
+//     must equal AppendChainWords' enumeration — the exact
+//     consistency the deallocation wrapper of Section 3.3 relies on,
+//     and the invariant the PR 3 cycleCheck offset bug violated.
+func CheckForwarding(m *mem.Memory, f *core.Forwarder) error {
+	var hops []mem.Addr
+	for _, pb := range m.TouchedPages() {
+		for w := 0; w < mem.PageWords; w++ {
+			wa := pb + mem.Addr(w*mem.WordSize)
+			if !m.FBit(wa) {
+				continue
+			}
+			tgt := mem.Addr(m.ReadWord(wa))
+			if tgt == 0 {
+				return fmt.Errorf("oracle: forwarding word %#x holds nil target", wa)
+			}
+			if !m.Touched(mem.WordAlign(tgt)) {
+				return fmt.Errorf("oracle: forwarding word %#x targets untouched memory %#x", wa, tgt)
+			}
+			if tgt != mem.WordAlign(tgt) {
+				continue // offset-specific chain; see doc comment
+			}
+			hops = hops[:0]
+			final, _, err := f.Resolve(wa, func(h mem.Addr, _ int) { hops = append(hops, h) })
+			if err != nil {
+				return fmt.Errorf("oracle: forwarding graph cycle from %#x: %w", wa, err)
+			}
+			if !m.Touched(mem.WordAlign(final)) {
+				return fmt.Errorf("oracle: chain from %#x resolves to untouched memory %#x", wa, final)
+			}
+			chain := f.ChainWords(wa)
+			if len(chain) != len(hops) {
+				return fmt.Errorf("oracle: chain enumeration from %#x has %d words, resolve took %d hops",
+					wa, len(chain), len(hops))
+			}
+			for i := range chain {
+				if chain[i] != hops[i] {
+					return fmt.Errorf("oracle: chain enumeration from %#x diverges at hop %d: %#x vs %#x",
+						wa, i+1, chain[i], hops[i])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckCaches verifies cache-vs-memory coherence at a drain point: the
+// caches are tag-only (all data lives in mem.Memory), so the checkable
+// invariant is that every dirty line tags memory that functionally
+// exists — a dirty line over a never-materialized page would mean the
+// timing model wrote back data the functional model never saw. Clean
+// lines may legitimately tag untouched pages (block prefetch runs
+// ahead of the program), so only dirty lines are constrained.
+func CheckCaches(sm *sim.Machine) error {
+	var err error
+	for _, c := range []interface {
+		ForEachLine(func(lineAddr uint64, dirty bool))
+	}{sm.L1, sm.L2} {
+		c.ForEachLine(func(la uint64, dirty bool) {
+			if err == nil && dirty && !sm.Mem.Touched(mem.Addr(la)) {
+				err = fmt.Errorf("oracle: dirty cache line %#x over untouched memory", la)
+			}
+		})
+	}
+	return err
+}
+
+// CheckMachine bundles every invariant applicable to a full simulator
+// instance: the forwarding-graph sweep, cache coherence, and the
+// pointer-provenance bounds checked inside the sim package.
+func CheckMachine(sm *sim.Machine) error {
+	if err := CheckForwarding(sm.Mem, sm.Fwd); err != nil {
+		return err
+	}
+	if err := CheckCaches(sm); err != nil {
+		return err
+	}
+	return sm.CheckInvariants()
+}

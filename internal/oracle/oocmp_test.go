@@ -1,0 +1,231 @@
+package oracle
+
+import (
+	"testing"
+
+	"memfwd/internal/mem"
+	"memfwd/internal/mp"
+	"memfwd/internal/ooc"
+)
+
+// oocGeometry matches ooc.DefaultConfig's heap so allocation addresses
+// line up between the store and the oracle replay.
+var oocGeometry = Config{HeapBase: 0x4000_0000, HeapLimit: 1 << 28}
+
+// TestOOCDifferential runs the same guest sequence — build a linked
+// list, traverse it, linearize it, traverse again through both fresh
+// and stale pointers — on the out-of-core store and on the functional
+// oracle, demanding identical sums and identical heap digests modulo
+// forwarding. The paging layer (resident set, faults, evictions) must
+// be purely a cost model.
+func TestOOCDifferential(t *testing.T) {
+	const (
+		nodes     = 200
+		nodeBytes = 32 // next pointer at offset 0, three payload words
+	)
+
+	type wordOps struct {
+		load  func(mem.Addr) uint64
+		store func(mem.Addr, uint64)
+		alloc *mem.Allocator
+	}
+
+	// run executes the guest sequence; linearize relocates via the
+	// machine-specific relocator (ooc's page-touching one, or a
+	// functional mirror on the oracle with the identical allocation
+	// pattern).
+	run := func(ops wordOps, linearize func(handle mem.Addr)) (sum uint64, orig []mem.Addr) {
+		handle := ops.alloc.Alloc(8)
+		prev := handle
+		for i := 0; i < nodes; i++ {
+			n := ops.alloc.Alloc(nodeBytes)
+			orig = append(orig, n)
+			ops.store(prev, uint64(n))
+			for w := mem.Addr(8); w < nodeBytes; w += 8 {
+				ops.store(n+w, uint64(i)<<8|uint64(w))
+			}
+			prev = n // next pointer at offset 0
+		}
+		ops.store(prev, 0)
+
+		traverse := func() uint64 {
+			var s uint64
+			for n := mem.Addr(ops.load(handle)); n != 0; n = mem.Addr(ops.load(n)) {
+				for w := mem.Addr(8); w < nodeBytes; w += 8 {
+					s = s*31 + ops.load(n+w)
+				}
+			}
+			return s
+		}
+		before := traverse()
+		linearize(handle)
+		after := traverse()
+		if after != before {
+			t.Errorf("linearization changed traversal sum: %#x -> %#x", before, after)
+		}
+		// Stale pointers: the original node addresses must still read
+		// the same payloads through forwarding.
+		for i, n := range orig {
+			if got, want := ops.load(n+8), uint64(i)<<8|8; got != want {
+				t.Fatalf("stale pointer %d reads %#x, want %#x", i, got, want)
+			}
+		}
+		return after, orig
+	}
+
+	st := ooc.New(ooc.Config{ResidentPages: 8})
+	oocSum, _ := run(
+		wordOps{load: st.LoadWord, store: st.StoreWord, alloc: st.Heap},
+		func(handle mem.Addr) {
+			if n, _ := st.LinearizeList(handle, nodeBytes, 0); n != nodes {
+				t.Errorf("ooc linearize moved %d nodes, want %d", n, nodes)
+			}
+		},
+	)
+	if st.Stats.Faults == 0 {
+		t.Error("out-of-core run faulted no pages (paging model inert)")
+	}
+
+	om := New(oocGeometry)
+	// Functional mirror of ooc.LinearizeList: identical allocation
+	// sequence (headerless node-sized blocks), identical chain edits.
+	mirror := func(handle mem.Addr) {
+		save := om.Alloc.HeaderBytes
+		om.Alloc.HeaderBytes = 0
+		for n := mem.Addr(om.LoadWord(handle)); n != 0; {
+			tgt := om.Alloc.Alloc(nodeBytes)
+			for w := mem.Addr(0); w < nodeBytes; w += 8 {
+				final, _, err := om.Fwd.Resolve(n+w, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fw := mem.WordAlign(final)
+				v, _ := om.Fwd.UnforwardedRead(fw)
+				om.Fwd.UnforwardedWrite(tgt+w, v, false)
+				om.Fwd.UnforwardedWrite(fw, uint64(tgt+w), true)
+			}
+			om.StoreWord(handle, uint64(tgt))
+			handle = tgt
+			n = mem.Addr(om.LoadWord(handle))
+		}
+		om.Alloc.HeaderBytes = save
+	}
+	oracleSum, _ := run(
+		wordOps{load: om.LoadWord, store: om.StoreWord, alloc: om.Alloc},
+		mirror,
+	)
+
+	if oocSum != oracleSum {
+		t.Errorf("ooc sum %#x != oracle sum %#x", oocSum, oracleSum)
+	}
+	dOOC, err := DigestModuloForwarding(st.Mem, st.Fwd, st.Heap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dOra, err := DigestModuloForwarding(om.Mem, om.Fwd, om.Alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dOOC != dOra {
+		t.Errorf("heap digests diverged: ooc %#x, oracle %#x", dOOC, dOra)
+	}
+	if err := CheckForwarding(st.Mem, st.Fwd); err != nil {
+		t.Errorf("ooc invariants: %v", err)
+	}
+	if err := CheckForwarding(om.Mem, om.Fwd); err != nil {
+		t.Errorf("oracle invariants: %v", err)
+	}
+}
+
+// TestMPDifferential runs the same deterministic interleaving of
+// per-CPU counter updates on the multiprocessor — with a mid-run
+// RelocatePadded (the paper's false-sharing cure) — and on the
+// functional oracle with a functional mirror of that relocation.
+// Counter values read through the original (stale) pointers and the
+// final heap digests must agree: coherence, private caches, and
+// padding must have no functional effect.
+func TestMPDifferential(t *testing.T) {
+	const (
+		items = 32
+		steps = 2000
+	)
+
+	sys := mp.New(mp.Config{})
+	om := New(Config{HeapBase: 0x2000_0000, HeapLimit: 1 << 28})
+
+	alloc := func(al *mem.Allocator) []mem.Addr {
+		out := make([]mem.Addr, items)
+		for i := range out {
+			out[i] = al.Alloc(8)
+		}
+		return out
+	}
+	sysItems := alloc(sys.Heap)
+	oraItems := alloc(om.Alloc)
+	for i := range sysItems {
+		if sysItems[i] != oraItems[i] {
+			t.Fatalf("allocation diverged at %d: %#x vs %#x", i, sysItems[i], oraItems[i])
+		}
+	}
+
+	step := func(load func(mem.Addr) uint64, store func(mem.Addr, uint64), its []mem.Addr, s int) {
+		a := its[(s*7)%items]
+		store(a, load(a)+uint64(s))
+	}
+	for s := 0; s < steps/2; s++ {
+		c := sys.CPUs[s%len(sys.CPUs)]
+		step(c.LoadWord, c.StoreWord, sysItems, s)
+		step(om.LoadWord, om.StoreWord, oraItems, s)
+	}
+
+	// Mid-run: cure false sharing on the system; mirror functionally on
+	// the oracle with the identical allocation pattern.
+	sys.RelocatePadded(sysItems)
+	lineMask := ^uint64(64 - 1) // mp.DefaultConfig LineSize
+	save := om.Alloc.HeaderBytes
+	om.Alloc.HeaderBytes = 0
+	for _, a := range oraItems {
+		tgt := om.Alloc.Alloc(64)
+		for uint64(tgt)&^lineMask != 0 {
+			pad := 64 - (uint64(tgt) &^ lineMask)
+			om.Alloc.Alloc(pad)
+			tgt = om.Alloc.Alloc(64)
+		}
+		wa := mem.WordAlign(a)
+		v, _ := om.Fwd.UnforwardedRead(wa)
+		om.Fwd.UnforwardedWrite(tgt, v, false)
+		om.Fwd.UnforwardedWrite(wa, uint64(tgt), true)
+	}
+	om.Alloc.HeaderBytes = save
+
+	for s := steps / 2; s < steps; s++ {
+		c := sys.CPUs[s%len(sys.CPUs)]
+		step(c.LoadWord, c.StoreWord, sysItems, s)
+		step(om.LoadWord, om.StoreWord, oraItems, s)
+	}
+
+	for i, a := range sysItems {
+		got := sys.CPUs[i%len(sys.CPUs)].LoadWord(a)
+		want := om.LoadWord(oraItems[i])
+		if got != want {
+			t.Errorf("item %d: mp reads %d, oracle reads %d", i, got, want)
+		}
+	}
+	dMP, err := DigestModuloForwarding(sys.Mem, sys.Fwd, sys.Heap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dOra, err := DigestModuloForwarding(om.Mem, om.Fwd, om.Alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dMP != dOra {
+		t.Errorf("heap digests diverged: mp %#x, oracle %#x", dMP, dOra)
+	}
+	if err := CheckForwarding(sys.Mem, sys.Fwd); err != nil {
+		t.Errorf("mp invariants: %v", err)
+	}
+	if sys.Stats.Invalidations == 0 {
+		t.Error("mp run produced no coherence traffic (model inert)")
+	}
+}

@@ -1,0 +1,264 @@
+// Package oracle implements a timing-free functional reference machine
+// for the paper's guest programs, plus the differential harness and the
+// relocation-chaos adversary built on top of it.
+//
+// The oracle executes the same guest code (any app.App, any opt pass)
+// as the full out-of-order simulator in internal/sim, but with direct
+// word semantics over the tagged memory (internal/mem) and the
+// forwarding mechanism (internal/core) only: no pipeline, no caches,
+// no pointer-provenance model, no cycle accounting. Everything the
+// paper's safety argument calls "architectural state" is here;
+// everything it calls "performance" is absent.
+//
+// That split is what makes the differential harness meaningful: if the
+// timing simulator and the oracle ever disagree on a loaded value, a
+// malloc address, a trap decision, or the final heap contents (hashed
+// modulo forwarding — see DigestModuloForwarding), then timing
+// machinery has leaked into functional behaviour and the paper's
+// "relocation is always safe" guarantee is broken.
+package oracle
+
+import (
+	"fmt"
+
+	"memfwd/internal/apps/app"
+	"memfwd/internal/core"
+	"memfwd/internal/mem"
+)
+
+// Config describes one oracle machine. Zero fields take the same
+// defaults as sim.DefaultConfig so that a zero-config oracle is
+// functionally interchangeable with a zero-config simulator.
+type Config struct {
+	// LineSize is reported to guests via LineSize(); layout passes use
+	// it as the clustering target. It has no other effect here.
+	LineSize int
+
+	// Heap geometry. Must match the simulator run being differenced
+	// against, since malloc addresses are part of the functional
+	// contract.
+	HeapBase  mem.Addr
+	HeapLimit uint64
+}
+
+// Machine is the functional reference implementation of app.Machine.
+// All timing-only operations are no-ops; every functional operation
+// has exactly the architectural effect of its sim counterpart.
+type Machine struct {
+	Mem   *mem.Memory
+	Alloc *mem.Allocator
+	Fwd   *core.Forwarder
+
+	cfg     Config
+	trap    core.TrapHandler
+	sites   []string
+	curSite int
+
+	chainScratch []mem.Addr
+}
+
+var _ app.Machine = (*Machine)(nil)
+
+// New builds an oracle machine from cfg (zero fields defaulted to the
+// simulator's default heap geometry and line size).
+func New(cfg Config) *Machine {
+	if cfg.LineSize == 0 {
+		cfg.LineSize = 32
+	}
+	if cfg.HeapBase == 0 {
+		cfg.HeapBase = 0x1000_0000
+	}
+	if cfg.HeapLimit == 0 {
+		cfg.HeapLimit = 1 << 30
+	}
+	m := mem.New()
+	return &Machine{
+		Mem:   m,
+		Alloc: mem.NewAllocator(m, cfg.HeapBase, cfg.HeapLimit),
+		Fwd:   core.NewForwarder(m),
+		cfg:   cfg,
+		sites: []string{"<unknown>"},
+	}
+}
+
+// Config returns the effective configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Inst is a timing-only no-op.
+func (m *Machine) Inst(n int) {}
+
+// resolve follows the forwarding chain, panicking on a confirmed cycle
+// exactly as the simulator does (the paper aborts execution there).
+func (m *Machine) resolve(a mem.Addr) (final mem.Addr, hops int) {
+	final, hops, err := m.Fwd.Resolve(a, nil)
+	if err != nil {
+		panic(fmt.Sprintf("oracle: %v (initial %#x)", err, a))
+	}
+	return final, hops
+}
+
+// Load performs a size-byte load at a through any forwarding chain.
+func (m *Machine) Load(a mem.Addr, size uint) uint64 {
+	final, hops := m.resolve(a)
+	v, err := m.Mem.ReadData(final, size)
+	if err != nil {
+		panic(fmt.Sprintf("oracle: load %d @ %#x: %v", size, a, err))
+	}
+	if hops > 0 {
+		m.fireTrap(core.Load, a, final, hops)
+	}
+	return v
+}
+
+// Store performs a size-byte store at a through any forwarding chain.
+func (m *Machine) Store(a mem.Addr, v uint64, size uint) {
+	final, hops := m.resolve(a)
+	if err := m.Mem.WriteData(final, v, size); err != nil {
+		panic(fmt.Sprintf("oracle: store %d @ %#x: %v", size, a, err))
+	}
+	if hops > 0 {
+		m.fireTrap(core.Store, a, final, hops)
+	}
+}
+
+// fireTrap mirrors the simulator's trap decision exactly: a handler
+// fires whenever a reference took at least one hop, does not recurse,
+// and sees the same core.Event fields. (The simulator additionally
+// charges TrapOverheadInst instructions — timing, so absent here.)
+func (m *Machine) fireTrap(kind core.Kind, initial, final mem.Addr, hops int) {
+	if m.trap == nil {
+		return
+	}
+	h := m.trap
+	m.trap = nil // traps do not recurse
+	h(core.Event{Kind: kind, Site: m.curSite, Initial: initial, Final: final, Hops: hops})
+	m.trap = h
+}
+
+// Convenience accessors for common widths.
+
+// LoadWord loads the 64-bit word at a.
+func (m *Machine) LoadWord(a mem.Addr) uint64 { return m.Load(a, 8) }
+
+// StoreWord stores the 64-bit word v at a.
+func (m *Machine) StoreWord(a mem.Addr, v uint64) { m.Store(a, v, 8) }
+
+// LoadPtr loads a guest pointer stored at a.
+func (m *Machine) LoadPtr(a mem.Addr) mem.Addr { return mem.Addr(m.Load(a, 8)) }
+
+// StorePtr stores guest pointer p at a.
+func (m *Machine) StorePtr(a, p mem.Addr) { m.Store(a, uint64(p), 8) }
+
+// Load32 loads a 32-bit value at a.
+func (m *Machine) Load32(a mem.Addr) uint32 { return uint32(m.Load(a, 4)) }
+
+// Store32 stores a 32-bit value at a.
+func (m *Machine) Store32(a mem.Addr, v uint32) { m.Store(a, uint64(v), 4) }
+
+// Load16 loads a 16-bit value at a.
+func (m *Machine) Load16(a mem.Addr) uint16 { return uint16(m.Load(a, 2)) }
+
+// Store16 stores a 16-bit value at a.
+func (m *Machine) Store16(a mem.Addr, v uint16) { m.Store(a, uint64(v), 2) }
+
+// Load8 loads one byte at a.
+func (m *Machine) Load8(a mem.Addr) uint8 { return uint8(m.Load(a, 1)) }
+
+// Store8 stores one byte at a.
+func (m *Machine) Store8(a mem.Addr, v uint8) { m.Store(a, uint64(v), 1) }
+
+// Prefetch is a timing-only no-op.
+func (m *Machine) Prefetch(a mem.Addr, lines int) {}
+
+// ReadFBit is the Read_FBit instruction's functional effect.
+func (m *Machine) ReadFBit(a mem.Addr) bool { return m.Fwd.ReadFBit(mem.WordAlign(a)) }
+
+// UnforwardedRead is the Unforwarded_Read instruction's functional
+// effect.
+func (m *Machine) UnforwardedRead(a mem.Addr) (uint64, bool) {
+	return m.Fwd.UnforwardedRead(mem.WordAlign(a))
+}
+
+// UnforwardedWrite is the Unforwarded_Write instruction's functional
+// effect.
+func (m *Machine) UnforwardedWrite(a mem.Addr, v uint64, fbit bool) {
+	m.Fwd.UnforwardedWrite(mem.WordAlign(a), v, fbit)
+}
+
+// FinalAddr resolves a to its final address; null short-circuits as in
+// the compiler-inserted lookup.
+func (m *Machine) FinalAddr(a mem.Addr) mem.Addr {
+	if a == 0 {
+		return 0
+	}
+	final, _ := m.resolve(a)
+	return final
+}
+
+// PtrEqual compares two pointers by final address.
+func (m *Machine) PtrEqual(a, b mem.Addr) bool { return m.FinalAddr(a) == m.FinalAddr(b) }
+
+// SetTrap installs (or clears, with nil) the forwarding trap handler.
+func (m *Machine) SetTrap(h core.TrapHandler) { m.trap = h }
+
+// Malloc allocates n zeroed bytes.
+func (m *Machine) Malloc(n uint64) mem.Addr { return m.Alloc.Alloc(n) }
+
+// Free releases the block at a plus — per the deallocation wrapper of
+// Section 3.3 — any allocator blocks reachable through its forwarding
+// chain. This mirrors sim.Machine.Free word for word: the set of
+// blocks released (and hence the allocator's subsequent behaviour) is
+// part of the functional contract.
+func (m *Machine) Free(a mem.Addr) {
+	final, _, err := m.Fwd.Resolve(a, nil)
+	m.chainScratch = m.Fwd.AppendChainWords(m.chainScratch[:0], a)
+	for _, wa := range m.chainScratch {
+		if wa != a && m.Alloc.Freeable(wa) {
+			m.Alloc.Free(wa)
+		}
+	}
+	if m.Alloc.Freeable(a) {
+		m.Alloc.Free(a)
+	}
+	if err == nil {
+		if tail := mem.WordAlign(final); tail != a && m.Alloc.Freeable(tail) {
+			m.Alloc.Free(tail)
+		}
+	}
+}
+
+// Allocator exposes the heap allocator.
+func (m *Machine) Allocator() *mem.Allocator { return m.Alloc }
+
+// Memory exposes the tagged memory substrate.
+func (m *Machine) Memory() *mem.Memory { return m.Mem }
+
+// Forwarder exposes the dereference mechanism.
+func (m *Machine) Forwarder() *core.Forwarder { return m.Fwd }
+
+// LineSize returns the configured layout-target line size.
+func (m *Machine) LineSize() int { return m.cfg.LineSize }
+
+// Site interns a reference-site name, matching the simulator's
+// numbering so trap events carry identical Site ids on both machines.
+func (m *Machine) Site(name string) int {
+	for i, s := range m.sites {
+		if s == name {
+			return i
+		}
+	}
+	m.sites = append(m.sites, name)
+	return len(m.sites) - 1
+}
+
+// SetSite marks subsequent references as coming from site id.
+func (m *Machine) SetSite(id int) { m.curSite = id }
+
+// PhaseBegin is an observability no-op.
+func (m *Machine) PhaseBegin(name string) {}
+
+// PhaseEnd is an observability no-op.
+func (m *Machine) PhaseEnd(name string) {}
+
+// TraceRelocate is an observability no-op.
+func (m *Machine) TraceRelocate(src, tgt mem.Addr, nWords int) {}

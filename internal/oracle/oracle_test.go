@@ -1,0 +1,274 @@
+package oracle
+
+import (
+	"testing"
+
+	"memfwd/internal/apps/app"
+	"memfwd/internal/apps/mst"
+	"memfwd/internal/core"
+	"memfwd/internal/mem"
+	"memfwd/internal/opt"
+	"memfwd/internal/quickseed"
+	"memfwd/internal/sim"
+)
+
+// TestOracleImplementsMachine is a compile-time check plus the basic
+// word-semantics smoke test.
+func TestOracleBasics(t *testing.T) {
+	m := New(Config{})
+	a := m.Malloc(64)
+	m.StoreWord(a, 0xDEAD)
+	m.Store32(a+8, 0xBEEF)
+	m.Store8(a+17, 0x7F)
+	if got := m.LoadWord(a); got != 0xDEAD {
+		t.Errorf("LoadWord = %#x, want 0xDEAD", got)
+	}
+	if got := m.Load32(a + 8); got != 0xBEEF {
+		t.Errorf("Load32 = %#x, want 0xBEEF", got)
+	}
+	if got := m.Load8(a + 17); got != 0x7F {
+		t.Errorf("Load8 = %#x, want 0x7F", got)
+	}
+	if m.LineSize() != 32 {
+		t.Errorf("default LineSize = %d, want 32", m.LineSize())
+	}
+}
+
+// TestOracleForwardingAndTraps verifies the oracle's trap decision
+// matches the contract: fires iff a reference took at least one hop,
+// with non-recursive handlers and sim-identical event fields.
+func TestOracleForwardingAndTraps(t *testing.T) {
+	m := New(Config{})
+	a := m.Malloc(16)
+	m.StoreWord(a, 42)
+	tgt := m.Malloc(16)
+	opt.Relocate(m, a, tgt, 2)
+
+	var events []core.Event
+	m.SetTrap(func(e core.Event) {
+		events = append(events, e)
+		// Re-entrant references must not re-trap.
+		if got := m.LoadWord(a); got != 42 {
+			t.Errorf("in-trap load = %d, want 42", got)
+		}
+	})
+	if got := m.LoadWord(a); got != 42 {
+		t.Errorf("forwarded load = %d, want 42", got)
+	}
+	m.SetTrap(nil)
+	if len(events) != 1 {
+		t.Fatalf("trap fired %d times, want 1", len(events))
+	}
+	e := events[0]
+	if e.Kind != core.Load || e.Initial != a || e.Hops != 1 || mem.WordAlign(e.Final) != tgt {
+		t.Errorf("trap event %+v inconsistent (want load of %#x, 1 hop, final in %#x)", e, a, tgt)
+	}
+	// Unforwarded references never trap.
+	m.SetTrap(func(e core.Event) { t.Error("unforwarded access trapped") })
+	m.UnforwardedRead(a)
+	fresh := m.Malloc(8)
+	m.StoreWord(fresh, 1)
+	m.SetTrap(nil)
+}
+
+// TestOracleFreeMatchesSim locks the deallocation wrapper's chain-
+// freeing to the simulator's, on a chain that exercises every branch:
+// intermediate freeable blocks, a non-freeable tail, and re-forwarded
+// heads.
+func TestOracleFreeMatchesSim(t *testing.T) {
+	build := func(m app.Machine) (mem.Addr, []mem.Addr) {
+		a := m.Malloc(32)
+		b := m.Malloc(32) // becomes an intermediate chain link
+		c := m.Malloc(32) // becomes the tail
+		for w := mem.Addr(0); w < 32; w += 8 {
+			m.StoreWord(a+w, uint64(100+w))
+		}
+		// Chain a -> b -> c by hand (per-word, offset 0 words only is
+		// enough for Free, which resolves from the block base).
+		m.UnforwardedWrite(b, uint64(c), true)
+		m.UnforwardedWrite(a, uint64(b), true)
+		m.Free(a)
+		return a, []mem.Addr{a, b, c}
+	}
+	sm := sim.New(sim.Config{})
+	om := New(Config{})
+	_, sBlocks := build(sm)
+	_, oBlocks := build(om)
+	for i := range sBlocks {
+		sl := sm.Alloc.Live(sBlocks[i])
+		ol := om.Alloc.Live(oBlocks[i])
+		if sl != ol {
+			t.Errorf("block %d: sim live=%v oracle live=%v", i, sl, ol)
+		}
+		if sl {
+			t.Errorf("block %d still live after chain free", i)
+		}
+	}
+}
+
+// TestDigestModuloForwarding verifies the digest's defining property:
+// invariant under legal relocation, sensitive to actual data changes.
+func TestDigestModuloForwarding(t *testing.T) {
+	mk := func() (*Machine, []mem.Addr) {
+		m := New(Config{})
+		blocks := make([]mem.Addr, 8)
+		for i := range blocks {
+			blocks[i] = m.Malloc(32)
+			for w := mem.Addr(0); w < 32; w += 8 {
+				m.StoreWord(blocks[i]+w, uint64(i)<<8|uint64(w))
+			}
+		}
+		return m, blocks
+	}
+	moved, blocks := mk()
+	pool := opt.NewPool(moved, 4096)
+	for i := 0; i < len(blocks); i += 2 {
+		opt.Relocate(moved, blocks[i], pool.Alloc(32), 4)
+	}
+	// Re-relocate one block to lengthen its chain.
+	opt.Relocate(moved, blocks[0], pool.Alloc(32), 4)
+
+	d2, err := DigestModuloForwarding(moved.Mem, moved.Fwd, moved.Alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate one relocated word through its original address and check
+	// the digest tracks it; restore and check it returns exactly.
+	moved.StoreWord(blocks[0]+8, 0xFFFF)
+	d3, err := DigestModuloForwarding(moved.Mem, moved.Fwd, moved.Alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 == d2 {
+		t.Error("digest blind to a store through a forwarded address")
+	}
+	moved.StoreWord(blocks[0]+8, 8) // original value: i=0, w=8
+	d4, err := DigestModuloForwarding(moved.Mem, moved.Fwd, moved.Alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d4 != d2 {
+		t.Error("digest not restored after undoing the store")
+	}
+}
+
+// TestDigestInvariantAcrossMachines is the cross-machine form used by
+// the harness: identical guest sequences on two machines — one
+// adversarially relocated — produce identical digests.
+func TestDigestInvariantAcrossMachines(t *testing.T) {
+	run := func(m app.Machine, chaos bool) uint64 {
+		var rel *Relocator
+		if chaos {
+			rel = NewRelocator(m, 99, 4)
+			m = rel
+		}
+		blocks := make([]mem.Addr, 16)
+		for i := range blocks {
+			blocks[i] = m.Malloc(48)
+		}
+		for step := 0; step < 200; step++ {
+			b := blocks[step%len(blocks)]
+			w := mem.Addr(step%6) * 8
+			m.StoreWord(b+w, m.LoadWord(b+w)+uint64(step))
+		}
+		if chaos && rel.Relocations == 0 {
+			t.Fatal("adversary idle")
+		}
+		d, err := DigestModuloForwarding(m.Memory(), m.Forwarder(), m.Allocator())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	plain := run(New(Config{}), false)
+	stirred := run(New(Config{}), true)
+	if plain != stirred {
+		t.Errorf("digest diverged under chaos: %#x vs %#x", stirred, plain)
+	}
+}
+
+// TestCheckForwardingCatches verifies the invariant sweep actually
+// rejects the corruption classes it claims to.
+func TestCheckForwardingCatches(t *testing.T) {
+	t.Run("clean", func(t *testing.T) {
+		m := New(Config{})
+		a := m.Malloc(16)
+		m.StoreWord(a, 7)
+		opt.Relocate(m, a, m.Malloc(16), 2)
+		if err := CheckForwarding(m.Mem, m.Fwd); err != nil {
+			t.Errorf("clean heap rejected: %v", err)
+		}
+	})
+	t.Run("nil-target", func(t *testing.T) {
+		m := New(Config{})
+		a := m.Malloc(16)
+		m.UnforwardedWrite(a, 0, true)
+		if err := CheckForwarding(m.Mem, m.Fwd); err == nil {
+			t.Error("nil forwarding target not caught")
+		}
+	})
+	t.Run("untouched-target", func(t *testing.T) {
+		m := New(Config{})
+		a := m.Malloc(16)
+		m.UnforwardedWrite(a, 0x7777_0000, true)
+		if err := CheckForwarding(m.Mem, m.Fwd); err == nil {
+			t.Error("forwarding into untouched memory not caught")
+		}
+	})
+	t.Run("cycle", func(t *testing.T) {
+		m := New(Config{})
+		a := m.Malloc(32)
+		m.UnforwardedWrite(a+8, uint64(a)+16, true)
+		m.UnforwardedWrite(a+16, uint64(a)+8, true)
+		if err := CheckForwarding(m.Mem, m.Fwd); err == nil {
+			t.Error("forwarding cycle not caught")
+		}
+	})
+}
+
+// TestRelocatorDeterminism: identical seeds must replay identically —
+// the property that makes a failing chaos episode debuggable.
+func TestRelocatorDeterminism(t *testing.T) {
+	episode := func(seed int64) (uint64, int, int, int) {
+		m := New(Config{})
+		r := NewRelocator(m, seed, 8)
+		blocks := make([]mem.Addr, 8)
+		for i := range blocks {
+			blocks[i] = r.Malloc(64)
+		}
+		for step := 0; step < 500; step++ {
+			b := blocks[step%len(blocks)]
+			r.StoreWord(b+mem.Addr(step%8)*8, uint64(step))
+		}
+		d, err := DigestModuloForwarding(m.Mem, m.Fwd, m.Alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d, r.Relocations, r.Probes, r.CyclicProbes
+	}
+	d1, rel1, p1, c1 := episode(5)
+	d2, rel2, p2, c2 := episode(5)
+	if d1 != d2 || rel1 != rel2 || p1 != p2 || c1 != c2 {
+		t.Errorf("episodes with equal seeds diverged: (%#x,%d,%d,%d) vs (%#x,%d,%d,%d)",
+			d1, rel1, p1, c1, d2, rel2, p2, c2)
+	}
+	if rel1 == 0 || p1 == 0 || c1 == 0 {
+		t.Errorf("episode exercised too little: relocations=%d probes=%d cyclic=%d", rel1, p1, c1)
+	}
+	d3, _, _, _ := episode(6)
+	if d3 != d1 {
+		t.Errorf("chaos seed leaked into functional state: digest %#x vs %#x", d3, d1)
+	}
+}
+
+// TestSimInvariantsAfterRun exercises the sim-internal checker on a
+// real workload (provenance bounds + cache coherence + forwarding
+// graph), via the bundled CheckMachine.
+func TestSimInvariantsAfterRun(t *testing.T) {
+	sm := sim.New(sim.Config{LineSize: 128})
+	mst.App.Run(sm, app.Config{Seed: quickseed.Seed(t) | 1, Opt: true})
+	sm.Finalize()
+	if err := CheckMachine(sm); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,136 @@
+package sim_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"memfwd/internal/apps/app"
+	"memfwd/internal/mem"
+	"memfwd/internal/opt"
+	"memfwd/internal/oracle"
+	"memfwd/internal/sim"
+)
+
+// interpret executes a byte program against any machine. Each 3-byte
+// instruction (op, x, y) maps onto the guest ISA surface: allocation,
+// word/byte loads and stores, pool-backed relocation (including chain-
+// lengthening re-relocation of an already-moved block), deallocation,
+// and pointer comparison. Every guest-visible value is appended to the
+// returned trace, so two machines agree iff their traces are equal.
+func interpret(m app.Machine, prog []byte) []uint64 {
+	var (
+		out    []uint64
+		blocks []mem.Addr
+		sizes  []uint64
+	)
+	pool := opt.NewPool(m, 1024)
+	emit := func(v uint64) { out = append(out, v) }
+	for pc := 0; pc+2 < len(prog); pc += 3 {
+		op, x, y := prog[pc], prog[pc+1], prog[pc+2]
+		pick := func() int { return int(x) % len(blocks) }
+		switch op % 8 {
+		case 0: // malloc
+			if len(blocks) < 64 {
+				size := uint64(x%16+1) * 8
+				a := m.Malloc(size)
+				blocks = append(blocks, a)
+				sizes = append(sizes, size)
+				emit(uint64(a))
+			}
+		case 1: // store word
+			if len(blocks) > 0 {
+				i := pick()
+				off := mem.Addr(uint64(y)*8) % mem.Addr(sizes[i])
+				m.StoreWord(blocks[i]+off, uint64(x)<<8|uint64(y))
+			}
+		case 2: // load word
+			if len(blocks) > 0 {
+				i := pick()
+				off := mem.Addr(uint64(y)*8) % mem.Addr(sizes[i])
+				emit(m.LoadWord(blocks[i] + off))
+			}
+		case 3: // byte load at an arbitrary (possibly misaligned) offset
+			if len(blocks) > 0 {
+				i := pick()
+				off := mem.Addr(y) % mem.Addr(sizes[i])
+				emit(uint64(m.Load8(blocks[i] + off)))
+			}
+		case 4: // byte store at an arbitrary offset
+			if len(blocks) > 0 {
+				i := pick()
+				off := mem.Addr(y) % mem.Addr(sizes[i])
+				m.Store8(blocks[i]+off, x^y)
+			}
+		case 5: // relocate (re-relocation lengthens the chain)
+			if len(blocks) > 0 {
+				i := pick()
+				opt.Relocate(m, blocks[i], pool.Alloc(sizes[i]), int(sizes[i]/8))
+			}
+		case 6: // free
+			if len(blocks) > 0 {
+				i := pick()
+				m.Free(blocks[i])
+				blocks = append(blocks[:i], blocks[i+1:]...)
+				sizes = append(sizes[:i], sizes[i+1:]...)
+			}
+		case 7: // pointer comparison through forwarding
+			if len(blocks) > 1 {
+				i, j := pick(), int(y)%len(blocks)
+				var v uint64
+				if m.PtrEqual(blocks[i], blocks[j]) {
+					v = 1
+				}
+				emit(v)
+			}
+		}
+	}
+	return out
+}
+
+// FuzzMachineOps is the sim-level differential fuzzer: an arbitrary
+// byte program runs on the full out-of-order timing simulator and on
+// the functional oracle; guest-visible traces, final-heap digests
+// modulo forwarding, and every invariant checker must all agree.
+func FuzzMachineOps(f *testing.F) {
+	f.Add([]byte{0, 5, 0, 1, 0, 3, 2, 0, 3, 5, 0, 0, 2, 0, 3})
+	f.Add([]byte{0, 15, 0, 0, 3, 0, 5, 0, 0, 5, 0, 0, 3, 0, 9, 6, 0, 0})
+	f.Add([]byte{0, 1, 0, 0, 2, 0, 7, 0, 1, 4, 0, 5, 3, 0, 5, 5, 1, 0})
+	f.Add(bytes.Repeat([]byte{0, 9, 0, 1, 2, 4, 5, 1, 0, 2, 2, 4}, 8))
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		if len(prog) > 258 {
+			prog = prog[:258]
+		}
+		sm := sim.New(sim.Config{})
+		simTrace := interpret(sm, prog)
+		sm.Finalize()
+		om := oracle.New(oracle.Config{})
+		oraTrace := interpret(om, prog)
+
+		if len(simTrace) != len(oraTrace) {
+			t.Fatalf("trace lengths diverged: sim %d, oracle %d", len(simTrace), len(oraTrace))
+		}
+		for i := range simTrace {
+			if simTrace[i] != oraTrace[i] {
+				t.Fatalf("trace[%d]: sim %#x, oracle %#x", i, simTrace[i], oraTrace[i])
+			}
+		}
+		dSim, err := oracle.DigestModuloForwarding(sm.Mem, sm.Fwd, sm.Alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dOra, err := oracle.DigestModuloForwarding(om.Mem, om.Fwd, om.Alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dSim != dOra {
+			t.Fatalf("heap digests diverged: sim %#x, oracle %#x", dSim, dOra)
+		}
+		if err := oracle.CheckMachine(sm); err != nil {
+			t.Error(fmt.Errorf("sim invariants: %w", err))
+		}
+		if err := oracle.CheckForwarding(om.Mem, om.Fwd); err != nil {
+			t.Error(fmt.Errorf("oracle invariants: %w", err))
+		}
+	})
+}

@@ -318,6 +318,20 @@ func provLimitFor(c cpu.Config) int {
 // Config returns the effective configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
+// LineSize returns the primary-cache line size in bytes (the guest
+// Machine interface's layout-target geometry).
+func (m *Machine) LineSize() int { return m.L1.LineSize() }
+
+// Allocator exposes the raw heap allocator for untimed uses: arena
+// carving by relocation pools and pre-run heap aging.
+func (m *Machine) Allocator() *mem.Allocator { return m.Alloc }
+
+// Memory exposes the tagged memory substrate (untimed test support).
+func (m *Machine) Memory() *mem.Memory { return m.Mem }
+
+// Forwarder exposes the dereference mechanism (untimed test support).
+func (m *Machine) Forwarder() *core.Forwarder { return m.Fwd }
+
 // SetTrap installs (or clears, with nil) the user-level forwarding trap
 // handler. Handlers run as guest code: machine operations they perform
 // are charged normally.
