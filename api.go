@@ -139,6 +139,11 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 // is ready to use and safe for concurrent access.
 type JobProgress = exp.Progress
 
+// JobError describes one experiment cell the engine could not complete
+// (panic, timeout, cancellation, or error); its Reason() is the
+// deterministic one-liner the figure output carries as "incomplete".
+type JobError = exp.JobError
+
 // Profiler is the Section 3.2 forwarding profiler: attach it to a
 // machine and it records, per static site, every reference that needed
 // the forwarding safety net.

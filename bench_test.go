@@ -19,7 +19,7 @@ func benchOptions() Options { return Options{Seed: 9} }
 // space overhead).
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab := RunTable1(benchOptions())
+		tab, _ := RunTable1(benchOptions())
 		if len(tab.Rows) != 8 {
 			b.Fatal("table 1 incomplete")
 		}
@@ -310,7 +310,7 @@ func BenchmarkLoadObsTracing(b *testing.B) {
 // false-sharing demonstration (Section 2.2's application).
 func BenchmarkExtensionFalseSharing(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab := RunFalseSharing(benchOptions())
+		tab, _ := RunFalseSharing(benchOptions())
 		if len(tab.Rows) != 2 {
 			b.Fatal("incomplete")
 		}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +35,13 @@ func main() {
 		sample = flag.Uint64("sample", 0, "attach the sampler: a time-series point every N instructions per run, in each run's Samples (JSON) with per-phase labels")
 		jobs   = flag.Int("jobs", 0, "experiment-engine worker count (0 = GOMAXPROCS); results are identical at any value")
 
+		timeout      = flag.Duration("timeout", 0, "per-cell deadline (0 = unbounded); exceeding cells are marked incomplete, the rest still run")
+		suiteTimeout = flag.Duration("suite-timeout", 0, "whole-pipeline deadline (0 = unbounded)")
+		retries      = flag.Int("retries", 0, "re-run cells that report transient faults up to this many times")
+		faultSpec    = flag.String("fault", "", "arm a deterministic fault on matching cells: kind@point[:visit] (e.g. flip@relocate.copy-write)")
+		faultCell    = flag.String("fault-cell", "", "restrict -fault to cells whose label contains this substring (e.g. health/line32/L)")
+		faultSeed    = flag.Int64("fault-seed", 0, "seed for the fault corruption stream (0 = -seed)")
+
 		cpuProfile = flag.String("cpuprofile", "", "write a Go CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a Go heap profile (after GC) to this file at exit")
 	)
@@ -46,12 +54,18 @@ func main() {
 	}
 
 	cfg := figures.Config{
-		Only:   *only,
-		JSON:   *asJSON,
-		Seed:   *seed,
-		Scale:  *scale,
-		Sample: *sample,
-		Jobs:   *jobs,
+		Only:         *only,
+		JSON:         *asJSON,
+		Seed:         *seed,
+		Scale:        *scale,
+		Sample:       *sample,
+		Jobs:         *jobs,
+		JobTimeout:   *timeout,
+		SuiteTimeout: *suiteTimeout,
+		Retries:      *retries,
+		Fault:        *faultSpec,
+		FaultCell:    *faultCell,
+		FaultSeed:    *faultSeed,
 	}
 	runErr := figures.Run(cfg, os.Stdout, os.Stderr)
 
@@ -61,6 +75,11 @@ func main() {
 	}
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "figures:", runErr)
+		if errors.Is(runErr, figures.ErrIncomplete) {
+			// Partial results were written; distinguish degradation
+			// from hard failure.
+			os.Exit(1)
+		}
 		os.Exit(2)
 	}
 }

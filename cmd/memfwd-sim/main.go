@@ -27,6 +27,8 @@ import (
 	"strings"
 
 	"memfwd"
+	"memfwd/internal/exp"
+	"memfwd/internal/fault"
 	"memfwd/internal/pprofutil"
 )
 
@@ -52,6 +54,11 @@ func main() {
 
 		lines = flag.String("lines", "", "comma-separated line sizes (e.g. 32,64,128): sweep them through the parallel experiment engine instead of one -line run")
 		jobs  = flag.Int("jobs", 0, "experiment-engine worker count for -lines sweeps (0 = GOMAXPROCS); results are identical at any value")
+
+		faultSpec = flag.String("fault", "", "arm a deterministic fault: kind@point[:visit] (e.g. flip@relocate.copy-write); a crashed or corrupted run exits 1 with the reason")
+		faultSeed = flag.Int64("fault-seed", 0, "seed for the fault corruption stream (0 = -seed)")
+		timeout   = flag.Duration("timeout", 0, "per-run deadline (0 = unbounded)")
+		retries   = flag.Int("retries", 0, "re-run on transient faults up to this many times")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a Go CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a Go heap profile (after GC) to this file at exit")
@@ -95,19 +102,32 @@ func main() {
 			fmt.Fprintln(os.Stderr, "memfwd-sim:", err)
 			os.Exit(2)
 		}
-		o := memfwd.Options{Seed: *seed, Scale: *scale, SampleEvery: *sampleEvery, Jobs: *jobs}
+		o := memfwd.Options{
+			Seed: *seed, Scale: *scale, SampleEvery: *sampleEvery, Jobs: *jobs,
+			JobTimeout: *timeout, Retries: *retries,
+			Fault: *faultSpec, FaultSeed: *faultSeed,
+		}
 		v := variantOf(*optOn, *prefetch, *perfect)
-		runs := memfwd.RunLines(a, ls, v, blockOf(*prefetch, *block), o)
+		runs, errs := memfwd.RunLines(a, ls, v, blockOf(*prefetch, *block), o)
 		if *asJSON {
 			if err := memfwd.WriteJSON(os.Stdout, runs); err != nil {
 				fmt.Fprintln(os.Stderr, "memfwd-sim:", err)
 				os.Exit(1)
 			}
-			return
+		} else {
+			for _, r := range runs {
+				if r.Stats == nil {
+					fmt.Printf("app=%s line=%dB variant=%-4s incomplete: %s\n",
+						r.App, r.Line, r.Variant, r.Incomplete)
+					continue
+				}
+				fmt.Printf("app=%s line=%dB variant=%-4s cycles=%-12d L1-load-misses=%-10d loads-forwarded=%d\n",
+					r.App, r.Line, r.Variant, r.Stats.Cycles, r.Stats.L1.Misses(0), r.Stats.LoadsForwarded())
+			}
 		}
-		for _, r := range runs {
-			fmt.Printf("app=%s line=%dB variant=%-4s cycles=%-12d L1-load-misses=%-10d loads-forwarded=%d\n",
-				r.App, r.Line, r.Variant, r.Stats.Cycles, r.Stats.L1.Misses(0), r.Stats.LoadsForwarded())
+		if len(errs) > 0 {
+			fmt.Fprintf(os.Stderr, "memfwd-sim: %d cell(s) incomplete\n", len(errs))
+			os.Exit(1)
 		}
 		return
 	}
@@ -155,13 +175,42 @@ func main() {
 		prof = memfwd.AttachProfiler(m)
 		prof.RegisterMetrics(reg)
 	}
-	res := a.Run(m, memfwd.AppConfig{
+	if *faultSpec != "" {
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = *seed
+		}
+		inj, err := fault.NewFromSpec(fseed, *faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memfwd-sim:", err)
+			os.Exit(2)
+		}
+		m.SetFaultInjector(inj)
+	}
+
+	// The run goes through the hardened engine even as a single job, so
+	// an injected crash, a hung workload, or a timeout is reported as a
+	// structured reason instead of killing the process.
+	var res memfwd.AppResult
+	appCfg := memfwd.AppConfig{
 		Opt:           *optOn,
 		Prefetch:      *prefetch,
 		PrefetchBlock: *block,
 		Seed:          *seed,
 		Scale:         *scale,
-	})
+	}
+	spec := exp.Spec{App: a.Name, Line: *line, Variant: string(variantOf(*optOn, *prefetch, *perfect))}
+	_, jobErrs := exp.RunChecked(
+		exp.Config{Jobs: 1, JobTimeout: *timeout, Retries: *retries, RetrySeed: *seed},
+		[]exp.Spec{spec},
+		func(int, exp.Spec) (struct{}, error) {
+			res = a.Run(m, appCfg)
+			return struct{}{}, nil
+		})
+	if len(jobErrs) > 0 {
+		fmt.Fprintf(os.Stderr, "memfwd-sim: run incomplete: %s\n", jobErrs[0].Reason())
+		os.Exit(1)
+	}
 	st := m.Finalize()
 
 	if err := tracer.Close(); err != nil {

@@ -1,9 +1,13 @@
 package memfwd
 
 import (
+	"context"
 	"fmt"
+	"strings"
+	"time"
 
 	"memfwd/internal/exp"
+	"memfwd/internal/fault"
 	"memfwd/internal/opt"
 	"memfwd/internal/report"
 )
@@ -35,6 +39,12 @@ type Run struct {
 	// -sample-every); omitted from JSON otherwise, so existing encodings
 	// are unchanged.
 	Samples []Sample `json:",omitempty"`
+
+	// Incomplete, when non-empty, marks a cell the engine could not
+	// finish (panic, timeout, cancellation, error) with its
+	// deterministic one-line reason; Stats and Result are then absent.
+	// Completed cells never carry it, so existing JSON is unchanged.
+	Incomplete string `json:",omitempty"`
 }
 
 // Speedup returns base.Cycles / r.Cycles, or 0 when either side has no
@@ -72,6 +82,36 @@ type Options struct {
 	// event pair per experiment cell, timestamped in wall-clock
 	// microseconds — a Perfetto sink renders the pool as a span timeline.
 	JobTracer *Tracer
+
+	// Ctx, when non-nil, cancels a whole suite; a context.WithDeadline
+	// is the per-suite deadline. Cells not yet started when it fires are
+	// marked Incomplete ("canceled") without running.
+	Ctx context.Context
+
+	// JobTimeout, when > 0, bounds each cell's wall time; an exceeding
+	// cell is marked Incomplete ("timeout") and the rest still complete.
+	JobTimeout time.Duration
+
+	// Retries is how many times a cell reporting a transient fault is
+	// re-run (seeded backoff) before being marked Incomplete.
+	Retries int
+
+	// RetryBackoff is the base backoff before the first retry; <= 0
+	// takes the engine default.
+	RetryBackoff time.Duration
+
+	// Fault, when non-empty, arms a deterministic fault injector on
+	// matching cells, in the grammar of fault.ParseSpec:
+	// "kind@point[:visit]", e.g. "flipbit@relocate.copy-write:3".
+	Fault string
+
+	// FaultCell restricts Fault to cells whose label
+	// (exp.Spec.String(), e.g. "health/line32/L") contains this
+	// substring; empty arms every cell.
+	FaultCell string
+
+	// FaultSeed seeds the injector's corruption stream; 0 takes Seed.
+	FaultSeed int64
 }
 
 // Norm applies the defaults used throughout the paper's evaluation.
@@ -93,7 +133,58 @@ func (o Options) Norm() Options {
 
 // engine translates the options into an engine configuration.
 func (o Options) engine() exp.Config {
-	return exp.Config{Jobs: o.Jobs, Tracer: o.JobTracer, Progress: o.Progress}
+	return exp.Config{
+		Jobs:       o.Jobs,
+		Tracer:     o.JobTracer,
+		Progress:   o.Progress,
+		Ctx:        o.Ctx,
+		JobTimeout: o.JobTimeout,
+		Retries:    o.Retries,
+		Backoff:    o.RetryBackoff,
+		RetrySeed:  o.Seed,
+	}
+}
+
+// armFault builds the injector for one cell, or nil when Options.Fault
+// is unset or the cell label does not contain Options.FaultCell. A
+// malformed spec panics: it is a harness configuration error, caught
+// before any cell runs by the cmd flag parsing.
+func (o Options) armFault(s exp.Spec) *fault.Injector {
+	if o.Fault == "" {
+		return nil
+	}
+	if o.FaultCell != "" && !strings.Contains(s.String(), o.FaultCell) {
+		return nil
+	}
+	seed := o.FaultSeed
+	if seed == 0 {
+		seed = o.Seed
+	}
+	inj, err := fault.NewFromSpec(seed, o.Fault)
+	if err != nil {
+		panic(fmt.Sprintf("memfwd: bad fault spec %q: %v", o.Fault, err))
+	}
+	return inj
+}
+
+// runEngine is the resilient engine entry shared by the runners: it
+// executes the matrix through exp.RunChecked and converts each JobError
+// into a placeholder Run carrying the deterministic Incomplete reason,
+// so tables and JSON keep their shape when cells fail.
+func runEngine(o Options, specs []exp.Spec, f func(i int, s exp.Spec) Run) ([]Run, []*exp.JobError) {
+	runs, errs := exp.RunChecked(o.engine(), specs, func(i int, s exp.Spec) (Run, error) {
+		return f(i, s), nil
+	})
+	for _, e := range errs {
+		runs[e.Index] = Run{
+			App:        e.Spec.App,
+			Line:       e.Spec.Line,
+			Variant:    Variant(e.Spec.Variant),
+			Block:      e.Spec.Block,
+			Incomplete: e.Reason(),
+		}
+	}
+	return runs, errs
 }
 
 // localityApps are the seven applications of Figure 5 (SMV is studied
@@ -128,6 +219,9 @@ func RunOne(a App, line int, v Variant, block int, o Options) Run {
 		mc.PerfectForwarding = true
 	}
 	m := NewMachine(mc)
+	if inj := o.armFault(exp.Spec{App: a.Name, Line: line, Variant: string(v), Block: block}); inj != nil {
+		m.SetFaultInjector(inj)
+	}
 	var series *SampleSeries
 	if o.SampleEvery > 0 {
 		series = &SampleSeries{Every: o.SampleEvery}
@@ -147,7 +241,21 @@ type LocalityRuns struct {
 	Lines []int
 	Runs  []Run
 
+	// Errs lists the cells the engine could not complete (their Runs
+	// entries carry the matching Incomplete marker); empty on a clean
+	// suite.
+	Errs []*exp.JobError
+
 	index map[runKey]int // (app, line, variant) -> Runs position
+}
+
+// incompleteCell renders the table marker for a cell the engine could
+// not finish.
+func incompleteCell(r Run) string {
+	if r.Incomplete == "" {
+		return "incomplete"
+	}
+	return "incomplete: " + r.Incomplete
 }
 
 type runKey struct {
@@ -187,7 +295,7 @@ func RunLocality(o Options) *LocalityRuns {
 			}
 		}
 	}
-	lr.Runs = exp.Run(o.engine(), specs, func(_ int, s exp.Spec) Run {
+	lr.Runs, lr.Errs = runEngine(o, specs, func(_ int, s exp.Spec) Run {
 		return RunOne(MustApp(s.App), s.Line, Variant(s.Variant), 0, o)
 	})
 	lr.buildIndex()
@@ -203,11 +311,19 @@ func (lr *LocalityRuns) Figure5Table() *report.Table {
 		"app", "line", "case", "norm.time", "busy", "load stall", "store stall", "inst stall", "speedup")
 	for _, a := range localityApps() {
 		base, _ := lr.Get(a.Name, lr.Lines[0], VariantN)
-		baseSlots := float64(base.Stats.Cycles) * 4
+		var baseSlots float64
+		if base.Stats != nil {
+			baseSlots = float64(base.Stats.Cycles) * 4
+		}
 		for _, line := range lr.Lines {
 			n, _ := lr.Get(a.Name, line, VariantN)
 			l, _ := lr.Get(a.Name, line, VariantL)
 			for _, r := range []Run{n, l} {
+				if r.Stats == nil {
+					t.Add(a.Name, fmt.Sprint(line), string(r.Variant),
+						incompleteCell(r), "", "", "", "", "")
+					continue
+				}
 				sp := ""
 				if r.Variant == VariantL {
 					if s := l.Speedup(n); s == 0 {
@@ -237,10 +353,17 @@ func (lr *LocalityRuns) Figure6aTable() *report.Table {
 		"app", "line", "case", "norm.misses", "partial", "full")
 	for _, a := range localityApps() {
 		base, _ := lr.Get(a.Name, lr.Lines[0], VariantN)
-		bm := float64(base.Stats.L1.Misses(0))
+		var bm float64
+		if base.Stats != nil {
+			bm = float64(base.Stats.L1.Misses(0))
+		}
 		for _, line := range lr.Lines {
 			for _, v := range []Variant{VariantN, VariantL} {
 				r, _ := lr.Get(a.Name, line, v)
+				if r.Stats == nil {
+					t.Add(a.Name, fmt.Sprint(line), string(v), incompleteCell(r), "", "")
+					continue
+				}
 				t.Add(a.Name, fmt.Sprint(line), string(v),
 					report.Ratio(float64(r.Stats.L1.Misses(0)), bm),
 					report.Ratio(float64(r.Stats.L1.PartialMisses[0]), bm),
@@ -260,10 +383,17 @@ func (lr *LocalityRuns) Figure6bTable() *report.Table {
 		"app", "line", "case", "norm.total", "L1<->L2", "L2<->mem")
 	for _, a := range localityApps() {
 		base, _ := lr.Get(a.Name, lr.Lines[0], VariantN)
-		bb := float64(base.Stats.BytesL1L2 + base.Stats.BytesL2Mem)
+		var bb float64
+		if base.Stats != nil {
+			bb = float64(base.Stats.BytesL1L2 + base.Stats.BytesL2Mem)
+		}
 		for _, line := range lr.Lines {
 			for _, v := range []Variant{VariantN, VariantL} {
 				r, _ := lr.Get(a.Name, line, v)
+				if r.Stats == nil {
+					t.Add(a.Name, fmt.Sprint(line), string(v), incompleteCell(r), "", "")
+					continue
+				}
 				t.Add(a.Name, fmt.Sprint(line), string(v),
 					report.Ratio(float64(r.Stats.BytesL1L2+r.Stats.BytesL2Mem), bb),
 					report.Ratio(float64(r.Stats.BytesL1L2), bb),
@@ -279,6 +409,9 @@ func (lr *LocalityRuns) Figure6bTable() *report.Table {
 // sweep, exactly as the paper reports them.
 type PrefetchRuns struct {
 	Runs map[string]map[Variant]Run
+
+	// Errs lists the cells the engine could not complete.
+	Errs []*exp.JobError
 }
 
 // RunPrefetch executes the Figure 7 experiment. The whole matrix —
@@ -300,10 +433,10 @@ func RunPrefetch(o Options) *PrefetchRuns {
 			}
 		}
 	}
-	runs := exp.Run(o.engine(), specs, func(_ int, s exp.Spec) Run {
+	runs, errs := runEngine(o, specs, func(_ int, s exp.Spec) Run {
 		return RunOne(MustApp(s.App), s.Line, Variant(s.Variant), s.Block, o)
 	})
-	pr := &PrefetchRuns{Runs: make(map[string]map[Variant]Run)}
+	pr := &PrefetchRuns{Runs: make(map[string]map[Variant]Run), Errs: errs}
 	for i, s := range specs {
 		rs := pr.Runs[s.App]
 		if rs == nil {
@@ -312,7 +445,12 @@ func RunPrefetch(o Options) *PrefetchRuns {
 		}
 		r := runs[i]
 		v := Variant(s.Variant)
-		if best, swept := rs[v]; !swept || r.Stats.Cycles < best.Stats.Cycles {
+		// An incomplete cell stands in only until any completed cell of
+		// the sweep arrives; among completed cells the original
+		// iteration order still breaks ties.
+		if best, swept := rs[v]; !swept {
+			rs[v] = r
+		} else if r.Stats != nil && (best.Stats == nil || r.Stats.Cycles < best.Stats.Cycles) {
 			rs[v] = r
 		}
 	}
@@ -327,8 +465,16 @@ func (pr *PrefetchRuns) Table() *report.Table {
 	for _, a := range localityApps() {
 		rs := pr.Runs[a.Name]
 		n := rs[VariantN]
+		var nCycles float64
+		if n.Stats != nil {
+			nCycles = float64(n.Stats.Cycles)
+		}
 		for _, v := range []Variant{VariantN, VariantNP, VariantL, VariantLP} {
 			r := rs[v]
+			if r.Stats == nil {
+				t.Add(a.Name, string(v), "", incompleteCell(r), "")
+				continue
+			}
 			blk := ""
 			if v == VariantNP || v == VariantLP {
 				blk = fmt.Sprint(r.Block)
@@ -338,7 +484,7 @@ func (pr *PrefetchRuns) Table() *report.Table {
 				sp = fmt.Sprintf("%.2f", s)
 			}
 			t.Add(a.Name, string(v), blk,
-				report.Ratio(float64(r.Stats.Cycles), float64(n.Stats.Cycles)),
+				report.Ratio(float64(r.Stats.Cycles), nCycles),
 				sp)
 		}
 	}
@@ -348,6 +494,9 @@ func (pr *PrefetchRuns) Table() *report.Table {
 // SMVRuns is the Figure 10 experiment: SMV under N, L, and Perf.
 type SMVRuns struct {
 	N, L, Perf Run
+
+	// Errs lists the cells the engine could not complete.
+	Errs []*exp.JobError
 }
 
 // RunSMV executes the Figure 10 experiment at the given line size.
@@ -359,10 +508,10 @@ func RunSMV(o Options) *SMVRuns {
 		{App: "smv", Line: line, Variant: string(VariantL)},
 		{App: "smv", Line: line, Variant: string(VariantPerf)},
 	}
-	runs := exp.Run(o.engine(), specs, func(_ int, s exp.Spec) Run {
+	runs, errs := runEngine(o, specs, func(_ int, s exp.Spec) Run {
 		return RunOne(MustApp(s.App), s.Line, Variant(s.Variant), 0, o)
 	})
-	return &SMVRuns{N: runs[0], L: runs[1], Perf: runs[2]}
+	return &SMVRuns{N: runs[0], L: runs[1], Perf: runs[2], Errs: errs}
 }
 
 // Tables renders Figure 10's four panels.
@@ -371,8 +520,15 @@ func (sr *SMVRuns) Tables() []*report.Table {
 
 	a := report.New("Figure 10(a): SMV execution time (normalized to N)",
 		"case", "norm.time", "busy", "load stall", "store stall", "inst stall")
-	baseSlots := float64(sr.N.Stats.Cycles) * 4
+	var baseSlots float64
+	if sr.N.Stats != nil {
+		baseSlots = float64(sr.N.Stats.Cycles) * 4
+	}
 	for _, r := range runs {
+		if r.Stats == nil {
+			a.Add(string(r.Variant), incompleteCell(r), "", "", "", "")
+			continue
+		}
 		a.Add(string(r.Variant),
 			report.Ratio(float64(r.Stats.Cycles)*4, baseSlots),
 			report.Ratio(float64(r.Stats.Slots[0]), baseSlots),
@@ -383,9 +539,16 @@ func (sr *SMVRuns) Tables() []*report.Table {
 
 	b := report.New("Figure 10(b): SMV D-cache misses (normalized to N)",
 		"case", "load misses", "store misses")
-	bl := float64(sr.N.Stats.L1.Misses(0))
-	bs := float64(sr.N.Stats.L1.Misses(1))
+	var bl, bs float64
+	if sr.N.Stats != nil {
+		bl = float64(sr.N.Stats.L1.Misses(0))
+		bs = float64(sr.N.Stats.L1.Misses(1))
+	}
 	for _, r := range runs {
+		if r.Stats == nil {
+			b.Add(string(r.Variant), incompleteCell(r), "")
+			continue
+		}
 		b.Add(string(r.Variant),
 			report.Ratio(float64(r.Stats.L1.Misses(0)), bl),
 			report.Ratio(float64(r.Stats.L1.Misses(1)), bs))
@@ -410,6 +573,10 @@ func (sr *SMVRuns) Tables() []*report.Table {
 		"case", "loads 1 hop", "loads 2+ hops", "stores 1 hop", "stores 2+ hops")
 	for _, r := range runs {
 		st := r.Stats
+		if st == nil {
+			c.Add(string(r.Variant), incompleteCell(r), "", "", "")
+			continue
+		}
 		l1 := frac(st.LoadsFwdByHops[1], st.Loads)
 		l2 := frac(st.LoadsForwarded()-st.LoadsFwdByHops[1], st.Loads)
 		s1 := frac(st.StoresFwdByHops[1], st.Stores)
@@ -421,6 +588,10 @@ func (sr *SMVRuns) Tables() []*report.Table {
 		"case", "load avg", "load fwd part", "store avg", "store fwd part")
 	for _, r := range runs {
 		st := r.Stats
+		if st == nil {
+			d.Add(string(r.Variant), incompleteCell(r), "", "", "")
+			continue
+		}
 		d.Add(string(r.Variant),
 			avg(st.LoadCycles, st.Loads),
 			avg(st.LoadFwdCycles, st.Loads),
@@ -431,35 +602,43 @@ func (sr *SMVRuns) Tables() []*report.Table {
 }
 
 // RunTable1 regenerates Table 1: each application, the optimization
-// applied, and the measured space overhead of relocation.
-func RunTable1(o Options) *report.Table {
+// applied, and the measured space overhead of relocation. The second
+// return lists cells the engine could not complete (their rows carry
+// the incomplete marker); nil on a clean run.
+func RunTable1(o Options) (*report.Table, []*exp.JobError) {
 	o = o.Norm()
 	specs := make([]exp.Spec, len(apps))
 	for i, a := range apps {
 		specs[i] = exp.Spec{App: a.Name, Line: 128, Variant: string(VariantL)}
 	}
-	runs := exp.Run(o.engine(), specs, func(_ int, s exp.Spec) Run {
+	runs, errs := runEngine(o, specs, func(_ int, s exp.Spec) Run {
 		return RunOne(MustApp(s.App), s.Line, Variant(s.Variant), 0, o)
 	})
 	t := report.New("Table 1: applications and optimizations",
 		"app", "optimization", "relocated objs", "space overhead", "insts (opt run)")
 	for i, a := range apps {
 		r := runs[i]
+		if r.Stats == nil {
+			t.Add(a.Name, a.Optimization, incompleteCell(r), "", "")
+			continue
+		}
 		t.Add(a.Name, a.Optimization, fmt.Sprint(r.Result.Relocated),
 			report.KB(r.Result.SpaceOverhead), fmt.Sprint(r.Stats.Instructions))
 	}
-	return t
+	return t, errs
 }
 
 // RunLines executes one application under one variant across several
 // line sizes through the engine — the sweep behind memfwd-sim -lines.
-func RunLines(a App, lines []int, v Variant, block int, o Options) []Run {
+// The second return lists cells the engine could not complete (their
+// Runs carry the Incomplete marker); nil on a clean sweep.
+func RunLines(a App, lines []int, v Variant, block int, o Options) ([]Run, []*exp.JobError) {
 	o = o.Norm()
 	specs := make([]exp.Spec, len(lines))
 	for i, line := range lines {
 		specs[i] = exp.Spec{App: a.Name, Line: line, Variant: string(v), Block: block}
 	}
-	return exp.Run(o.engine(), specs, func(_ int, s exp.Spec) Run {
+	return runEngine(o, specs, func(_ int, s exp.Spec) Run {
 		return RunOne(a, s.Line, Variant(s.Variant), s.Block, o)
 	})
 }
@@ -543,8 +722,9 @@ func Figure9Layout(clusterBytes uint64) *report.Table {
 // application of Section 2.2 on the mp extension: four processors
 // increment per-processor counters that share one cache line, then the
 // counters are relocated one-per-line (forwarding-safe) and the
-// ping-pong disappears. Both layouts run as independent engine jobs.
-func RunFalseSharing(o Options) *report.Table {
+// ping-pong disappears. Both layouts run as independent engine jobs;
+// the second return lists any the engine could not complete.
+func RunFalseSharing(o Options) (*report.Table, []*exp.JobError) {
 	t := report.New("Extension: false sharing cured by forwarding-safe relocation (Section 2.2)",
 		"layout", "invalidations", "false-sharing", "cycles", "speedup")
 	type fsRun struct {
@@ -574,12 +754,18 @@ func RunFalseSharing(o Options) *report.Table {
 		{App: "false-sharing", Variant: "packed"},
 		{App: "false-sharing", Variant: "relocated"},
 	}
-	runs := exp.Run(o.engine(), specs, func(_ int, s exp.Spec) fsRun {
-		return run(s.Variant == "relocated")
+	runs, errs := exp.RunChecked(o.engine(), specs, func(_ int, s exp.Spec) (fsRun, error) {
+		return run(s.Variant == "relocated"), nil
 	})
+	if len(errs) > 0 {
+		for _, e := range errs {
+			t.Addf(e.Spec.Variant, "incomplete: "+e.Reason(), "", "", "")
+		}
+		return t, errs
+	}
 	p, r := runs[0], runs[1]
 	t.Addf("packed (one line)", p.inv, p.falseInv, p.cycles, "")
 	t.Addf("relocated (one line each)", r.inv, r.falseInv, r.cycles,
 		report.Ratio(float64(p.cycles), float64(r.cycles)))
-	return t
+	return t, errs
 }

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"memfwd/internal/core"
+	"memfwd/internal/fault"
 	"memfwd/internal/mem"
 )
 
@@ -80,6 +81,15 @@ type Machine interface {
 	// LineSize is the primary-cache line size the layout optimizations
 	// target (the oracle reports the configured target line size).
 	LineSize() int
+
+	// Fault injection (internal/fault). A machine carries at most one
+	// injector; installing one hooks the tagged memory's
+	// Unforwarded_Write path and the forwarder's chain walk, and the
+	// relocation machinery (internal/opt) journals through it. Guests
+	// never consult the injector; a nil injector is the normal,
+	// fault-free state. SetFaultInjector(nil) uninstalls.
+	FaultInjector() *fault.Injector
+	SetFaultInjector(in *fault.Injector)
 
 	// Observability; free of functional effect.
 	Site(name string) int

@@ -124,6 +124,10 @@ func Differential(t *testing.T, a app.App) {
 // the full-mode episode count; short mode trims episodes (never
 // coverage: both the timed-simulator and pure-oracle adversaries, and
 // both the base and opt variants, always run at least once).
+// Odd-numbered episodes additionally run with the adversary's fault
+// injection armed: relocations are crashed, corrupted, journal-repaired
+// and verified behind the guest's back, and the episode must still be
+// bit-identical to the unperturbed run.
 func Chaos(t *testing.T, a app.App, episodes int) {
 	t.Helper()
 	if episodes < 2 {
@@ -147,6 +151,7 @@ func Chaos(t *testing.T, a app.App, episodes int) {
 			Seed:   int64(1000*i) + 7,
 			Timed:  i == 0 || i == 1,
 			SimCfg: diffMachine,
+			Faults: i%2 == 1,
 		}
 		mode := "oracle"
 		if ch.Timed {

@@ -88,6 +88,13 @@ type Forwarder struct {
 	CycleFalseAlarms uint64 // hop-limit exceeded, but no cycle found
 	CyclesDetected   uint64
 	MaxChain         int
+
+	// FaultHook, when non-nil, observes every hop Resolve takes, before
+	// the hop's timing callback. The fault-injection layer installs it
+	// to count chain-walk boundaries and optionally crash mid-walk
+	// (internal/fault, point "core.resolve.hop"); it must not mutate
+	// memory.
+	FaultHook func(wordAddr mem.Addr, hop int)
 }
 
 // NewForwarder returns a forwarder with the default cycle-handling
@@ -124,6 +131,9 @@ func (f *Forwarder) Resolve(a mem.Addr, onHop HopFunc) (final mem.Addr, hops int
 	wa := mem.WordAlign(a)
 	for f.Mem.FBit(wa) {
 		hops++
+		if f.FaultHook != nil {
+			f.FaultHook(wa, hops)
+		}
 		if onHop != nil {
 			onHop(wa, hops)
 		}
@@ -163,6 +173,9 @@ func (f *Forwarder) resolveUnbounded(orig, wa, off mem.Addr, hops int, onHop Hop
 	wa = f.step(wa, off)
 	for f.Mem.FBit(wa) {
 		hops++
+		if f.FaultHook != nil {
+			f.FaultHook(wa, hops)
+		}
 		if onHop != nil {
 			onHop(wa, hops)
 		}

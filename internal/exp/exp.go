@@ -17,10 +17,15 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"memfwd/internal/obs"
@@ -71,6 +76,107 @@ type Config struct {
 	// Progress, when non-nil, is updated live as jobs move through the
 	// pool; register it on a metrics registry to watch long suites.
 	Progress *Progress
+
+	// Ctx, when non-nil, cancels the suite: jobs not yet started when
+	// it is done are recorded as canceled without running, and running
+	// jobs are abandoned at the next cancellation check. A
+	// context.WithDeadline here is the per-suite deadline. Nil means
+	// context.Background().
+	Ctx context.Context
+
+	// JobTimeout, when > 0, is the per-job deadline. A cell that
+	// exceeds it is recorded as a timeout JobError and its goroutine is
+	// abandoned (simulation cells are CPU-bound and cannot be
+	// preempted; the abandoned goroutine finishes on its own machine
+	// and its result is discarded).
+	JobTimeout time.Duration
+
+	// Retries is how many times a job whose error is marked Transient
+	// is re-run (seeded exponential backoff between attempts) before
+	// its error is recorded. Panics, timeouts, and plain errors are
+	// never retried — only errors wrapped by Transient.
+	Retries int
+
+	// Backoff is the base backoff before the first retry, doubling per
+	// attempt with seeded jitter; <= 0 takes 10ms.
+	Backoff time.Duration
+
+	// RetrySeed seeds the per-job jitter stream (plus the job index, so
+	// jitter is deterministic per cell at any worker count).
+	RetrySeed int64
+
+	// Sleep replaces time.Sleep between retries (test seam); nil takes
+	// time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// JobError describes one job the engine could not complete. Exactly
+// one of the cause fields is meaningful: Panic (with Stack) for a
+// recovered panic, Timeout for a per-job deadline, Canceled for suite
+// cancellation, else Err.
+type JobError struct {
+	Index int
+	Spec  Spec
+
+	Err      error
+	Panic    any
+	Stack    []byte
+	Timeout  bool
+	Canceled bool
+
+	// Attempts is how many times the job ran (> 1 only after retries).
+	Attempts int
+}
+
+// Error renders the full diagnostic (may include attempt counts; use
+// Reason for deterministic output).
+func (e *JobError) Error() string {
+	return fmt.Sprintf("exp: job %d (%s) failed: %s (attempt %d)", e.Index, e.Spec, e.Reason(), e.Attempts)
+}
+
+// Unwrap exposes Err to errors.Is/As chains.
+func (e *JobError) Unwrap() error { return e.Err }
+
+// Reason is a deterministic one-line cause — stable across worker
+// counts and runs, so "incomplete" markers in figure output stay
+// byte-identical between -jobs=1 and -jobs=N.
+func (e *JobError) Reason() string {
+	switch {
+	case e == nil:
+		return ""
+	case e.Timeout:
+		return "timeout"
+	case e.Canceled:
+		return "canceled"
+	case e.Panic != nil:
+		return fmt.Sprintf("panic: %v", e.Panic)
+	case e.Err != nil:
+		return "error: " + e.Err.Error()
+	}
+	return "failed"
+}
+
+// transientErr marks an error as retryable.
+type transientErr struct{ err error }
+
+func (t transientErr) Error() string { return "transient: " + t.err.Error() }
+func (t transientErr) Unwrap() error { return t.err }
+
+// Transient wraps err so RunChecked retries the job (up to
+// Config.Retries attempts with seeded backoff). Jobs report transient
+// faults — a resource briefly unavailable, an injected soft fault —
+// by returning Transient(err).
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return transientErr{err: err}
+}
+
+// IsTransient reports whether err is marked Transient.
+func IsTransient(err error) bool {
+	var t transientErr
+	return errors.As(err, &t)
 }
 
 // Run executes run(i, specs[i]) for every spec across a worker pool and
@@ -78,11 +184,45 @@ type Config struct {
 // independent of worker count and completion order, which is what keeps
 // tables, golden files, and -json output byte-identical between
 // -jobs=1 and -jobs=N. A panic in run propagates and crashes the
-// process, exactly as it would have in the serial loops.
+// process, exactly as it would have in the serial loops; callers that
+// need recovery, timeouts, or cancellation use RunChecked.
 func Run[R any](cfg Config, specs []Spec, run func(i int, s Spec) R) []R {
+	results, errs := RunChecked(cfg, specs, func(i int, s Spec) (R, error) {
+		return run(i, s), nil
+	})
+	for _, e := range errs {
+		if e.Panic != nil {
+			panic(e.Panic)
+		}
+	}
+	if len(errs) > 0 {
+		// Only reachable when cfg carries a context or timeout, which
+		// legacy callers do not set.
+		panic(errs[0])
+	}
+	return results
+}
+
+// RunChecked is Run with per-job failure containment: a job that
+// panics, errors, times out (Config.JobTimeout), or is cancelled
+// (Config.Ctx) becomes a JobError instead of crashing the suite, and
+// every other cell still completes and lands at its spec index. The
+// returned errors are in index order; results at failed indices are
+// the zero R. Jobs whose errors are marked Transient are retried with
+// seeded backoff (Config.Retries).
+//
+// Workers claim job indices from a shared atomic counter, so a worker
+// that dies or is abandoned can never wedge submission — the old
+// channel-fed pool deadlocked the submitting goroutine if a worker
+// exited without draining it.
+func RunChecked[R any](cfg Config, specs []Spec, run func(i int, s Spec) (R, error)) ([]R, []*JobError) {
 	results := make([]R, len(specs))
 	if len(specs) == 0 {
-		return results
+		return results, nil
+	}
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	jobs := cfg.Jobs
 	if jobs <= 0 {
@@ -109,29 +249,130 @@ func Run[R any](cfg Config, specs []Spec, run func(i int, s Spec) R) []R {
 		traceMu.Unlock()
 	}
 
-	idx := make(chan int)
+	errs := make([]*JobError, len(specs))
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idx {
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(specs) {
+					return
+				}
 				cfg.Progress.begin()
+				if err := ctx.Err(); err != nil {
+					errs[i] = &JobError{Index: i, Spec: specs[i], Canceled: true, Err: err}
+					cfg.Progress.fail(0)
+					continue
+				}
 				emit(obs.KPhaseBegin, i)
 				t0 := time.Now()
-				results[i] = run(i, specs[i])
+				r, jerr := runJob(ctx, cfg, i, specs[i], run)
 				d := time.Since(t0)
 				emit(obs.KPhaseEnd, i)
-				cfg.Progress.finish(d)
+				if jerr != nil {
+					errs[i] = jerr
+					cfg.Progress.fail(d)
+				} else {
+					results[i] = r
+					cfg.Progress.finish(d)
+				}
 			}
 		}()
 	}
-	for i := range specs {
-		idx <- i
-	}
-	close(idx)
 	wg.Wait()
-	return results
+
+	var out []*JobError
+	for _, e := range errs {
+		if e != nil {
+			out = append(out, e)
+		}
+	}
+	return results, out
+}
+
+// jobOutcome is what one attempt of one job produced.
+type jobOutcome[R any] struct {
+	r     R
+	err   error
+	pan   any
+	stack []byte
+}
+
+// runJob executes one job with panic recovery, the per-job deadline,
+// and the transient-retry loop.
+func runJob[R any](ctx context.Context, cfg Config, i int, s Spec, run func(int, Spec) (R, error)) (R, *JobError) {
+	var zero R
+	sleep := cfg.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	var rng *rand.Rand
+	for attempt := 1; ; attempt++ {
+		out, timedOut, canceled := invoke(ctx, cfg.JobTimeout, i, s, run)
+		switch {
+		case timedOut:
+			return zero, &JobError{Index: i, Spec: s, Timeout: true, Attempts: attempt}
+		case canceled:
+			return zero, &JobError{Index: i, Spec: s, Canceled: true, Err: ctx.Err(), Attempts: attempt}
+		case out.pan != nil:
+			return zero, &JobError{Index: i, Spec: s, Panic: out.pan, Stack: out.stack, Attempts: attempt}
+		case out.err == nil:
+			return out.r, nil
+		case IsTransient(out.err) && attempt <= cfg.Retries:
+			if rng == nil {
+				rng = rand.New(rand.NewSource(cfg.RetrySeed*1_000_003 + int64(i)))
+			}
+			base := cfg.Backoff
+			if base <= 0 {
+				base = 10 * time.Millisecond
+			}
+			d := base << uint(attempt-1)
+			sleep(d + time.Duration(rng.Int63n(int64(base))))
+		default:
+			return zero, &JobError{Index: i, Spec: s, Err: out.err, Attempts: attempt}
+		}
+	}
+}
+
+// invoke runs one attempt. With no deadline and no cancellable
+// context, it calls run directly on the worker goroutine; otherwise it
+// runs the attempt on its own goroutine and selects against the
+// deadline and the context, abandoning the attempt on expiry (the
+// buffered channel lets the abandoned goroutine finish and be
+// collected; only invoke's caller touches shared state).
+func invoke[R any](ctx context.Context, timeout time.Duration, i int, s Spec, run func(int, Spec) (R, error)) (out jobOutcome[R], timedOut, canceled bool) {
+	attempt := func() (o jobOutcome[R]) {
+		defer func() {
+			if p := recover(); p != nil {
+				o.pan = p
+				o.stack = debug.Stack()
+			}
+		}()
+		o.r, o.err = run(i, s)
+		return o
+	}
+	if timeout <= 0 && ctx.Done() == nil {
+		return attempt(), false, false
+	}
+	ch := make(chan jobOutcome[R], 1)
+	go func() { ch <- attempt() }()
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case out = <-ch:
+		return out, false, false
+	case <-timer:
+		return out, true, false
+	case <-ctx.Done():
+		return out, false, true
+	}
 }
 
 // Progress is the engine's observable state: jobs queued, running, and
@@ -141,12 +382,26 @@ func Run[R any](cfg Config, specs []Spec, run func(i int, s Spec) R) []R {
 // on a nil receiver, mirroring the obs.Tracer idiom.
 type Progress struct {
 	mu       sync.Mutex
+	enqueued int
 	queued   int
 	running  int
 	done     int
+	failed   int
 	wallSum  time.Duration
 	wallMax  time.Duration
 	lastSpan time.Duration
+}
+
+// ProgressSnapshot is one atomic reading of all Progress counters,
+// taken under a single lock acquisition so the conservation invariant
+// Enqueued == Queued + Running + Done + Failed holds in every
+// snapshot, even while jobs are in flight.
+type ProgressSnapshot struct {
+	Enqueued int
+	Queued   int
+	Running  int
+	Done     int
+	Failed   int
 }
 
 func (p *Progress) enqueue(n int) {
@@ -154,6 +409,7 @@ func (p *Progress) enqueue(n int) {
 		return
 	}
 	p.mu.Lock()
+	p.enqueued += n
 	p.queued += n
 	p.mu.Unlock()
 }
@@ -181,6 +437,58 @@ func (p *Progress) finish(d time.Duration) {
 		p.wallMax = d
 	}
 	p.mu.Unlock()
+}
+
+func (p *Progress) fail(d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.running--
+	p.failed++
+	p.wallSum += d
+	p.lastSpan = d
+	if d > p.wallMax {
+		p.wallMax = d
+	}
+	p.mu.Unlock()
+}
+
+// Enqueued returns the total number of jobs ever submitted.
+func (p *Progress) Enqueued() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.enqueued
+}
+
+// Failed returns the number of jobs that ended in a JobError.
+func (p *Progress) Failed() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.failed
+}
+
+// Snapshot returns all counters under one lock acquisition; see
+// ProgressSnapshot for the invariant it preserves.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return ProgressSnapshot{
+		Enqueued: p.enqueued,
+		Queued:   p.queued,
+		Running:  p.running,
+		Done:     p.done,
+		Failed:   p.failed,
+	}
 }
 
 // Queued returns the number of jobs submitted but not yet started.
@@ -246,12 +554,13 @@ func (p *Progress) CellWallLast() time.Duration {
 }
 
 // RegisterMetrics exposes the progress counters on a metrics registry
-// as live views: exp.jobs.queued / running / done and
+// as live views: exp.jobs.queued / running / done / failed and
 // exp.cell.wall_seconds.{sum,max,last}. Register once per registry.
 func (p *Progress) RegisterMetrics(r *obs.Registry) {
 	r.GaugeFunc("exp.jobs.queued", func() float64 { return float64(p.Queued()) })
 	r.GaugeFunc("exp.jobs.running", func() float64 { return float64(p.Running()) })
 	r.GaugeFunc("exp.jobs.done", func() float64 { return float64(p.Done()) })
+	r.GaugeFunc("exp.jobs.failed", func() float64 { return float64(p.Failed()) })
 	r.GaugeFunc("exp.cell.wall_seconds.sum", func() float64 { return p.CellWallSum().Seconds() })
 	r.GaugeFunc("exp.cell.wall_seconds.max", func() float64 { return p.CellWallMax().Seconds() })
 	r.GaugeFunc("exp.cell.wall_seconds.last", func() float64 { return p.CellWallLast().Seconds() })

@@ -1,0 +1,394 @@
+// Package fault is the deterministic fault-injection layer behind the
+// robustness story: the paper's claim is that relocation is *always*
+// safe, so the machinery that performs it must stay architecturally
+// consistent even when a relocation is torn mid-flight — by a crash at
+// an arbitrary instruction boundary, or by a corrupted
+// Unforwarded_Write (a flipped bit in a forwarding address, a spurious
+// forwarding-bit set or clear).
+//
+// An Injector is seeded and fires from a visit-counted plan, so a
+// failing run replays exactly from its seed: the i-th arrival at a
+// named fault Point triggers the armed fault, independent of wall
+// time, worker count, or host scheduling. Crashes are realized as a
+// panic carrying *CrashError, recovered at the relocation boundary by
+// RecoverCrash; corruptions are applied in-line to the write they
+// target via the tagged memory's write-fault hook
+// (mem.Memory.SetWriteFault).
+//
+// The companion half of the layer lives in journal.go: every two-phase
+// relocation (opt.TryRelocate) records its intent in the Injector's
+// Journal, and Scavenge rolls a torn relocation forward to completion
+// — the survival machinery that the crash-consistency tests prove
+// leaves no third state.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"memfwd/internal/mem"
+)
+
+// Kind classifies an injected fault.
+type Kind uint8
+
+const (
+	// None is the zero Kind; an injector with no armed plans is inert.
+	None Kind = iota
+
+	// Crash aborts execution at the fault point: the injector panics
+	// with *CrashError, modelling a stop at an arbitrary instruction
+	// boundary inside the relocation sequence.
+	Crash
+
+	// FlipBit flips one bit of the value being written (the bit index
+	// is drawn from the injector's seeded stream), modelling a
+	// corrupted forwarding address or data word.
+	FlipBit
+
+	// FBitSet forces the forwarding bit of the write to 1 — a spurious
+	// forwarding tag on a data word.
+	FBitSet
+
+	// FBitClear forces the forwarding bit of the write to 0 — a
+	// forwarding plant demoted to a raw data write.
+	FBitClear
+)
+
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Crash:
+		return "crash"
+	case FlipBit:
+		return "flip"
+	case FBitSet:
+		return "fbit-set"
+	case FBitClear:
+		return "fbit-clear"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// ParseKind is the inverse of Kind.String for the -fault flag grammar.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range []Kind{Crash, FlipBit, FBitSet, FBitClear} {
+		if s == k.String() {
+			return k, nil
+		}
+	}
+	return None, fmt.Errorf("fault: unknown kind %q (valid: crash, flip, fbit-set, fbit-clear)", s)
+}
+
+// Point names a fault site. Crash plans fire at boundary points
+// (Injector.Step); corruption plans fire at write points
+// (Injector.FilterWrite), which are region names established by the
+// code performing the writes plus the wildcard MemWrite.
+type Point string
+
+const (
+	// Boundary points inside opt.TryRelocate, in execution order.
+	RelocateBegin  Point = "relocate.begin"  // before any work
+	RelocateCopied Point = "relocate.copy"   // after each word copied (visit = word ordinal)
+	RelocateVerify Point = "relocate.verify" // after copy verification, before any plant
+	RelocatePlant  Point = "relocate.plant"  // after each forwarding word planted
+	RelocateEnd    Point = "relocate.end"    // after all plants, before commit
+
+	// Write regions inside opt.TryRelocate: the copy writes of phase 1
+	// and the forwarding-word plants of phase 2.
+	CopyWrite  Point = "relocate.copy-write"
+	PlantWrite Point = "relocate.plant-write"
+
+	// MemWrite matches every write reaching the tagged memory's
+	// Unforwarded_Write path while the injector is installed,
+	// regardless of region.
+	MemWrite Point = "mem.write"
+
+	// ResolveHop is visited on every hop the hardware dereferencing
+	// mechanism takes (core.Forwarder.FaultHook) — a crash armed here
+	// aborts mid-chain-walk.
+	ResolveHop Point = "core.resolve.hop"
+)
+
+// Points lists every named fault point (flag validation and the
+// crash-consistency enumeration).
+func Points() []Point {
+	return []Point{
+		RelocateBegin, RelocateCopied, RelocateVerify, RelocatePlant, RelocateEnd,
+		CopyWrite, PlantWrite, MemWrite, ResolveHop,
+	}
+}
+
+func validPoint(p Point) bool {
+	for _, q := range Points() {
+		if p == q {
+			return true
+		}
+	}
+	return false
+}
+
+// CrashError is the panic value of an injected crash. Code that runs
+// relocations under fault injection recovers it with RecoverCrash and
+// treats the relocation as torn (then repairs via Scavenge).
+type CrashError struct {
+	Point Point
+	Visit int
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("fault: injected crash at %s (visit %d)", e.Point, e.Visit)
+}
+
+// AsCrash reports whether a recovered panic value is an injected crash.
+func AsCrash(v any) (*CrashError, bool) {
+	c, ok := v.(*CrashError)
+	return c, ok
+}
+
+// RecoverCrash converts an in-flight injected crash into an error:
+//
+//	err := func() (err error) {
+//		defer fault.RecoverCrash(&err)
+//		return opt.TryRelocate(m, src, tgt, n)
+//	}()
+//
+// Panics that are not injected crashes propagate unchanged.
+func RecoverCrash(errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if c, ok := AsCrash(r); ok {
+		*errp = c
+		return
+	}
+	panic(r)
+}
+
+// Shot records one fired fault, for assertions and episode reports.
+type Shot struct {
+	Kind  Kind
+	Point Point
+	Visit int
+	Addr  mem.Addr // write faults: the word targeted
+	Bit   int      // FlipBit: the bit flipped
+}
+
+func (s Shot) String() string {
+	return fmt.Sprintf("%s@%s:%d", s.Kind, s.Point, s.Visit)
+}
+
+// plan is one armed fault: fire kind on the visit-th arrival at point.
+type plan struct {
+	kind  Kind
+	point Point
+	visit int
+	fired bool
+}
+
+// Injector is a deterministic, seeded fault source. The zero of
+// *Injector (nil) is inert: every method is a no-op on a nil receiver,
+// so machine code threads an optional injector with no branching at
+// call sites. An Injector also carries the relocation Journal that
+// Scavenge repairs from, so arming faults and repairing their damage
+// share one handle.
+//
+// Injector is not safe for concurrent use; like the Machine it is
+// installed on, it belongs to exactly one experiment cell.
+type Injector struct {
+	rng       *rand.Rand
+	plans     []plan
+	visits    map[Point]int
+	region    Point
+	suspended int
+
+	// Shots logs every fault fired, in firing order.
+	Shots []Shot
+
+	// Journal records the in-flight relocation (see journal.go).
+	Journal Journal
+}
+
+// New returns an injector whose random choices (e.g. FlipBit's bit
+// index) derive from seed.
+func New(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Arm schedules kind to fire on the visit-th arrival (1-based) at
+// point. Multiple plans may be armed; each fires at most once. Returns
+// the injector for chaining.
+func (in *Injector) Arm(kind Kind, point Point, visit int) *Injector {
+	if !validPoint(point) {
+		panic(fmt.Sprintf("fault: Arm at unknown point %q", point))
+	}
+	if visit < 1 {
+		visit = 1
+	}
+	in.plans = append(in.plans, plan{kind: kind, point: point, visit: visit})
+	return in
+}
+
+// Suspend disables the injector (counting and firing) until the
+// matching Resume; suspensions nest. The scavenger runs suspended so
+// its repair writes are not themselves corrupted.
+func (in *Injector) Suspend() {
+	if in != nil {
+		in.suspended++
+	}
+}
+
+// Resume re-enables a suspended injector.
+func (in *Injector) Resume() {
+	if in != nil && in.suspended > 0 {
+		in.suspended--
+	}
+}
+
+var noRestore = func() {}
+
+// Region names the write region the caller is about to enter (e.g.
+// CopyWrite during relocation phase 1) and returns a closure restoring
+// the previous region. Write faults armed at a region point fire only
+// on writes performed inside it.
+func (in *Injector) Region(p Point) (restore func()) {
+	if in == nil {
+		return noRestore
+	}
+	prev := in.region
+	in.region = p
+	return func() { in.region = prev }
+}
+
+func (in *Injector) bump(p Point) int {
+	if in.visits == nil {
+		in.visits = make(map[Point]int)
+	}
+	in.visits[p]++
+	return in.visits[p]
+}
+
+// Visits returns how many times point has been reached so far.
+func (in *Injector) Visits(p Point) int {
+	if in == nil {
+		return 0
+	}
+	return in.visits[p]
+}
+
+// Fired reports whether any armed plan has fired.
+func (in *Injector) Fired() bool { return in != nil && len(in.Shots) > 0 }
+
+// Step visits a boundary point: the visit counter advances and any
+// crash plan armed for this (point, visit) fires by panicking with
+// *CrashError. Nil-safe and inert while suspended.
+func (in *Injector) Step(p Point) {
+	if in == nil || in.suspended > 0 {
+		return
+	}
+	n := in.bump(p)
+	for i := range in.plans {
+		pl := &in.plans[i]
+		if pl.fired || pl.kind != Crash || pl.point != p || pl.visit != n {
+			continue
+		}
+		pl.fired = true
+		in.Shots = append(in.Shots, Shot{Kind: Crash, Point: p, Visit: n})
+		panic(&CrashError{Point: p, Visit: n})
+	}
+}
+
+// FilterWrite is the tagged memory's write-fault hook
+// (mem.Memory.SetWriteFault): it sees every Unforwarded_Write-path
+// store of (value, fbit) to word a, counts the MemWrite point and the
+// current region point, and applies any armed plan that matches. A
+// matching Crash plan panics before the write lands — the write never
+// happens, exactly a stop at the preceding instruction boundary.
+func (in *Injector) FilterWrite(a mem.Addr, v uint64, fbit bool) (uint64, bool) {
+	if in == nil || in.suspended > 0 {
+		return v, fbit
+	}
+	nm := in.bump(MemWrite)
+	nr := 0
+	if in.region != "" {
+		nr = in.bump(in.region)
+	}
+	for i := range in.plans {
+		pl := &in.plans[i]
+		if pl.fired {
+			continue
+		}
+		var n int
+		switch {
+		case pl.point == MemWrite:
+			n = nm
+		case in.region != "" && pl.point == in.region:
+			n = nr
+		default:
+			continue
+		}
+		if pl.visit != n {
+			continue
+		}
+		pl.fired = true
+		shot := Shot{Kind: pl.kind, Point: pl.point, Visit: n, Addr: a, Bit: -1}
+		switch pl.kind {
+		case Crash:
+			in.Shots = append(in.Shots, shot)
+			panic(&CrashError{Point: pl.point, Visit: n})
+		case FlipBit:
+			shot.Bit = in.rng.Intn(64)
+			v ^= 1 << uint(shot.Bit)
+		case FBitSet:
+			fbit = true
+		case FBitClear:
+			fbit = false
+		}
+		in.Shots = append(in.Shots, shot)
+	}
+	return v, fbit
+}
+
+// ParseSpec parses the -fault flag grammar "kind@point[:visit]", e.g.
+// "crash@relocate.plant:2" or "flip@relocate.copy-write".
+func ParseSpec(spec string) (Kind, Point, int, error) {
+	kindStr, rest, ok := strings.Cut(spec, "@")
+	if !ok {
+		return None, "", 0, fmt.Errorf("fault: spec %q is not kind@point[:visit]", spec)
+	}
+	kind, err := ParseKind(kindStr)
+	if err != nil {
+		return None, "", 0, err
+	}
+	pointStr, visitStr, hasVisit := strings.Cut(rest, ":")
+	visit := 1
+	if hasVisit {
+		visit, err = strconv.Atoi(visitStr)
+		if err != nil || visit < 1 {
+			return None, "", 0, fmt.Errorf("fault: spec %q has bad visit %q", spec, visitStr)
+		}
+	}
+	p := Point(pointStr)
+	if !validPoint(p) {
+		valid := make([]string, 0, len(Points()))
+		for _, q := range Points() {
+			valid = append(valid, string(q))
+		}
+		return None, "", 0, fmt.Errorf("fault: unknown point %q (valid: %s)", pointStr, strings.Join(valid, ", "))
+	}
+	return kind, p, visit, nil
+}
+
+// NewFromSpec builds a seeded injector with one plan armed from the
+// flag grammar accepted by ParseSpec.
+func NewFromSpec(seed int64, spec string) (*Injector, error) {
+	kind, point, visit, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return New(seed).Arm(kind, point, visit), nil
+}

@@ -1,0 +1,234 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"memfwd/internal/core"
+	"memfwd/internal/mem"
+	"memfwd/internal/quickseed"
+)
+
+func TestParseSpec(t *testing.T) {
+	k, p, v, err := ParseSpec("crash@relocate.plant:2")
+	if err != nil || k != Crash || p != RelocatePlant || v != 2 {
+		t.Fatalf("got %v %v %v %v", k, p, v, err)
+	}
+	k, p, v, err = ParseSpec("flip@relocate.copy-write")
+	if err != nil || k != FlipBit || p != CopyWrite || v != 1 {
+		t.Fatalf("got %v %v %v %v", k, p, v, err)
+	}
+	for _, bad := range []string{"", "crash", "crash@nowhere", "zap@mem.write", "crash@mem.write:0", "crash@mem.write:x"} {
+		if _, _, _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+	for _, p := range Points() {
+		if _, _, _, err := ParseSpec("crash@" + string(p)); err != nil {
+			t.Errorf("point %q rejected: %v", p, err)
+		}
+	}
+}
+
+func TestStepCrashFiresOnExactVisit(t *testing.T) {
+	in := New(quickseed.Seed(t)).Arm(Crash, RelocateCopied, 3)
+	in.Step(RelocateCopied)
+	in.Step(RelocateCopied)
+	func() {
+		defer func() {
+			c, ok := AsCrash(recover())
+			if !ok {
+				t.Fatal("no crash on third visit")
+			}
+			if c.Point != RelocateCopied || c.Visit != 3 {
+				t.Fatalf("crash at %s:%d, want %s:3", c.Point, c.Visit, RelocateCopied)
+			}
+		}()
+		in.Step(RelocateCopied)
+	}()
+	if !in.Fired() || len(in.Shots) != 1 {
+		t.Fatalf("shots = %v", in.Shots)
+	}
+	// The plan is one-shot: later visits pass.
+	in.Step(RelocateCopied)
+}
+
+func TestFilterWriteCorruptions(t *testing.T) {
+	seed := quickseed.Seed(t)
+
+	in := New(seed).Arm(FlipBit, MemWrite, 2)
+	v, fb := in.FilterWrite(0x100, 7, false)
+	if v != 7 || fb {
+		t.Fatalf("first write altered: %#x %v", v, fb)
+	}
+	v, _ = in.FilterWrite(0x108, 7, false)
+	if v == 7 {
+		t.Fatal("second write not flipped")
+	}
+	if len(in.Shots) != 1 || in.Shots[0].Bit < 0 || in.Shots[0].Addr != 0x108 {
+		t.Fatalf("shot log %v", in.Shots)
+	}
+	// Deterministic: same seed, same flipped bit.
+	in2 := New(seed).Arm(FlipBit, MemWrite, 2)
+	in2.FilterWrite(0x100, 7, false)
+	v2, _ := in2.FilterWrite(0x108, 7, false)
+	if v2 != v {
+		t.Fatalf("same seed flipped different bits: %#x vs %#x", v, v2)
+	}
+
+	in = New(seed).Arm(FBitSet, MemWrite, 1)
+	if _, fb := in.FilterWrite(0x100, 1, false); !fb {
+		t.Fatal("FBitSet did not set")
+	}
+	in = New(seed).Arm(FBitClear, MemWrite, 1)
+	if _, fb := in.FilterWrite(0x100, 1, true); fb {
+		t.Fatal("FBitClear did not clear")
+	}
+}
+
+func TestFilterWriteRegions(t *testing.T) {
+	in := New(quickseed.Seed(t)).Arm(FBitSet, CopyWrite, 1)
+	// Outside the region, the plan does not match.
+	if _, fb := in.FilterWrite(0x100, 1, false); fb {
+		t.Fatal("region plan fired outside region")
+	}
+	restore := in.Region(CopyWrite)
+	if _, fb := in.FilterWrite(0x108, 1, false); !fb {
+		t.Fatal("region plan did not fire inside region")
+	}
+	restore()
+	if in.region != "" {
+		t.Fatalf("region not restored: %q", in.region)
+	}
+}
+
+func TestSuspendResume(t *testing.T) {
+	in := New(quickseed.Seed(t)).Arm(Crash, MemWrite, 1)
+	in.Suspend()
+	in.Suspend()
+	if _, _ = in.FilterWrite(0x100, 1, false); in.Fired() {
+		t.Fatal("fired while suspended")
+	}
+	in.Resume()
+	if _, _ = in.FilterWrite(0x100, 1, false); in.Fired() {
+		t.Fatal("fired while still suspended once")
+	}
+	in.Resume()
+	defer func() {
+		if _, ok := AsCrash(recover()); !ok {
+			t.Fatal("no crash after full resume")
+		}
+	}()
+	in.FilterWrite(0x100, 1, false)
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	in.Step(RelocateBegin)
+	if v, fb := in.FilterWrite(0x100, 9, true); v != 9 || !fb {
+		t.Fatal("nil injector altered a write")
+	}
+	in.Region(CopyWrite)()
+	in.Suspend()
+	in.Resume()
+	if in.Fired() || in.Visits(MemWrite) != 0 {
+		t.Fatal("nil injector has state")
+	}
+	var j *Journal
+	j.Begin(0x100, 0x200, 4)
+	j.RecordCopy(0x100)
+	j.Commit()
+}
+
+func TestRecoverCrashPassthrough(t *testing.T) {
+	err := func() (err error) {
+		defer RecoverCrash(&err)
+		panic(&CrashError{Point: RelocateEnd, Visit: 1})
+	}()
+	var c *CrashError
+	if !errors.As(err, &c) || c.Point != RelocateEnd {
+		t.Fatalf("err = %v", err)
+	}
+	defer func() {
+		if r := recover(); r != "unrelated" {
+			t.Fatalf("foreign panic not propagated: %v", r)
+		}
+	}()
+	func() {
+		var err error
+		defer RecoverCrash(&err)
+		panic("unrelated")
+	}()
+}
+
+func TestScavengeOrphanSweep(t *testing.T) {
+	mm := mem.New()
+	fwd := core.NewForwarder(mm)
+	// A data word whose forwarding bit was spuriously set: its value
+	// points nowhere materialized, so the sweep demotes it.
+	mm.WriteWordFBit(0x1000, 0xdead_beef_0000, true)
+	// A legitimate forwarding word: target materialized; must survive.
+	mm.WriteWordFBit(0x2000, 42, false)
+	mm.WriteWordFBit(0x1008, 0x2000, true)
+
+	rep, err := Scavenge(mm, fwd, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ClearedFBits != 1 || rep.RolledForward {
+		t.Fatalf("report %v", rep)
+	}
+	if v, fb := mm.ReadWordFBit(0x1000); fb || v != 0xdead_beef_0000 {
+		t.Fatalf("orphan not demoted: %#x %v", v, fb)
+	}
+	if _, fb := mm.ReadWordFBit(0x1008); !fb {
+		t.Fatal("legitimate forwarding word demoted")
+	}
+}
+
+func TestScavengeRollForward(t *testing.T) {
+	mm := mem.New()
+	fwd := core.NewForwarder(mm)
+	src, tgt := mem.Addr(0x1000), mem.Addr(0x9000)
+	vals := []uint64{11, 22, 33}
+	for i, v := range vals {
+		mm.WriteWordFBit(src+mem.Addr(i*mem.WordSize), v, false)
+	}
+	// Simulate a crash after copying (and planting) word 0, copying
+	// word 1 without planting, and never reaching word 2.
+	j := &Journal{}
+	j.Begin(src, tgt, 3)
+	mm.WriteWordFBit(tgt, vals[0], false)
+	j.RecordCopy(src)
+	mm.WriteWordFBit(src, uint64(tgt), true)
+	mm.WriteWordFBit(tgt+8, vals[1], false)
+	j.RecordCopy(src + 8)
+
+	rep, err := Scavenge(mm, fwd, j, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.RolledForward || rep.Replanted != 2 || rep.Recopied != 1 {
+		t.Fatalf("report %v", rep)
+	}
+	if j.Active {
+		t.Fatal("journal still active")
+	}
+	for i, want := range vals {
+		final, _, err := fwd.Resolve(src+mem.Addr(i*mem.WordSize), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final != tgt+mem.Addr(i*mem.WordSize) {
+			t.Fatalf("word %d resolves to %#x, want %#x", i, final, tgt+mem.Addr(i*mem.WordSize))
+		}
+		if got := mm.ReadWord(final); got != want {
+			t.Fatalf("word %d reads %d, want %d", i, got, want)
+		}
+	}
+	// Idempotent: a second pass finds nothing.
+	rep2, err := Scavenge(mm, fwd, j, nil)
+	if err != nil || rep2.RolledForward || rep2.Recopied+rep2.Replanted+rep2.ClearedFBits != 0 {
+		t.Fatalf("second pass not a no-op: %v %v", rep2, err)
+	}
+}

@@ -1,0 +1,132 @@
+package figures
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"memfwd"
+)
+
+// TestGracefulDegradation is the acceptance proof for the hardened
+// pipeline: a suite with one cell forced to crash (a deterministic
+// injected fault) still completes every other cell, emits the full
+// document with the failed cell explicitly marked "incomplete", returns
+// ErrIncomplete for the nonzero exit — and the completed cells are
+// byte-identical between -jobs=1 and -jobs=8.
+func TestGracefulDegradation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the fig5 locality matrix twice")
+	}
+	run := func(jobs int) (string, error) {
+		var out, diag bytes.Buffer
+		err := Run(Config{
+			Only:      "fig5",
+			JSON:      true,
+			Seed:      9,
+			Jobs:      jobs,
+			Fault:     "crash@relocate.begin",
+			FaultCell: "health/line32/L",
+		}, &out, &diag)
+		return out.String(), err
+	}
+	out1, err1 := run(1)
+	out8, err8 := run(8)
+	if !errors.Is(err1, ErrIncomplete) || !errors.Is(err8, ErrIncomplete) {
+		t.Fatalf("errors: jobs=1 %v, jobs=8 %v (want ErrIncomplete)", err1, err8)
+	}
+	if out1 != out8 {
+		t.Fatal("degraded output differs between jobs=1 and jobs=8")
+	}
+
+	var runs []memfwd.Run
+	if err := json.Unmarshal([]byte(out1), &runs); err != nil {
+		t.Fatalf("degraded output is not valid JSON: %v", err)
+	}
+	var failed, completed int
+	for _, r := range runs {
+		if r.Incomplete != "" {
+			failed++
+			if r.App != "health" || r.Line != 32 || r.Variant != memfwd.VariantL {
+				t.Fatalf("wrong cell failed: %+v", r)
+			}
+			if !strings.HasPrefix(r.Incomplete, "panic: ") {
+				t.Fatalf("Incomplete = %q, want an injected-crash panic reason", r.Incomplete)
+			}
+			if r.Stats != nil {
+				t.Fatal("failed cell still carries stats")
+			}
+			continue
+		}
+		completed++
+		if r.Stats == nil || r.Stats.Cycles == 0 {
+			t.Fatalf("completed cell %s/%d/%s has no stats", r.App, r.Line, r.Variant)
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("failed cells = %d, want exactly 1", failed)
+	}
+	if completed != len(runs)-1 || completed == 0 {
+		t.Fatalf("completed cells = %d of %d", completed, len(runs))
+	}
+}
+
+// TestSuiteTimeoutDegrades checks the per-suite deadline: an already
+// expired suite still returns a well-formed document with every cell
+// marked canceled, and ErrIncomplete.
+func TestSuiteTimeoutDegrades(t *testing.T) {
+	var out, diag bytes.Buffer
+	err := Run(Config{
+		Only:         "fig10",
+		JSON:         true,
+		Seed:         9,
+		SuiteTimeout: time.Nanosecond,
+	}, &out, &diag)
+	if !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("err = %v, want ErrIncomplete", err)
+	}
+	var runs []memfwd.Run
+	if err := json.Unmarshal(out.Bytes(), &runs); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	for _, r := range runs {
+		if r.Incomplete != "canceled" {
+			t.Fatalf("cell %s not canceled: %q", r.Variant, r.Incomplete)
+		}
+	}
+}
+
+// TestEnvelopeIncompleteKey checks the aggregate document: the
+// incomplete key appears only when cells failed, listing them in
+// deterministic "label: reason" form.
+func TestEnvelopeIncompleteKey(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs fig5+fig7+fig10 matrices")
+	}
+	var out, diag bytes.Buffer
+	err := Run(Config{
+		JSON:      true,
+		Seed:      9,
+		Jobs:      4,
+		Fault:     "crash@relocate.begin",
+		FaultCell: "smv/line32/L",
+	}, &out, &diag)
+	if !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("err = %v, want ErrIncomplete", err)
+	}
+	var env struct {
+		Incomplete []string `json:"incomplete"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Incomplete) != 1 || !strings.HasPrefix(env.Incomplete[0], "smv/line32/L: panic: ") {
+		t.Fatalf("incomplete = %q", env.Incomplete)
+	}
+}

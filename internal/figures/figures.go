@@ -7,6 +7,8 @@
 package figures
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -17,6 +19,13 @@ import (
 
 // Names lists the known experiment selectors in output order.
 var Names = []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ext"}
+
+// ErrIncomplete is wrapped by Run when one or more cells could not be
+// completed (panic, timeout, cancellation). All completed output has
+// already been written when it is returned — the suite degrades
+// gracefully rather than dying — but callers must exit nonzero:
+// cmd/figures distinguishes it from hard errors by errors.Is.
+var ErrIncomplete = errors.New("figures: incomplete cells")
 
 // Known reports whether name is a valid experiment selector.
 func Known(name string) bool {
@@ -36,6 +45,25 @@ type Config struct {
 	Scale  int
 	Sample uint64 // sampler period in instructions (0 = off)
 	Jobs   int    // experiment-engine workers (<= 0 = GOMAXPROCS)
+
+	// JobTimeout bounds each cell's wall time (0 = unbounded); an
+	// exceeding cell is reported incomplete and the rest still run.
+	JobTimeout time.Duration
+
+	// SuiteTimeout bounds the whole pipeline's wall time (0 =
+	// unbounded); on expiry remaining cells are reported incomplete.
+	SuiteTimeout time.Duration
+
+	// Retries re-runs cells that report transient faults.
+	Retries int
+
+	// Fault arms a deterministic fault injector on matching cells
+	// ("kind@point[:visit]", see internal/fault); FaultCell restricts it
+	// to cells whose label contains the substring, FaultSeed seeds the
+	// corruption stream (0 takes Seed).
+	Fault     string
+	FaultCell string
+	FaultSeed int64
 }
 
 // Envelope is the aggregated JSON document emitted when Config.JSON is
@@ -45,28 +73,58 @@ type Config struct {
 // input). fig5 carries the locality matrix that also backs fig6; the
 // experiments with no run series (table1, fig8, fig9, ext) have no key.
 // Struct field order fixes the key order, so the document is
-// byte-stable.
+// byte-stable. Incomplete appears only when cells failed, listing each
+// as "label: reason" in deterministic order.
 type Envelope struct {
-	Fig5  []memfwd.Run `json:"fig5"`
-	Fig7  []memfwd.Run `json:"fig7"`
-	Fig10 []memfwd.Run `json:"fig10"`
+	Fig5       []memfwd.Run `json:"fig5"`
+	Fig7       []memfwd.Run `json:"fig7"`
+	Fig10      []memfwd.Run `json:"fig10"`
+	Incomplete []string     `json:"incomplete,omitempty"`
 }
 
 // Run executes the selected experiments, writing tables or JSON to
 // stdout and progress to stderr. An unknown Config.Only is an error and
 // runs nothing. With JSON set, stdout receives exactly one JSON
 // document: the legacy bare run array when one experiment is selected,
-// the Envelope when all run.
+// the Envelope when all run. When cells fail, all completed output is
+// still written (failed cells carry explicit "incomplete" markers) and
+// the return wraps ErrIncomplete.
 func Run(cfg Config, stdout, stderr io.Writer) error {
 	if cfg.Only != "" && !Known(cfg.Only) {
 		return fmt.Errorf("unknown experiment %q (valid: %s)", cfg.Only, strings.Join(Names, ", "))
 	}
-	o := memfwd.Options{Seed: cfg.Seed, Scale: cfg.Scale, SampleEvery: cfg.Sample, Jobs: cfg.Jobs}
+	o := memfwd.Options{
+		Seed:        cfg.Seed,
+		Scale:       cfg.Scale,
+		SampleEvery: cfg.Sample,
+		Jobs:        cfg.Jobs,
+		JobTimeout:  cfg.JobTimeout,
+		Retries:     cfg.Retries,
+		Fault:       cfg.Fault,
+		FaultCell:   cfg.FaultCell,
+		FaultSeed:   cfg.FaultSeed,
+	}
+	if cfg.SuiteTimeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.SuiteTimeout)
+		defer cancel()
+		o.Ctx = ctx
+	}
 	want := func(name string) bool { return cfg.Only == "" || cfg.Only == name }
 	section := func(name string) { fmt.Fprintf(stderr, "[figures] running %s...\n", name) }
 	emit := func(v any) error { return memfwd.WriteJSON(stdout, v) }
 	aggregate := cfg.JSON && cfg.Only == ""
 	var env Envelope
+
+	// incomplete accumulates "label: reason" lines across the whole
+	// pipeline. Engine errors arrive in spec-index order and the
+	// sections run in a fixed sequence, so the list is deterministic at
+	// any worker count.
+	var incomplete []string
+	collect := func(errs []*memfwd.JobError) {
+		for _, e := range errs {
+			incomplete = append(incomplete, e.Spec.String()+": "+e.Reason())
+		}
+	}
 
 	start := time.Now()
 	if aggregate {
@@ -75,12 +133,15 @@ func Run(cfg Config, stdout, stderr io.Writer) error {
 
 	if want("table1") && !aggregate {
 		section("table1")
-		fmt.Fprintln(stdout, memfwd.RunTable1(o))
+		tab, errs := memfwd.RunTable1(o)
+		collect(errs)
+		fmt.Fprintln(stdout, tab)
 	}
 
 	if want("fig5") || want("fig6") {
 		section("fig5/fig6")
 		lr := memfwd.RunLocality(o)
+		collect(lr.Errs)
 		switch {
 		case aggregate:
 			env.Fig5 = lr.Runs
@@ -102,6 +163,7 @@ func Run(cfg Config, stdout, stderr io.Writer) error {
 	if want("fig7") {
 		section("fig7")
 		pr := memfwd.RunPrefetch(o)
+		collect(pr.Errs)
 		switch {
 		case aggregate:
 			env.Fig7 = prefetchRuns(pr)
@@ -127,6 +189,7 @@ func Run(cfg Config, stdout, stderr io.Writer) error {
 	if want("fig10") {
 		section("fig10")
 		sr := memfwd.RunSMV(o)
+		collect(sr.Errs)
 		runs := []memfwd.Run{sr.N, sr.L, sr.Perf}
 		switch {
 		case aggregate:
@@ -144,16 +207,25 @@ func Run(cfg Config, stdout, stderr io.Writer) error {
 
 	if want("ext") && !aggregate {
 		section("ext (false sharing)")
-		fmt.Fprintln(stdout, memfwd.RunFalseSharing(o))
+		tab, errs := memfwd.RunFalseSharing(o)
+		collect(errs)
+		fmt.Fprintln(stdout, tab)
 	}
 
 	if aggregate {
+		env.Incomplete = incomplete
 		if err := emit(env); err != nil {
 			return err
 		}
 	}
 
 	fmt.Fprintf(stderr, "[figures] done in %s\n", time.Since(start).Round(time.Millisecond))
+	if len(incomplete) > 0 {
+		for _, l := range incomplete {
+			fmt.Fprintf(stderr, "[figures] incomplete: %s\n", l)
+		}
+		return fmt.Errorf("%w: %d cell(s)", ErrIncomplete, len(incomplete))
+	}
 	return nil
 }
 

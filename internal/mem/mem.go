@@ -88,6 +88,14 @@ type Memory struct {
 	// PagesTouched counts pages materialized so far; it backs the
 	// space-overhead accounting in Table 1.
 	PagesTouched int
+
+	// writeFault, when non-nil, intercepts every WriteWordFBit — the
+	// Unforwarded_Write storage path — and may corrupt the value or the
+	// forwarding bit before they land (fault injection; see
+	// internal/fault). Ordinary data stores (WriteWord/WriteData) are
+	// not interposed: the fault surface under study is the relocation
+	// instrument, not the whole memory system.
+	writeFault func(a Addr, v uint64, fbit bool) (uint64, bool)
 }
 
 // New returns an empty memory.
@@ -182,10 +190,21 @@ func (m *Memory) FBit(a Addr) bool {
 // extension (Figure 3): "an Unforwarded_Write must change the word and
 // its forwarding bit atomically".
 func (m *Memory) WriteWordFBit(a Addr, v uint64, fbit bool) {
+	if m.writeFault != nil {
+		v, fbit = m.writeFault(a, v, fbit)
+	}
 	p := m.page(a)
 	w := wordIndex(a)
 	p.words[w] = v
 	p.putFbit(w, fbit)
+}
+
+// SetWriteFault installs (or, with nil, removes) the write-fault hook
+// consulted by WriteWordFBit. The hook may panic to model a crash at
+// the instruction boundary before the write; the write then never
+// lands.
+func (m *Memory) SetWriteFault(f func(a Addr, v uint64, fbit bool) (uint64, bool)) {
+	m.writeFault = f
 }
 
 // ReadWordFBit returns both the raw word and its forwarding bit, the

@@ -15,30 +15,150 @@
 package opt
 
 import (
+	"errors"
+	"fmt"
+
 	"memfwd/internal/apps/app"
+	"memfwd/internal/fault"
 	"memfwd/internal/mem"
 )
 
+// ErrTorn is wrapped by TryRelocate when its verification phases find
+// a copy or a plant that does not match what was written — a torn
+// relocation. The heap is repairable from the relocation journal
+// (fault.Scavenge / Injector.Repair).
+var ErrTorn = errors.New("opt: torn relocation detected")
+
 // Relocate moves nWords words of data from src to tgt and installs tgt
-// as the forwarding address of src, as in Figure 4(a). If a word of src
-// has already been relocated, the walk follows its chain so tgt is
-// appended at the end. src and tgt must be word-aligned and disjoint.
+// as the forwarding address of src, as in Figure 4(a). It is
+// TryRelocate with the paper's abort-on-failure policy: a forwarding
+// cycle or a torn relocation panics, as the paper's runtime aborts on
+// a confirmed cycle.
 func Relocate(m app.Machine, src, tgt mem.Addr, nWords int) {
+	if err := TryRelocate(m, src, tgt, nWords); err != nil {
+		panic(fmt.Sprintf("opt: Relocate(%#x -> %#x, %d words): %v", src, tgt, nWords, err))
+	}
+}
+
+// TryRelocate moves nWords words of data from src to tgt and installs
+// tgt as the forwarding address of src. If a word of src has already
+// been relocated, the walk follows its chain so tgt is appended at the
+// end (the Figure 4(a) rule). src and tgt must be word-aligned and
+// disjoint.
+//
+// The move is a two-phase commit, ordered so that aborting at any
+// instruction boundary leaves the heap architecturally consistent:
+//
+//	Phase 1 (copy): every word's current value is copied from its
+//	chain end into the target. These writes touch only the target —
+//	memory no guest pointer resolves to — so the reachable heap is
+//	untouched no matter where phase 1 stops.
+//
+//	Phase 2 (plant): each chain end is overwritten with a forwarding
+//	word pointing at its copy. Every plant is a single atomic
+//	Unforwarded_Write, and its copy already holds the identical
+//	value, so after any prefix of plants every dereference still
+//	yields the value it yielded before the relocation began.
+//
+// The chain-append walk is bounded: if a chain exceeds the forwarder's
+// HopLimit the accurate cycle check runs once (the same
+// Floyd-machinery escalation Resolve performs), returning an error
+// wrapping core.ErrCycle on a confirmed cycle; an acyclic walk is
+// still capped by ChainCap. The old implementation span forever on a
+// cyclic chain.
+//
+// When the machine carries a fault.Injector, TryRelocate additionally
+// journals its intent through it (so fault.Scavenge can roll a torn
+// relocation forward), announces the boundary fault points, and runs
+// read-back verification after the copy phase and after each plant —
+// the detection half of the fault model. Without an injector the
+// instruction sequence is exactly the two phases above.
+func TryRelocate(m app.Machine, src, tgt mem.Addr, nWords int) error {
+	inj := m.FaultInjector()
+	var j *fault.Journal
+	if inj != nil {
+		j = &inj.Journal
+	}
+	fwd := m.Forwarder()
+
+	j.Begin(src, tgt, nWords)
+	inj.Step(fault.RelocateBegin)
+
+	// Phase 1: walk each word's chain to its end and copy the value.
+	var endsBuf [16]mem.Addr
+	ends := endsBuf[:0]
+	restore := inj.Region(fault.CopyWrite)
 	for i := 0; i < nWords; i++ {
 		s := src + mem.Addr(i*mem.WordSize)
 		d := tgt + mem.Addr(i*mem.WordSize)
 		m.Inst(3) // loop control and address generation
 		v, fbit := m.UnforwardedRead(s)
+		hops, checked := 0, false
 		for fbit {
 			// Append at the end of the existing forwarding chain.
 			m.Inst(2)
+			hops++
+			if hops > fwd.HopLimit && !checked {
+				// Escalate exactly as the hardware walk does: one
+				// accurate (Floyd) cycle check from the chain start.
+				checked = true
+				if _, _, err := fwd.Resolve(src+mem.Addr(i*mem.WordSize), nil); err != nil {
+					restore()
+					return fmt.Errorf("opt: relocating %#x word %d: %w", src, i, err)
+				}
+			}
+			if hops > fwd.ChainCap {
+				restore()
+				return fmt.Errorf("opt: relocating %#x word %d: chain exceeds cap %d", src, i, fwd.ChainCap)
+			}
 			s = mem.WordAlign(mem.Addr(v))
 			v, fbit = m.UnforwardedRead(s)
 		}
 		m.UnforwardedWrite(d, v, false)
-		m.UnforwardedWrite(s, uint64(d), true)
+		ends = append(ends, s)
+		j.RecordCopy(s)
+		inj.Step(fault.RelocateCopied)
 	}
+	restore()
+
+	// Copy verification, only under fault injection: re-read every copy
+	// against its still-authoritative chain end, so a corrupted copy is
+	// caught while the reachable heap is still untouched.
+	if inj != nil {
+		for i, e := range ends {
+			d := tgt + mem.Addr(i*mem.WordSize)
+			dv, dfb := m.UnforwardedRead(d)
+			ev, _ := m.UnforwardedRead(e)
+			if dfb || dv != ev {
+				return fmt.Errorf("%w: copy of word %d (%#x -> %#x)", ErrTorn, i, e, d)
+			}
+		}
+		inj.Step(fault.RelocateVerify)
+	}
+
+	// Phase 2: plant the forwarding words, each one atomic.
+	restore = inj.Region(fault.PlantWrite)
+	for i, e := range ends {
+		d := tgt + mem.Addr(i*mem.WordSize)
+		m.Inst(1)
+		m.UnforwardedWrite(e, uint64(d), true)
+		if inj != nil {
+			// Plant verification: corruption after this point is no
+			// longer caught by the copy check, so read the plant back.
+			ev, efb := m.UnforwardedRead(e)
+			if !efb || mem.Addr(ev) != d {
+				restore()
+				return fmt.Errorf("%w: plant of word %d at %#x", ErrTorn, i, e)
+			}
+		}
+		inj.Step(fault.RelocatePlant)
+	}
+	restore()
+
+	inj.Step(fault.RelocateEnd)
+	j.Commit()
 	m.TraceRelocate(src, tgt, nWords)
+	return nil
 }
 
 // Pool hands out relocation targets from contiguous memory. When one

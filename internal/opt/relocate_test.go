@@ -1,0 +1,125 @@
+package opt
+
+import (
+	"errors"
+	"testing"
+
+	"memfwd/internal/core"
+	"memfwd/internal/fault"
+	"memfwd/internal/mem"
+	"memfwd/internal/quickseed"
+	"memfwd/internal/sim"
+)
+
+// outOfHeap returns a relocation-target address strictly outside the
+// guest heap (as the chaos adversary's private arena is), so tests can
+// abort relocations without perturbing allocator state.
+func outOfHeap(m *sim.Machine, n int) mem.Addr {
+	_, heapEnd := m.Alloc.Range()
+	return (heapEnd + 0x1F_FFFF) &^ 0xF_FFFF
+}
+
+// TestTryRelocateCyclicChainErrors is the regression test for the
+// unbounded chain-append walk: a cyclic forwarding chain — the shape
+// the chaos adversary's cyclic probes plant — used to hang Relocate
+// forever. TryRelocate must now return an error wrapping
+// core.ErrCycle, and Relocate must panic rather than spin.
+func TestTryRelocateCyclicChainErrors(t *testing.T) {
+	rng := quickseed.Rand(t)
+	for _, misaligned := range []bool{false, true} {
+		m := sim.New(sim.Config{LineSize: 128})
+		base := m.Malloc(4 * mem.WordSize)
+		// Close a 3-word forwarding loop over the block's first word.
+		w := []mem.Addr{base, base + 8, base + 16}
+		for i := range w {
+			tgt := uint64(w[(i+1)%len(w)])
+			if misaligned {
+				// The chaos probes hold misaligned forwarding
+				// addresses; the word-aligned append walk must still
+				// terminate on them.
+				tgt += uint64(1 + rng.Intn(7))
+			}
+			m.UnforwardedWrite(w[i], tgt, true)
+		}
+		tgt := outOfHeap(m, 1)
+		err := TryRelocate(m, base, tgt, 1)
+		if err == nil {
+			t.Fatalf("misaligned=%v: cyclic chain accepted", misaligned)
+		}
+		if !misaligned && !errors.Is(err, core.ErrCycle) {
+			t.Fatalf("error %v does not wrap core.ErrCycle", err)
+		}
+	}
+
+	// Relocate (the abort-on-failure wrapper) must panic, not hang.
+	m := sim.New(sim.Config{LineSize: 128})
+	base := m.Malloc(2 * mem.WordSize)
+	m.UnforwardedWrite(base, uint64(base), true) // self-loop
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Relocate did not panic on a cyclic chain")
+		}
+	}()
+	Relocate(m, base, outOfHeap(m, 1), 1)
+}
+
+// TestTryRelocateLongAcyclicChain drives the walk past HopLimit so the
+// accurate-check escalation runs and reports a false alarm, and the
+// relocation still completes correctly.
+func TestTryRelocateLongAcyclicChain(t *testing.T) {
+	m := sim.New(sim.Config{LineSize: 128})
+	base := m.Malloc(mem.WordSize)
+	const val = uint64(0xfeed)
+	m.StoreWord(base, val)
+	// Re-relocate the word repeatedly, growing its chain well past
+	// HopLimit (8).
+	prev := base
+	for i := 0; i < 2*m.Fwd.HopLimit; i++ {
+		tgt := outOfHeap(m, 1) + mem.Addr(0x1000*i)
+		if err := TryRelocate(m, base, tgt, 1); err != nil {
+			t.Fatalf("re-relocation %d: %v", i, err)
+		}
+		prev = tgt
+	}
+	if got := m.LoadWord(base); got != val {
+		t.Fatalf("value through long chain = %#x, want %#x", got, val)
+	}
+	final, err := m.Fwd.FinalAddr(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final != prev {
+		t.Fatalf("chain resolves to %#x, want final target %#x", final, prev)
+	}
+	if m.Fwd.CycleFalseAlarms == 0 {
+		t.Fatal("walk never escalated to the accurate check")
+	}
+}
+
+// TestTryRelocateJournal checks that a fault-injected machine journals
+// the relocation and commits on success.
+func TestTryRelocateJournal(t *testing.T) {
+	m := sim.New(sim.Config{LineSize: 128})
+	inj := fault.New(quickseed.Seed(t))
+	m.SetFaultInjector(inj)
+	base := m.Malloc(3 * mem.WordSize)
+	for i := 0; i < 3; i++ {
+		m.StoreWord(base+mem.Addr(i*8), uint64(100+i))
+	}
+	tgt := outOfHeap(m, 3)
+	if err := TryRelocate(m, base, tgt, 3); err != nil {
+		t.Fatal(err)
+	}
+	j := inj.Journal
+	if j.Active {
+		t.Fatal("journal not committed")
+	}
+	if j.Src != base || j.Tgt != tgt || j.NWords != 3 || len(j.Ends) != 3 {
+		t.Fatalf("journal %+v", j)
+	}
+	for i := 0; i < 3; i++ {
+		if got := m.LoadWord(base + mem.Addr(i*8)); got != uint64(100+i) {
+			t.Fatalf("word %d = %d", i, got)
+		}
+	}
+}

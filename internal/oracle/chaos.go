@@ -6,7 +6,9 @@ import (
 
 	"memfwd/internal/apps/app"
 	"memfwd/internal/core"
+	"memfwd/internal/fault"
 	"memfwd/internal/mem"
+	"memfwd/internal/opt"
 )
 
 // Relocator is a seeded adversary implementing app.Machine: it wraps an
@@ -70,11 +72,21 @@ type Relocator struct {
 	guestTrap core.TrapHandler
 	inChaos   bool
 
+	// Fault-injection repertoire (EnableFaults).
+	faults     bool
+	faultKinds []fault.Kind
+
 	// Episode statistics.
 	Relocations  int
 	Lengthenings int
 	Probes       int
 	CyclicProbes int
+
+	// FaultsInjected counts faulted relocations whose armed fault
+	// actually fired; FaultsRepaired counts the subset whose torn state
+	// the scavenger had to roll forward.
+	FaultsInjected int
+	FaultsRepaired int
 }
 
 var _ app.Machine = (*Relocator)(nil)
@@ -103,6 +115,20 @@ func NewRelocator(inner app.Machine, seed int64, interval int) *Relocator {
 }
 
 func (r *Relocator) reload() { r.countdown = 1 + r.rng.Intn(2*r.interval) }
+
+// EnableFaults adds the fault-injection action to the repertoire: some
+// chaos actions then relocate a block with a deterministic fault armed
+// — a crash at a random instruction boundary, a forwarding-word bit
+// flip, a spurious fbit set or clear — recover it, repair the heap from
+// the relocation journal, and verify the roll-forward. kinds restricts
+// what is injected; nil allows every kind.
+func (r *Relocator) EnableFaults(kinds []fault.Kind) {
+	r.faults = true
+	if len(kinds) == 0 {
+		kinds = []fault.Kind{fault.Crash, fault.FlipBit, fault.FBitSet, fault.FBitClear}
+	}
+	r.faultKinds = kinds
+}
 
 // arenaTake bumps n bytes (word-rounded) off the private arena,
 // returning 0 when exhausted (the adversary then simply goes quiet).
@@ -135,31 +161,44 @@ func (r *Relocator) tick() {
 		r.inner.SetTrap(r.guestTrap)
 		r.inChaos = false
 	}()
-	switch n := r.rng.Intn(10); {
+	switch n := r.rng.Intn(12); {
 	case n < 7:
 		r.relocateRandom()
 	case n < 9:
 		r.probe(false)
-	default:
+	case n < 10:
 		r.probe(true)
+	default:
+		if r.faults {
+			r.faultedRelocate()
+		} else {
+			r.relocateRandom()
+		}
 	}
 }
 
 // relocateRandom relocates one randomly chosen tracked block.
 func (r *Relocator) relocateRandom() {
+	if base := r.pickBlock(); base != 0 {
+		r.relocateBlock(base)
+	}
+}
+
+// pickBlock draws a random live tracked block (0 when none remain),
+// lazily dropping blocks freed outside our Free interception.
+func (r *Relocator) pickBlock() mem.Addr {
 	al := r.inner.Allocator()
 	for len(r.blocks) > 0 {
 		i := r.rng.Intn(len(r.blocks))
 		base := r.blocks[i]
 		if !al.Live(base) {
-			// Stale (freed outside our Free interception); drop lazily.
 			r.blocks[i] = r.blocks[len(r.blocks)-1]
 			r.blocks = r.blocks[:len(r.blocks)-1]
 			continue
 		}
-		r.relocateBlock(base)
-		return
+		return base
 	}
+	return 0
 }
 
 // relocateBlock moves the block at base to a fresh arena copy, word by
@@ -188,24 +227,129 @@ func (r *Relocator) relocateBlock(base mem.Addr) {
 	if tgt == 0 {
 		return
 	}
+	// Untimed peek before the move: a first word that already forwards
+	// means this relocation lengthens an existing chain.
+	if r.inner.Memory().FBit(base) {
+		r.Lengthenings++
+	}
+	// The move itself is the production two-phase commit — the adversary
+	// exercises exactly the code path the opt passes use, including its
+	// bounded chain-append walk.
+	if err := opt.TryRelocate(r.inner, base, tgt, int(size/mem.WordSize)); err != nil {
+		panic(fmt.Sprintf("oracle: chaos relocation of %#x (%d words): %v", base, size/mem.WordSize, err))
+	}
+	r.Relocations++
+}
+
+// faultedRelocate relocates a random tracked block with a freshly
+// seeded fault injector armed so the fault is guaranteed to fire
+// inside the relocation: a crash at a random instruction boundary, a
+// bit flip on a copy or plant write, or a spurious fbit transition.
+// Any induced crash is recovered, the torn relocation is repaired from
+// its journal (fault.Scavenge), and the repair is verified word by
+// word: every source word must resolve to its new copy holding its
+// pre-relocation value. The guest observes none of it — the
+// surrounding differential episode then proves results and heap digest
+// unchanged.
+func (r *Relocator) faultedRelocate() {
+	base := r.pickBlock()
+	if base == 0 {
+		return
+	}
+	size, ok := r.inner.Allocator().SizeOf(base)
+	if !ok {
+		return
+	}
+	words := int(size / mem.WordSize)
+	if words == 0 || r.wordBudget < int64(words) {
+		return
+	}
+	r.wordBudget -= int64(words)
+	tgt := r.arenaTake(size)
+	if tgt == 0 {
+		return
+	}
+
+	// Record pre-relocation values (through any existing chains) to
+	// verify the repair against.
 	fwd := r.inner.Forwarder()
-	for off := mem.Addr(0); off < mem.Addr(size); off += mem.WordSize {
-		s := base + off
-		d := tgt + off
-		final, hops, err := fwd.Resolve(s, nil)
+	want := make([]uint64, words)
+	for i := range want {
+		final, _, err := fwd.Resolve(base+mem.Addr(i*mem.WordSize), nil)
 		if err != nil {
-			panic(fmt.Sprintf("oracle: chaos relocation of %#x: %v", s, err))
+			panic(fmt.Sprintf("oracle: faulted relocation of %#x: %v", base, err))
 		}
-		fw := mem.WordAlign(final)
-		v, _ := r.inner.UnforwardedRead(fw)
-		r.inner.UnforwardedWrite(d, v, false)
-		r.inner.UnforwardedWrite(fw, uint64(d), true)
-		if off == 0 && hops > 0 {
-			r.Lengthenings++
+		want[i], _ = r.inner.UnforwardedRead(mem.WordAlign(final))
+	}
+
+	inj := fault.New(r.rng.Int63())
+	kind := r.faultKinds[r.rng.Intn(len(r.faultKinds))]
+	point, visit := r.armPoint(kind, words)
+	inj.Arm(kind, point, visit)
+	prev := r.inner.FaultInjector()
+	r.inner.SetFaultInjector(inj)
+	err := func() (err error) {
+		defer fault.RecoverCrash(&err)
+		return opt.TryRelocate(r.inner, base, tgt, words)
+	}()
+	r.inner.SetFaultInjector(prev)
+	if inj.Fired() {
+		r.FaultsInjected++
+	}
+	if err != nil {
+		if _, serr := fault.Scavenge(r.inner.Memory(), fwd, &inj.Journal, inj); serr != nil {
+			panic(fmt.Sprintf("oracle: scavenge of %#x after %q (%s@%s:%d): %v",
+				base, err, kind, point, visit, serr))
+		}
+		r.FaultsRepaired++
+	}
+
+	// Completed or rolled forward, the outcome must be identical: each
+	// word lives at its copy with its old value.
+	for i := range want {
+		s := base + mem.Addr(i*mem.WordSize)
+		d := tgt + mem.Addr(i*mem.WordSize)
+		final, _, rerr := fwd.Resolve(s, nil)
+		if rerr != nil {
+			panic(fmt.Sprintf("oracle: post-repair resolve of %#x (%s@%s:%d): %v", s, kind, point, visit, rerr))
+		}
+		if mem.WordAlign(final) != d {
+			panic(fmt.Sprintf("oracle: post-repair %#x resolves to %#x, want %#x (%s@%s:%d)",
+				s, final, d, kind, point, visit))
+		}
+		if v, fb := r.inner.UnforwardedRead(d); fb || v != want[i] {
+			panic(fmt.Sprintf("oracle: post-repair word %d of %#x = %#x (fbit=%v), want %#x (%s@%s:%d)",
+				i, base, v, fb, want[i], kind, point, visit))
 		}
 	}
-	r.inner.TraceRelocate(base, tgt, int(size/mem.WordSize))
 	r.Relocations++
+}
+
+// armPoint draws a fault point and a visit count that guarantees the
+// armed plan fires during a words-long relocation.
+func (r *Relocator) armPoint(kind fault.Kind, words int) (fault.Point, int) {
+	if kind == fault.Crash {
+		// A crash can strike any instruction boundary.
+		points := []fault.Point{
+			fault.RelocateBegin, fault.RelocateCopied, fault.RelocateVerify,
+			fault.RelocatePlant, fault.RelocateEnd, fault.CopyWrite, fault.PlantWrite,
+		}
+		p := points[r.rng.Intn(len(points))]
+		switch p {
+		case fault.RelocateCopied, fault.RelocatePlant, fault.CopyWrite, fault.PlantWrite:
+			return p, 1 + r.rng.Intn(words)
+		default:
+			return p, 1
+		}
+	}
+	// Write corruptions fire only on the write path; the relocation
+	// performs exactly `words` copy writes and `words` plant writes.
+	points := []fault.Point{fault.CopyWrite, fault.PlantWrite, fault.MemWrite}
+	p := points[r.rng.Intn(len(points))]
+	if p == fault.MemWrite {
+		return p, 1 + r.rng.Intn(2*words)
+	}
+	return p, 1 + r.rng.Intn(words)
 }
 
 // misalignedDelta returns a nonzero delta such that a forwarding word
@@ -344,6 +488,12 @@ func (r *Relocator) SetTrap(h core.TrapHandler) {
 	r.guestTrap = h
 	r.inner.SetTrap(h)
 }
+
+// FaultInjector delegates.
+func (r *Relocator) FaultInjector() *fault.Injector { return r.inner.FaultInjector() }
+
+// SetFaultInjector delegates.
+func (r *Relocator) SetFaultInjector(in *fault.Injector) { r.inner.SetFaultInjector(in) }
 
 // Malloc intercepts an allocation: possibly act, delegate, and track
 // the new block as a relocation candidate.

@@ -1,0 +1,250 @@
+package oracle
+
+import (
+	"fmt"
+	"testing"
+
+	"memfwd/internal/apps/app"
+	"memfwd/internal/apps/health"
+	"memfwd/internal/fault"
+	"memfwd/internal/mem"
+	"memfwd/internal/opt"
+	"memfwd/internal/sim"
+)
+
+// This file is the crash-consistency acceptance proof: TryRelocate's
+// two-phase commit is aborted at EVERY instruction boundary the fault
+// layer can name — each boundary point, each per-word copy and plant,
+// and every raw memory write — and at each abort the heap must already
+// be architecturally consistent (digest modulo forwarding unchanged,
+// forwarding-graph invariants clean), with the journal scavenger then
+// rolling the torn relocation forward to the exact state a fault-free
+// relocation produces. There is no third state.
+
+// crashWords is the relocation size under test. Small enough to keep
+// the full visit enumeration cheap, large enough that every per-word
+// point has a multi-visit range.
+const crashWords = 5
+
+// crashMachine builds a fresh guest machine (timing simulator or
+// functional oracle — the fault hook sites are identical on both) with
+// one patterned block, optionally pre-relocated once so the crash
+// enumeration also covers the append-at-chain-end walk.
+func crashMachine(t *testing.T, timed, preForward bool) (m app.Machine, sm *sim.Machine, src mem.Addr, want []uint64) {
+	t.Helper()
+	if timed {
+		sm = sim.New(sim.Config{LineSize: 128})
+		m = sm
+	} else {
+		m = New(Config{LineSize: 128})
+	}
+	src = m.Malloc(crashWords * mem.WordSize)
+	want = make([]uint64, crashWords)
+	for i := range want {
+		v := uint64(0xA1B2_0000+i) << 4
+		if i == 1 {
+			// A zero-valued word whose relocation target lands on a
+			// never-materialized page: the regression shape where the
+			// scavenger's roll-forward used to skip the copy (untouched
+			// memory already "reads as" zero) and the orphan sweep then
+			// demoted the freshly planted forwarding word.
+			v = 0
+		}
+		want[i] = v
+		m.StoreWord(src+mem.Addr(i*mem.WordSize), v)
+	}
+	if preForward {
+		if err := opt.TryRelocate(m, src, crashTarget(m, 0), crashWords); err != nil {
+			t.Fatalf("pre-relocation: %v", err)
+		}
+	}
+	return m, sm, src, want
+}
+
+// crashTarget returns the n-th out-of-heap relocation target — memory
+// no guest pointer resolves to (as the chaos adversary's private arena
+// is), so an aborted relocation cannot perturb the digest through it.
+func crashTarget(m app.Machine, n int) mem.Addr {
+	_, heapEnd := m.Allocator().Range()
+	return ((heapEnd + 0x1F_FFFF) &^ 0xF_FFFF) + mem.Addr(n)*0x10_0000
+}
+
+// crashOnce aborts one fresh relocation with crash@point:visit and runs
+// the full consistency ladder. It reports whether the armed crash fired
+// — false means visit exceeded the point's arrival count and the
+// relocation completed untouched, which ends the caller's enumeration.
+func crashOnce(t *testing.T, timed, preForward bool, p fault.Point, visit int) bool {
+	t.Helper()
+	m, sm, src, want := crashMachine(t, timed, preForward)
+	mm, fwd, al := m.Memory(), m.Forwarder(), m.Allocator()
+
+	dig0, err := DigestModuloForwarding(mm, fwd, al)
+	if err != nil {
+		t.Fatalf("crash@%s:%d: baseline digest: %v", p, visit, err)
+	}
+	tgt := crashTarget(m, 4)
+
+	inj := fault.New(7).Arm(fault.Crash, p, visit)
+	m.SetFaultInjector(inj)
+	rerr := func() (err error) {
+		defer fault.RecoverCrash(&err)
+		return opt.TryRelocate(m, src, tgt, crashWords)
+	}()
+	if !inj.Fired() {
+		if rerr != nil {
+			t.Fatalf("crash@%s:%d never fired yet relocation failed: %v", p, visit, rerr)
+		}
+		return false
+	}
+	if rerr == nil {
+		t.Fatalf("crash@%s:%d fired but TryRelocate returned nil", p, visit)
+	}
+
+	// State A — torn, unrepaired. The two-phase ordering alone must
+	// leave the reachable heap bit-identical modulo forwarding, with
+	// the forwarding graph structurally clean.
+	dig1, err := DigestModuloForwarding(mm, fwd, al)
+	if err != nil {
+		t.Fatalf("crash@%s:%d: torn digest: %v", p, visit, err)
+	}
+	if dig1 != dig0 {
+		t.Fatalf("crash@%s:%d: torn heap digest %#x != pre-relocation %#x", p, visit, dig1, dig0)
+	}
+	if err := CheckForwarding(mm, fwd); err != nil {
+		t.Fatalf("crash@%s:%d: torn forwarding graph: %v", p, visit, err)
+	}
+
+	// State B — scavenged. The journal rolls the relocation forward to
+	// completion; digest and invariants must still hold.
+	rep, serr := inj.Repair(mm, fwd)
+	if serr != nil {
+		t.Fatalf("crash@%s:%d: scavenge: %v", p, visit, serr)
+	}
+	if !rep.RolledForward {
+		t.Fatalf("crash@%s:%d: scavenge found no active journal (%s)", p, visit, rep)
+	}
+	dig2, err := DigestModuloForwarding(mm, fwd, al)
+	if err != nil {
+		t.Fatalf("crash@%s:%d: repaired digest: %v", p, visit, err)
+	}
+	if dig2 != dig0 {
+		t.Fatalf("crash@%s:%d: repaired heap digest %#x != pre-relocation %#x", p, visit, dig2, dig0)
+	}
+	if err := CheckForwarding(mm, fwd); err != nil {
+		t.Fatalf("crash@%s:%d: repaired forwarding graph: %v", p, visit, err)
+	}
+
+	// Roll-forward outcome: every word lives at its new copy with its
+	// pre-relocation value — exactly what an unaborted relocation
+	// produces, so the abort left no third state.
+	for i := range want {
+		s := src + mem.Addr(i*mem.WordSize)
+		d := tgt + mem.Addr(i*mem.WordSize)
+		final, _, err := fwd.Resolve(s, nil)
+		if err != nil {
+			t.Fatalf("crash@%s:%d: resolve word %d: %v", p, visit, i, err)
+		}
+		if mem.WordAlign(final) != d {
+			t.Fatalf("crash@%s:%d: word %d resolves to %#x, want %#x", p, visit, i, final, d)
+		}
+		if v, fb := m.UnforwardedRead(d); fb || v != want[i] {
+			t.Fatalf("crash@%s:%d: copy of word %d = %#x (fbit=%v), want %#x", p, visit, i, v, fb, want[i])
+		}
+		if got := m.LoadWord(s); got != want[i] {
+			t.Fatalf("crash@%s:%d: guest load of word %d = %#x, want %#x", p, visit, i, got, want[i])
+		}
+	}
+
+	if sm != nil {
+		sm.Finalize()
+		if err := CheckMachine(sm); err != nil {
+			t.Fatalf("crash@%s:%d: machine invariants: %v", p, visit, err)
+		}
+	}
+	return true
+}
+
+// TestCrashConsistencyEveryPoint enumerates crash@point:visit over
+// every fault point and every visit the relocation actually reaches,
+// asserting the consistency ladder at each, and that the enumeration
+// covered exactly the expected number of instruction boundaries.
+func TestCrashConsistencyEveryPoint(t *testing.T) {
+	// Arrivals per point for a crashWords-word relocation: boundary
+	// points fire once, per-word points once per word, and the raw
+	// write wildcard sees the copy and plant write of every word.
+	expect := map[fault.Point]int{
+		fault.RelocateBegin:  1,
+		fault.RelocateCopied: crashWords,
+		fault.RelocateVerify: 1,
+		fault.RelocatePlant:  crashWords,
+		fault.RelocateEnd:    1,
+		fault.CopyWrite:      crashWords,
+		fault.PlantWrite:     crashWords,
+		fault.MemWrite:       2 * crashWords,
+	}
+	points := []fault.Point{
+		fault.RelocateBegin, fault.RelocateCopied, fault.RelocateVerify,
+		fault.RelocatePlant, fault.RelocateEnd,
+		fault.CopyWrite, fault.PlantWrite, fault.MemWrite,
+	}
+	cases := []struct {
+		name              string
+		timed, preForward bool
+	}{
+		{"oracle/fresh", false, false},
+		{"oracle/chained", false, true},
+		{"sim/chained", true, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.timed && testing.Short() {
+				t.Skip("full-simulator enumeration")
+			}
+			for _, p := range points {
+				fired := 0
+				for visit := 1; crashOnce(t, c.timed, c.preForward, p, visit); visit++ {
+					fired++
+				}
+				if fired != expect[p] {
+					t.Errorf("point %s: crash fired at %d visits, want %d", p, fired, expect[p])
+				}
+			}
+		})
+	}
+}
+
+// TestFaultMatrix drives every fault kind through the chaos adversary
+// against a real workload on both machines: each cell must inject at
+// least one fault mid-relocation and still finish bit-identical to the
+// unperturbed run (ChaosEpisode's differential contract).
+func TestFaultMatrix(t *testing.T) {
+	a := health.App
+	for _, k := range []fault.Kind{fault.Crash, fault.FlipBit, fault.FBitSet, fault.FBitClear} {
+		for _, timed := range []bool{false, true} {
+			mode := "oracle"
+			if timed {
+				mode = "sim"
+			}
+			t.Run(fmt.Sprintf("%s/%s", k, mode), func(t *testing.T) {
+				if timed && testing.Short() {
+					t.Skip("full-simulator episode")
+				}
+				ch := ChaosConfig{
+					Seed:       int64(100*k) + 3,
+					Interval:   24,
+					Timed:      timed,
+					SimCfg:     sim.Config{LineSize: 128},
+					Faults:     true,
+					FaultKinds: []fault.Kind{k},
+				}
+				rel, err := ChaosEpisode(a, app.Config{Seed: 11}, ch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rel.FaultsInjected == 0 {
+					t.Fatalf("%s episode injected no faults (relocations=%d)", k, rel.Relocations)
+				}
+			})
+		}
+	}
+}

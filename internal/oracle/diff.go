@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"memfwd/internal/apps/app"
+	"memfwd/internal/fault"
 	"memfwd/internal/sim"
 )
 
@@ -66,6 +67,17 @@ type ChaosConfig struct {
 	// supplies the heap/line geometry for both (zero fields take
 	// simulator defaults).
 	SimCfg sim.Config
+
+	// Faults adds fault-injected relocations to the adversary's
+	// repertoire: crashes at arbitrary instruction boundaries inside
+	// relocation, forwarding-word bit flips, spurious fbit transitions
+	// — each recovered, journal-repaired, and verified. The episode
+	// still demands bit-identical guest results.
+	Faults bool
+
+	// FaultKinds restricts the injected kinds when Faults is set
+	// (nil = all kinds).
+	FaultKinds []fault.Kind
 }
 
 // ChaosEpisode runs app a under cfg once unperturbed on the oracle and
@@ -93,6 +105,9 @@ func ChaosEpisode(a app.App, cfg app.Config, ch ChaosConfig) (*Relocator, error)
 		inner = New(ocfg)
 	}
 	rel := NewRelocator(inner, ch.Seed, ch.Interval)
+	if ch.Faults {
+		rel.EnableFaults(ch.FaultKinds)
+	}
 	chaosRes := a.Run(rel, cfg)
 	if sm != nil {
 		sm.Finalize()

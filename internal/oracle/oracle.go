@@ -23,6 +23,7 @@ import (
 
 	"memfwd/internal/apps/app"
 	"memfwd/internal/core"
+	"memfwd/internal/fault"
 	"memfwd/internal/mem"
 )
 
@@ -54,6 +55,7 @@ type Machine struct {
 	sites   []string
 	curSite int
 
+	faultInj     *fault.Injector
 	chainScratch []mem.Addr
 }
 
@@ -200,6 +202,25 @@ func (m *Machine) PtrEqual(a, b mem.Addr) bool { return m.FinalAddr(a) == m.Fina
 
 // SetTrap installs (or clears, with nil) the forwarding trap handler.
 func (m *Machine) SetTrap(h core.TrapHandler) { m.trap = h }
+
+// FaultInjector returns the installed fault injector, or nil.
+func (m *Machine) FaultInjector() *fault.Injector { return m.faultInj }
+
+// SetFaultInjector installs (or, with nil, removes) a fault injector,
+// hooking the same two sites the simulator hooks: the tagged memory's
+// Unforwarded_Write path and the forwarder's chain walk. Keeping the
+// hook sites identical is what lets a faulted episode run on either
+// machine and agree on the outcome.
+func (m *Machine) SetFaultInjector(in *fault.Injector) {
+	m.faultInj = in
+	if in == nil {
+		m.Mem.SetWriteFault(nil)
+		m.Fwd.FaultHook = nil
+		return
+	}
+	m.Mem.SetWriteFault(in.FilterWrite)
+	m.Fwd.FaultHook = func(mem.Addr, int) { in.Step(fault.ResolveHop) }
+}
 
 // Malloc allocates n zeroed bytes.
 func (m *Machine) Malloc(n uint64) mem.Addr { return m.Alloc.Alloc(n) }

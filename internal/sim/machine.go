@@ -20,6 +20,7 @@ import (
 	"memfwd/internal/cache"
 	"memfwd/internal/core"
 	"memfwd/internal/cpu"
+	"memfwd/internal/fault"
 	"memfwd/internal/mem"
 	"memfwd/internal/obs"
 )
@@ -166,9 +167,10 @@ type Machine struct {
 	MM    *cache.MainMemory
 	Pipe  *cpu.Pipeline
 
-	trap    core.TrapHandler
-	sites   []string
-	curSite int
+	trap     core.TrapHandler
+	sites    []string
+	curSite  int
+	faultInj *fault.Injector
 
 	// Down-counters driving the instruction-mix policy in Inst: branch
 	// mispredicts every 48th op, a dependence-chain latency every
@@ -336,6 +338,25 @@ func (m *Machine) Forwarder() *core.Forwarder { return m.Fwd }
 // handler. Handlers run as guest code: machine operations they perform
 // are charged normally.
 func (m *Machine) SetTrap(h core.TrapHandler) { m.trap = h }
+
+// FaultInjector returns the installed fault injector, or nil.
+func (m *Machine) FaultInjector() *fault.Injector { return m.faultInj }
+
+// SetFaultInjector installs (or, with nil, removes) a fault injector:
+// the tagged memory's Unforwarded_Write path filters through it, and
+// every forwarding hop visits its core.resolve.hop point. Purely
+// functional — installing an injector that never fires changes no
+// timing and no results.
+func (m *Machine) SetFaultInjector(in *fault.Injector) {
+	m.faultInj = in
+	if in == nil {
+		m.Mem.SetWriteFault(nil)
+		m.Fwd.FaultHook = nil
+		return
+	}
+	m.Mem.SetWriteFault(in.FilterWrite)
+	m.Fwd.FaultHook = func(mem.Addr, int) { in.Step(fault.ResolveHop) }
+}
 
 // Site interns a static reference-site name (the analogue of a PC) and
 // returns its id for SetSite.

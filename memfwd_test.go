@@ -232,7 +232,10 @@ func TestRunTable1(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs all eight apps")
 	}
-	tab := RunTable1(Options{Seed: 9})
+	tab, errs := RunTable1(Options{Seed: 9})
+	if len(errs) != 0 {
+		t.Fatalf("incomplete cells: %v", errs)
+	}
 	if len(tab.Rows) != 8 {
 		t.Fatalf("Table 1 rows = %d", len(tab.Rows))
 	}
@@ -289,7 +292,10 @@ func TestTrapAPIVisible(t *testing.T) {
 }
 
 func TestRunFalseSharingTable(t *testing.T) {
-	tab := RunFalseSharing(Options{})
+	tab, errs := RunFalseSharing(Options{})
+	if len(errs) != 0 {
+		t.Fatalf("incomplete cells: %v", errs)
+	}
 	if len(tab.Rows) != 2 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
