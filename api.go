@@ -10,6 +10,7 @@ import (
 	"memfwd/internal/obs"
 	"memfwd/internal/ooc"
 	"memfwd/internal/opt"
+	"memfwd/internal/telemetry"
 )
 
 // Re-exported forwarding-mechanism types (internal/core).
@@ -97,6 +98,25 @@ type (
 	Sample = obs.Sample
 	// SampleSeries is the ordered sampler time-series.
 	SampleSeries = obs.Series
+	// HeatMap is the bounded, epoch-decayed per-object access profile;
+	// attach with Machine.SetHeatMap.
+	HeatMap = obs.HeatMap
+	// HeatObject is one object's accumulated heat profile.
+	HeatObject = obs.HeatObject
+	// HeatSnapshot is an immutable heat-map digest.
+	HeatSnapshot = obs.HeatSnapshot
+	// SpanTable records relocation spans from TryRelocate; attach with
+	// Machine.SetSpans.
+	SpanTable = obs.SpanTable
+	// RelocationSpan is one structured two-phase-commit record.
+	RelocationSpan = obs.RelocationSpan
+	// SpanSnapshot is an immutable span-table digest.
+	SpanSnapshot = obs.SpanSnapshot
+	// EventBroadcaster fans live trace events out to bounded,
+	// drop-counting subscribers (the /events hub).
+	EventBroadcaster = obs.Broadcaster
+	// EventSubscriber is one bounded queue of live event batches.
+	EventSubscriber = obs.Subscriber
 )
 
 // Trace event kinds.
@@ -110,6 +130,8 @@ const (
 	TraceDepViolation TraceEventKind = obs.KDepViolation
 	TracePhaseBegin   TraceEventKind = obs.KPhaseBegin
 	TracePhaseEnd     TraceEventKind = obs.KPhaseEnd
+	TraceSpanBegin    TraceEventKind = obs.KSpanBegin
+	TraceSpanEnd      TraceEventKind = obs.KSpanEnd
 )
 
 // NewTracer builds a tracer flushing to sink every bufEvents events
@@ -128,6 +150,32 @@ func NewPerfettoSink(w io.Writer) TraceSink { return obs.NewPerfettoSink(w) }
 
 // MultiSink fans one tracer out to several sinks.
 func MultiSink(sinks ...TraceSink) TraceSink { return obs.MultiSink(sinks...) }
+
+// NoCloseSink shields a shared sink (typically an EventBroadcaster)
+// from the Close of short-lived tracers writing into it.
+func NoCloseSink(s TraceSink) TraceSink { return obs.NoClose(s) }
+
+// NewEventBroadcaster returns an empty live-event hub.
+func NewEventBroadcaster() *EventBroadcaster { return obs.NewBroadcaster() }
+
+// NewHeatMap builds a per-object heat map bounded to maxObjects entries
+// decaying every epochEvery accesses (<= 0 takes the defaults).
+func NewHeatMap(maxObjects int, epochEvery uint64) *HeatMap {
+	return obs.NewHeatMap(maxObjects, epochEvery)
+}
+
+// NewSpanTable builds a relocation-span table retaining the most recent
+// capacity spans (<= 0 takes the default).
+func NewSpanTable(capacity int) *SpanTable { return obs.NewSpanTable(capacity) }
+
+// TelemetryServer is the live HTTP telemetry plane: /metrics, /samples,
+// /heatmap, /spans, and the /events NDJSON stream.
+type TelemetryServer = telemetry.Server
+
+// StartTelemetry binds the telemetry server to addr (":0" picks a free
+// port); wire it to experiments via Options.Telemetry and stop it with
+// Close.
+func StartTelemetry(addr string) (*TelemetryServer, error) { return telemetry.Start(addr) }
 
 // NewMetricsRegistry returns an empty metrics registry; populate it
 // with Machine.RegisterMetrics and Profiler.RegisterMetrics.

@@ -1,0 +1,98 @@
+// Command benchdiff compares `go test -bench` output against a
+// checked-in baseline and exits non-zero on regressions.
+//
+// Record a baseline:
+//
+//	go test -run '^$' -bench 'Figure5' -benchmem . | benchdiff -record -baseline BENCH_fig5.json
+//
+// Check a fresh run:
+//
+//	go test -run '^$' -bench 'Figure5' -benchmem . | benchdiff -baseline BENCH_fig5.json -threshold 1.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"memfwd/internal/benchdiff"
+)
+
+func main() {
+	var (
+		baseline   = flag.String("baseline", "BENCH_fig5.json", "baseline JSON file")
+		threshold  = flag.Float64("threshold", 1.25, "allowed growth ratio before a metric counts as a regression (>= 1)")
+		record     = flag.Bool("record", false, "write a new baseline from the input instead of comparing")
+		input      = flag.String("input", "-", "bench output to read ('-' for stdin)")
+		checkTime  = flag.Bool("check-time", false, "also compare ns/op (not portable across machines)")
+		absSlackNs = flag.Float64("abs-slack-ns", 1000, "with -check-time, ignore ns/op deltas below this floor")
+		failMiss   = flag.Bool("fail-missing", false, "exit non-zero if a baseline benchmark is absent from the run")
+	)
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := benchdiff.Parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark results in input"))
+	}
+
+	if *record {
+		f, err := os.Create(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		if err := benchdiff.NewBaseline(results).WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: recorded %d benchmarks to %s\n", len(results), *baseline)
+		return
+	}
+
+	bf, err := os.Open(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	base, err := benchdiff.ReadBaseline(bf)
+	bf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	deltas, missing, err := benchdiff.Compare(base, results, benchdiff.Config{
+		Threshold:  *threshold,
+		CheckTime:  *checkTime,
+		AbsSlackNs: *absSlackNs,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	regressions := benchdiff.Report(os.Stdout, deltas, missing)
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) past %.2fx threshold\n", regressions, *threshold)
+		os.Exit(1)
+	}
+	if *failMiss && len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d baseline benchmark(s) missing from run\n", len(missing))
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) within %.2fx of baseline\n", len(deltas), *threshold)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -34,6 +34,7 @@ func main() {
 		asJSON = flag.Bool("json", false, "emit raw runs as JSON instead of tables (fig5/fig6/fig7/fig10)")
 		sample = flag.Uint64("sample", 0, "attach the sampler: a time-series point every N instructions per run, in each run's Samples (JSON) with per-phase labels")
 		jobs   = flag.Int("jobs", 0, "experiment-engine worker count (0 = GOMAXPROCS); results are identical at any value")
+		http   = flag.String("http", "", "serve the live telemetry plane on this address while the suite runs (e.g. 127.0.0.1:8080; /metrics, /samples, /heatmap, /spans, /events)")
 
 		timeout      = flag.Duration("timeout", 0, "per-cell deadline (0 = unbounded); exceeding cells are marked incomplete, the rest still run")
 		suiteTimeout = flag.Duration("suite-timeout", 0, "whole-pipeline deadline (0 = unbounded)")
@@ -66,6 +67,7 @@ func main() {
 		Fault:        *faultSpec,
 		FaultCell:    *faultCell,
 		FaultSeed:    *faultSeed,
+		HTTPAddr:     *http,
 	}
 	runErr := figures.Run(cfg, os.Stdout, os.Stderr)
 

@@ -22,9 +22,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"memfwd"
 	"memfwd/internal/exp"
@@ -51,6 +53,13 @@ func main() {
 		sampleCSV    = flag.String("sample-csv", "", "also write the time-series as CSV to this file")
 		metrics      = flag.Bool("metrics", false, "print the metrics registry after the run")
 		asJSON       = flag.Bool("json", false, "emit the final record as JSON (cmd/figures -json encoding)")
+
+		httpAddr    = flag.String("http", "", "serve the live telemetry plane on this address during the run (127.0.0.1:0 picks a port; /metrics, /samples, /heatmap, /spans, /events)")
+		httpLinger  = flag.Duration("http-linger", 0, "keep the telemetry server up this long after the run completes")
+		relocReport = flag.Bool("relocation-report", false, "record relocation spans and print the per-phase two-phase-commit cost report")
+		heatTop     = flag.Int("heat", 0, "attach the per-object heat map and print the K hottest objects after the run")
+		attrCSV     = flag.String("attr-csv", "", "write the trap site × object attribution as CSV to this file (implies -profile)")
+		attrJSON    = flag.String("attr-json", "", "write the trap site × object attribution as JSON to this file (implies -profile)")
 
 		lines = flag.String("lines", "", "comma-separated line sizes (e.g. 32,64,128): sweep them through the parallel experiment engine instead of one -line run")
 		jobs  = flag.Int("jobs", 0, "experiment-engine worker count for -lines sweeps (0 = GOMAXPROCS); results are identical at any value")
@@ -92,9 +101,11 @@ func main() {
 
 	if *lines != "" {
 		// Sweep mode: each line size is one engine job with its own
-		// machine, so per-machine observability flags do not apply.
-		if *tracePath != "" || *perfettoPath != "" || *sampleCSV != "" || *metrics || *profile {
-			fmt.Fprintln(os.Stderr, "memfwd-sim: -lines sweeps do not support -trace, -perfetto, -sample-csv, -metrics, or -profile")
+		// machine, so per-machine observability flags do not apply
+		// (-http does: the engine wires each cell to the shared plane).
+		if *tracePath != "" || *perfettoPath != "" || *sampleCSV != "" || *metrics || *profile ||
+			*relocReport || *heatTop > 0 || *attrCSV != "" || *attrJSON != "" {
+			fmt.Fprintln(os.Stderr, "memfwd-sim: -lines sweeps do not support -trace, -perfetto, -sample-csv, -metrics, -profile, -relocation-report, -heat, -attr-csv, or -attr-json")
 			os.Exit(2)
 		}
 		ls, err := parseLines(*lines)
@@ -106,6 +117,17 @@ func main() {
 			Seed: *seed, Scale: *scale, SampleEvery: *sampleEvery, Jobs: *jobs,
 			JobTimeout: *timeout, Retries: *retries,
 			Fault: *faultSpec, FaultSeed: *faultSeed,
+		}
+		if *httpAddr != "" {
+			srv, err := memfwd.StartTelemetry(*httpAddr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memfwd-sim:", err)
+				os.Exit(1)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "memfwd-sim: telemetry plane on http://%s\n", srv.Addr())
+			o.Telemetry = srv
+			defer linger(*httpLinger, srv.Addr())
 		}
 		v := variantOf(*optOn, *prefetch, *perfect)
 		runs, errs := memfwd.RunLines(a, ls, v, blockOf(*prefetch, *block), o)
@@ -155,6 +177,19 @@ func main() {
 	if *perfettoPath != "" {
 		openSink(*perfettoPath, func(f *os.File) memfwd.TraceSink { return memfwd.NewPerfettoSink(f) })
 	}
+	var telSrv *memfwd.TelemetryServer
+	if *httpAddr != "" {
+		telSrv, err = memfwd.StartTelemetry(*httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memfwd-sim:", err)
+			os.Exit(1)
+		}
+		defer telSrv.Close()
+		fmt.Fprintf(os.Stderr, "memfwd-sim: telemetry plane on http://%s\n", telSrv.Addr())
+		// The hub is shared infrastructure: shield it from the
+		// tracer's Close so /events outlives the trace files.
+		sinks = append(sinks, memfwd.NoCloseSink(telSrv.Hub()))
+	}
 	var tracer *memfwd.Tracer
 	if len(sinks) > 0 {
 		tracer = memfwd.NewTracer(memfwd.MultiSink(sinks...), 0)
@@ -170,10 +205,47 @@ func main() {
 	reg := memfwd.NewMetricsRegistry()
 	m.RegisterMetrics(reg)
 
+	var heat *memfwd.HeatMap
+	if *heatTop > 0 || *attrCSV != "" || *attrJSON != "" || telSrv != nil {
+		heat = memfwd.NewHeatMap(0, 0)
+		m.SetHeatMap(heat)
+		heat.RegisterMetrics(reg)
+	}
+	var spans *memfwd.SpanTable
+	if *relocReport || telSrv != nil {
+		spans = memfwd.NewSpanTable(0)
+		m.SetSpans(spans)
+		spans.RegisterMetrics(reg)
+	}
+
 	var prof *memfwd.Profiler
-	if *profile {
+	if *profile || *attrCSV != "" || *attrJSON != "" {
 		prof = memfwd.AttachProfiler(m)
 		prof.RegisterMetrics(reg)
+		if *attrCSV != "" || *attrJSON != "" {
+			prof.EnableAttribution()
+		}
+	}
+
+	// The telemetry plane publishes immutable snapshots at sampler
+	// cadence from the machine's own goroutine (the registry and heat
+	// map are not thread-safe, so the server never reads them live).
+	var pub *memfwd.SampleSeries
+	publish := func() {
+		telSrv.PublishMetrics(reg.Snapshot())
+		telSrv.PublishHeat(heat.Snapshot(32))
+		telSrv.PublishSpans(spans.Snapshot(64))
+		cp := make([]memfwd.Sample, len(pub.Samples))
+		copy(cp, pub.Samples)
+		telSrv.PublishSamples(pub.Every, cp)
+	}
+	if telSrv != nil {
+		pub = series
+		if pub == nil {
+			pub = &memfwd.SampleSeries{}
+			m.SetSampleEvery(50_000, pub)
+		}
+		pub.OnAdd = func(memfwd.Sample) { publish() }
 	}
 	if *faultSpec != "" {
 		fseed := *faultSeed
@@ -212,6 +284,10 @@ func main() {
 		os.Exit(1)
 	}
 	st := m.Finalize()
+	if telSrv != nil {
+		publish() // final snapshots: the lingering server serves end state
+		defer linger(*httpLinger, telSrv.Addr())
+	}
 
 	if err := tracer.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "memfwd-sim: trace:", err)
@@ -234,6 +310,19 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "memfwd-sim: sample-csv:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *attrCSV != "" {
+		if err := writeFile(*attrCSV, prof.WriteAttributionCSV); err != nil {
+			fmt.Fprintln(os.Stderr, "memfwd-sim: attr-csv:", err)
+			os.Exit(1)
+		}
+	}
+	if *attrJSON != "" {
+		if err := writeFile(*attrJSON, prof.WriteAttributionJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "memfwd-sim: attr-json:", err)
 			os.Exit(1)
 		}
 	}
@@ -290,6 +379,37 @@ func main() {
 		fmt.Println()
 		fmt.Println(prof.Report())
 	}
+	if *heatTop > 0 {
+		fmt.Println()
+		fmt.Println(heat.Report(*heatTop))
+	}
+	if *relocReport {
+		fmt.Println()
+		fmt.Println(spans.Report())
+	}
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// linger keeps the telemetry server reachable after the run so a human
+// (or the CI smoke test) can inspect the final snapshots.
+func linger(d time.Duration, addr string) {
+	if d <= 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "memfwd-sim: telemetry lingering %s on http://%s\n", d, addr)
+	time.Sleep(d)
 }
 
 // variantOf maps the flag combination onto the paper's bar names.

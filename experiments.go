@@ -8,8 +8,10 @@ import (
 
 	"memfwd/internal/exp"
 	"memfwd/internal/fault"
+	"memfwd/internal/obs"
 	"memfwd/internal/opt"
 	"memfwd/internal/report"
+	"memfwd/internal/telemetry"
 )
 
 // Variant names one bar of the paper's figures.
@@ -112,7 +114,20 @@ type Options struct {
 
 	// FaultSeed seeds the injector's corruption stream; 0 takes Seed.
 	FaultSeed int64
+
+	// Telemetry, when non-nil, makes every cell observable on the live
+	// HTTP plane: each cell's machine gets a tracer feeding the
+	// server's event hub (filtered to structural events so cache-miss
+	// volume cannot flood the stream), a heat map, and a relocation
+	// span table, with snapshots published at sampler cadence. Purely
+	// additive: Run results and figure outputs are unchanged.
+	Telemetry *telemetry.Server
 }
+
+// telemetrySampleEvery is the publication cadence (in graduated
+// instructions) used when telemetry is on but no explicit SampleEvery
+// was requested.
+const telemetrySampleEvery = 50_000
 
 // Norm applies the defaults used throughout the paper's evaluation.
 func (o Options) Norm() Options {
@@ -226,6 +241,34 @@ func RunOne(a App, line int, v Variant, block int, o Options) Run {
 	if o.SampleEvery > 0 {
 		series = &SampleSeries{Every: o.SampleEvery}
 		m.SetSampleEvery(o.SampleEvery, series)
+	}
+	if t := o.Telemetry; t != nil {
+		lt := obs.NewTracer(obs.NoClose(t.Hub()), 256)
+		lt.EnableOnly(obs.KAlloc, obs.KFree, obs.KRelocate, obs.KTrap,
+			obs.KPhaseBegin, obs.KPhaseEnd, obs.KSpanBegin, obs.KSpanEnd)
+		m.SetTracer(lt)
+		defer lt.Close() // flushes; NoClose shields the shared hub
+		heat := obs.NewHeatMap(0, 0)
+		m.SetHeatMap(heat)
+		spans := obs.NewSpanTable(0)
+		m.SetSpans(spans)
+		// Publish snapshots at sampler cadence, piggybacking on the
+		// user's series when one is attached. Publishing runs on this
+		// cell's goroutine; the server hands out copies under its own
+		// lock, so concurrent cells just overwrite each other's
+		// snapshots (the live view tracks the most recent activity).
+		pub := series
+		if pub == nil {
+			pub = &SampleSeries{}
+			m.SetSampleEvery(telemetrySampleEvery, pub)
+		}
+		pub.OnAdd = func(obs.Sample) {
+			t.PublishHeat(heat.Snapshot(32))
+			t.PublishSpans(spans.Snapshot(64))
+			samples := make([]obs.Sample, len(pub.Samples))
+			copy(samples, pub.Samples)
+			t.PublishSamples(pub.Every, samples)
+		}
 	}
 	res := a.Run(m, cfg)
 	r := Run{App: a.Name, Line: line, Variant: v, Block: block, Stats: m.Finalize(), Result: res}

@@ -7,10 +7,12 @@ package apptest
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
 	"memfwd/internal/apps/app"
+	"memfwd/internal/obs"
 	"memfwd/internal/oracle"
 	"memfwd/internal/quickseed"
 	"memfwd/internal/sim"
@@ -143,6 +145,10 @@ func Chaos(t *testing.T, a app.App, episodes int) {
 		{"base", app.Config{Seed: 11}},
 		{"opt", app.Config{Seed: 11, Opt: true}},
 	}
+	// One flight recorder across every episode: the per-phase quantile
+	// report at the end covers all of this app's adversarial
+	// relocations, fault-injected ones included.
+	spans := obs.NewSpanTable(4096)
 	for i := 0; i < episodes; i++ {
 		v := cfgs[i%len(cfgs)]
 		// Episode 0 runs on the full timing simulator; the rest use the
@@ -152,6 +158,7 @@ func Chaos(t *testing.T, a app.App, episodes int) {
 			Timed:  i == 0 || i == 1,
 			SimCfg: diffMachine,
 			Faults: i%2 == 1,
+			Spans:  spans,
 		}
 		mode := "oracle"
 		if ch.Timed {
@@ -167,6 +174,22 @@ func Chaos(t *testing.T, a app.App, episodes int) {
 			}
 		})
 	}
+	t.Run("chaos/span-report", func(t *testing.T) {
+		if spans.Count() == 0 {
+			t.Fatalf("%s: no relocation spans recorded across chaos episodes", a.Name)
+		}
+		committed, _, _ := spans.Outcomes()
+		if committed == 0 {
+			t.Errorf("%s: chaos episodes committed no relocations", a.Name)
+		}
+		rep := spans.Report().String()
+		for _, want := range []string{"p50 cyc", "p95 cyc", "copy", "plant", "committed"} {
+			if !strings.Contains(rep, want) {
+				t.Fatalf("%s: span report missing %q:\n%s", a.Name, want, rep)
+			}
+		}
+		t.Logf("%s chaos flight recorder:\n%s", a.Name, rep)
+	})
 }
 
 // Seed re-exports quickseed.Seed for test packages above apptest in

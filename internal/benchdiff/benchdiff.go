@@ -1,0 +1,225 @@
+// Package benchdiff parses `go test -bench` output and compares a fresh
+// run against a checked-in baseline, flagging regressions past a
+// configurable threshold.
+//
+// The baseline is a JSON map of benchmark name to measured cost. Names
+// are normalised by stripping the trailing -GOMAXPROCS suffix so a
+// baseline recorded on an 8-core box compares cleanly on a 4-core CI
+// runner. Wall-clock ns/op is noisy across machines, so the default
+// comparison is allocs/op (deterministic for a deterministic simulator);
+// ns/op checking is opt-in for same-machine trend tracking.
+package benchdiff
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	HasAllocs   bool    `json:"has_allocs"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkFigure5-8   	       2	 512345678 ns/op	 1234 B/op	  56 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+// Normalize strips the -N GOMAXPROCS suffix from a benchmark name.
+func Normalize(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// Parse reads `go test -bench` text output and returns the measurements
+// in input order. Non-benchmark lines (PASS, ok, goos, ...) are skipped.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchdiff: bad iteration count in %q: %v", sc.Text(), err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchdiff: bad ns/op in %q: %v", sc.Text(), err)
+		}
+		res := Result{Name: Normalize(m[1]), Iterations: iters, NsPerOp: ns}
+		rest := strings.Fields(m[4])
+		for i := 0; i+1 < len(rest); i += 2 {
+			v, err := strconv.ParseFloat(rest[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchdiff: bad metric in %q: %v", sc.Text(), err)
+			}
+			switch rest[i+1] {
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+				res.HasAllocs = true
+			}
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Baseline is the checked-in reference, keyed by normalised name.
+type Baseline map[string]Result
+
+// NewBaseline indexes a parsed run. Later duplicates (e.g. -count=2)
+// keep the lower ns/op, treating the best run as the machine's capability.
+func NewBaseline(results []Result) Baseline {
+	b := make(Baseline, len(results))
+	for _, r := range results {
+		if prev, ok := b[r.Name]; ok && prev.NsPerOp <= r.NsPerOp {
+			continue
+		}
+		b[r.Name] = r
+	}
+	return b
+}
+
+// WriteJSON serialises the baseline with stable key order.
+func (b Baseline) WriteJSON(w io.Writer) error {
+	names := make([]string, 0, len(b))
+	for n := range b {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ordered := make([]Result, 0, len(names))
+	for _, n := range names {
+		ordered = append(ordered, b[n])
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ordered)
+}
+
+// ReadBaseline loads a baseline previously written by WriteJSON.
+func ReadBaseline(r io.Reader) (Baseline, error) {
+	var results []Result
+	if err := json.NewDecoder(r).Decode(&results); err != nil {
+		return nil, fmt.Errorf("benchdiff: baseline: %v", err)
+	}
+	return NewBaseline(results), nil
+}
+
+// Config controls what Compare treats as a regression.
+type Config struct {
+	// Threshold is the allowed multiplicative growth: 1.25 tolerates a
+	// 25% increase over baseline before flagging. Must be >= 1.
+	Threshold float64
+	// CheckTime also compares ns/op (off by default: wall-clock is not
+	// portable across machines; allocs/op is).
+	CheckTime bool
+	// AbsSlackNs ignores ns/op deltas below this floor even past the
+	// threshold, so nanosecond-scale benchmarks don't flap on timer
+	// granularity. Only used with CheckTime.
+	AbsSlackNs float64
+}
+
+// Delta is one comparison row.
+type Delta struct {
+	Name       string
+	Metric     string // "allocs/op" or "ns/op"
+	Base, Cur  float64
+	Ratio      float64
+	Regression bool
+}
+
+// Compare evaluates fresh results against the baseline. Benchmarks
+// missing from the baseline are skipped (new benchmarks are not
+// regressions); baseline entries missing from the run are reported via
+// the missing list so a silently-deleted benchmark is visible.
+func Compare(base Baseline, fresh []Result, cfg Config) (deltas []Delta, missing []string, err error) {
+	if cfg.Threshold < 1 {
+		return nil, nil, fmt.Errorf("benchdiff: threshold %v < 1", cfg.Threshold)
+	}
+	seen := make(map[string]bool, len(fresh))
+	for _, r := range fresh {
+		seen[r.Name] = true
+		b, ok := base[r.Name]
+		if !ok {
+			continue
+		}
+		if b.HasAllocs && r.HasAllocs {
+			d := Delta{Name: r.Name, Metric: "allocs/op", Base: b.AllocsPerOp, Cur: r.AllocsPerOp}
+			d.Ratio = ratio(d.Cur, d.Base)
+			// Zero-alloc guarantees are exact: any alloc on a
+			// previously allocation-free path is a regression
+			// regardless of threshold.
+			if b.AllocsPerOp == 0 {
+				d.Regression = r.AllocsPerOp > 0
+			} else {
+				d.Regression = d.Ratio > cfg.Threshold
+			}
+			deltas = append(deltas, d)
+		}
+		if cfg.CheckTime {
+			d := Delta{Name: r.Name, Metric: "ns/op", Base: b.NsPerOp, Cur: r.NsPerOp}
+			d.Ratio = ratio(d.Cur, d.Base)
+			d.Regression = d.Ratio > cfg.Threshold && d.Cur-d.Base > cfg.AbsSlackNs
+			deltas = append(deltas, d)
+		}
+	}
+	for name := range base {
+		if !seen[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	return deltas, missing, nil
+}
+
+func ratio(cur, base float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 1
+		}
+		return cur // vs zero: report the absolute value as the ratio
+	}
+	return cur / base
+}
+
+// Report renders the comparison. Returns the number of regressions.
+func Report(w io.Writer, deltas []Delta, missing []string) int {
+	regressions := 0
+	for _, d := range deltas {
+		mark := "ok  "
+		if d.Regression {
+			mark = "FAIL"
+			regressions++
+		}
+		fmt.Fprintf(w, "%s  %-40s %12s  base=%-12g cur=%-12g (%.2fx)\n",
+			mark, d.Name, d.Metric, d.Base, d.Cur, d.Ratio)
+	}
+	for _, name := range missing {
+		fmt.Fprintf(w, "MISS  %-40s absent from this run (present in baseline)\n", name)
+	}
+	return regressions
+}

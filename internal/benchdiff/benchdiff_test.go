@@ -1,0 +1,179 @@
+package benchdiff
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: memfwd
+cpu: AMD EPYC 7B13
+BenchmarkFigure5-8             	       2	 512345678 ns/op	 1234 B/op	      56 allocs/op
+BenchmarkLoadHit-8             	100000000	        11.50 ns/op	       0 B/op	       0 allocs/op
+BenchmarkChase2-8              	 5000000	       240.0 ns/op
+PASS
+ok  	memfwd	3.210s
+`
+
+func TestParse(t *testing.T) {
+	res, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(res), res)
+	}
+	f5 := res[0]
+	if f5.Name != "BenchmarkFigure5" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", f5.Name)
+	}
+	if f5.Iterations != 2 || f5.NsPerOp != 512345678 || f5.BytesPerOp != 1234 || f5.AllocsPerOp != 56 || !f5.HasAllocs {
+		t.Fatalf("Figure5 row wrong: %+v", f5)
+	}
+	hit := res[1]
+	if hit.NsPerOp != 11.5 || hit.AllocsPerOp != 0 || !hit.HasAllocs {
+		t.Fatalf("LoadHit row wrong: %+v", hit)
+	}
+	// A -benchtime run without -benchmem has no alloc columns.
+	if res[2].HasAllocs {
+		t.Fatalf("Chase2 should have no alloc data: %+v", res[2])
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	res, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBaseline(res)
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(b) {
+		t.Fatalf("round trip lost entries: %d != %d", len(got), len(b))
+	}
+	for name, want := range b {
+		if got[name] != want {
+			t.Fatalf("%s: %+v != %+v", name, got[name], want)
+		}
+	}
+	// Stable key order: two serialisations are byte-identical.
+	var buf2 bytes.Buffer
+	if err := got.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("baseline serialisation not deterministic")
+	}
+}
+
+func TestBaselineKeepsBestOfRepeats(t *testing.T) {
+	b := NewBaseline([]Result{
+		{Name: "BenchmarkX", NsPerOp: 200},
+		{Name: "BenchmarkX", NsPerOp: 150},
+		{Name: "BenchmarkX", NsPerOp: 180},
+	})
+	if b["BenchmarkX"].NsPerOp != 150 {
+		t.Fatalf("best-of-repeats not kept: %+v", b["BenchmarkX"])
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	base := NewBaseline([]Result{
+		{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 10, HasAllocs: true},
+		{Name: "BenchmarkZeroAlloc", NsPerOp: 12, AllocsPerOp: 0, HasAllocs: true},
+	})
+	fresh := []Result{
+		{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 11, HasAllocs: true},       // +10%: within 1.25
+		{Name: "BenchmarkZeroAlloc", NsPerOp: 12, AllocsPerOp: 1, HasAllocs: true}, // any alloc: fail
+	}
+	deltas, missing, err := Compare(base, fresh, Config{Threshold: 1.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("missing = %v", missing)
+	}
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if byName["BenchmarkA"].Regression {
+		t.Fatalf("10%% alloc growth under 1.25 threshold flagged: %+v", byName["BenchmarkA"])
+	}
+	if !byName["BenchmarkZeroAlloc"].Regression {
+		t.Fatal("alloc on zero-alloc baseline not flagged")
+	}
+	var buf bytes.Buffer
+	if n := Report(&buf, deltas, missing); n != 1 {
+		t.Fatalf("Report counted %d regressions, want 1:\n%s", n, buf.String())
+	}
+	if !strings.Contains(buf.String(), "FAIL") || !strings.Contains(buf.String(), "BenchmarkZeroAlloc") {
+		t.Fatalf("report does not name the failure:\n%s", buf.String())
+	}
+}
+
+func TestCompareTimeOptIn(t *testing.T) {
+	base := NewBaseline([]Result{{Name: "BenchmarkB", NsPerOp: 100, HasAllocs: false}})
+	fresh := []Result{{Name: "BenchmarkB", NsPerOp: 300, HasAllocs: false}}
+
+	// Default: time is not compared, a 3x slowdown produces no deltas.
+	deltas, _, err := Compare(base, fresh, Config{Threshold: 1.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 0 {
+		t.Fatalf("time compared without CheckTime: %+v", deltas)
+	}
+
+	deltas, _, err = Compare(base, fresh, Config{Threshold: 1.25, CheckTime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 1 || !deltas[0].Regression || deltas[0].Metric != "ns/op" {
+		t.Fatalf("3x ns/op not flagged: %+v", deltas)
+	}
+
+	// Absolute slack suppresses sub-floor jitter even past the ratio.
+	deltas, _, err = Compare(base, fresh, Config{Threshold: 1.25, CheckTime: true, AbsSlackNs: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deltas[0].Regression {
+		t.Fatalf("delta below AbsSlackNs flagged: %+v", deltas[0])
+	}
+}
+
+func TestCompareMissingAndNew(t *testing.T) {
+	base := NewBaseline([]Result{
+		{Name: "BenchmarkGone", NsPerOp: 5, AllocsPerOp: 1, HasAllocs: true},
+		{Name: "BenchmarkKept", NsPerOp: 5, AllocsPerOp: 1, HasAllocs: true},
+	})
+	fresh := []Result{
+		{Name: "BenchmarkKept", NsPerOp: 5, AllocsPerOp: 1, HasAllocs: true},
+		{Name: "BenchmarkNew", NsPerOp: 5, AllocsPerOp: 99, HasAllocs: true}, // not in baseline: skipped
+	}
+	deltas, missing, err := Compare(base, fresh, Config{Threshold: 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 1 || deltas[0].Name != "BenchmarkKept" {
+		t.Fatalf("deltas = %+v, want BenchmarkKept only", deltas)
+	}
+	if len(missing) != 1 || missing[0] != "BenchmarkGone" {
+		t.Fatalf("missing = %v, want [BenchmarkGone]", missing)
+	}
+}
+
+func TestCompareRejectsBadThreshold(t *testing.T) {
+	if _, _, err := Compare(Baseline{}, nil, Config{Threshold: 0.5}); err == nil {
+		t.Fatal("threshold < 1 accepted")
+	}
+}

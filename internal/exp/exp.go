@@ -233,6 +233,7 @@ func RunChecked[R any](cfg Config, specs []Spec, run func(i int, s Spec) (R, err
 	}
 
 	cfg.Progress.enqueue(len(specs))
+	cfg.Progress.start(jobs)
 	start := time.Now()
 	var traceMu sync.Mutex
 	emit := func(kind obs.Kind, i int) {
@@ -322,6 +323,7 @@ func runJob[R any](ctx context.Context, cfg Config, i int, s Spec, run func(int,
 		case out.err == nil:
 			return out.r, nil
 		case IsTransient(out.err) && attempt <= cfg.Retries:
+			cfg.Progress.retry()
 			if rng == nil {
 				rng = rand.New(rand.NewSource(cfg.RetrySeed*1_000_003 + int64(i)))
 			}
@@ -381,15 +383,18 @@ func invoke[R any](ctx context.Context, timeout time.Duration, i int, s Spec, ru
 // accumulate. All methods are safe for concurrent use and are no-ops
 // on a nil receiver, mirroring the obs.Tracer idiom.
 type Progress struct {
-	mu       sync.Mutex
-	enqueued int
-	queued   int
-	running  int
-	done     int
-	failed   int
-	wallSum  time.Duration
-	wallMax  time.Duration
-	lastSpan time.Duration
+	mu        sync.Mutex
+	enqueued  int
+	queued    int
+	running   int
+	done      int
+	failed    int
+	retried   int
+	workers   int
+	startedAt time.Time
+	wallSum   time.Duration
+	wallMax   time.Duration
+	lastSpan  time.Duration
 }
 
 // ProgressSnapshot is one atomic reading of all Progress counters,
@@ -411,6 +416,34 @@ func (p *Progress) enqueue(n int) {
 	p.mu.Lock()
 	p.enqueued += n
 	p.queued += n
+	p.mu.Unlock()
+}
+
+// start records the worker-pool width for utilization accounting. The
+// pool clock starts at the first Run sharing this Progress; a later Run
+// with a wider pool widens the recorded width (utilization stays
+// conservative).
+func (p *Progress) start(workers int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.startedAt.IsZero() {
+		p.startedAt = time.Now()
+	}
+	if workers > p.workers {
+		p.workers = workers
+	}
+	p.mu.Unlock()
+}
+
+// retry counts one transient-failure retry.
+func (p *Progress) retry() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.retried++
 	p.mu.Unlock()
 }
 
@@ -553,6 +586,45 @@ func (p *Progress) CellWallLast() time.Duration {
 	return p.lastSpan
 }
 
+// Retried returns the number of transient-failure retries performed.
+func (p *Progress) Retried() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.retried
+}
+
+// Workers returns the widest worker pool seen so far.
+func (p *Progress) Workers() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.workers
+}
+
+// Utilization returns summed cell wall time over (elapsed × workers) —
+// the fraction of pool capacity spent inside cells, in [0,1] under
+// normal accounting, 0 before any Run starts.
+func (p *Progress) Utilization() float64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.workers == 0 || p.startedAt.IsZero() {
+		return 0
+	}
+	elapsed := time.Since(p.startedAt)
+	if elapsed <= 0 {
+		return 0
+	}
+	return p.wallSum.Seconds() / (elapsed.Seconds() * float64(p.workers))
+}
+
 // RegisterMetrics exposes the progress counters on a metrics registry
 // as live views: exp.jobs.queued / running / done / failed and
 // exp.cell.wall_seconds.{sum,max,last}. Register once per registry.
@@ -564,4 +636,7 @@ func (p *Progress) RegisterMetrics(r *obs.Registry) {
 	r.GaugeFunc("exp.cell.wall_seconds.sum", func() float64 { return p.CellWallSum().Seconds() })
 	r.GaugeFunc("exp.cell.wall_seconds.max", func() float64 { return p.CellWallMax().Seconds() })
 	r.GaugeFunc("exp.cell.wall_seconds.last", func() float64 { return p.CellWallLast().Seconds() })
+	r.GaugeFunc("exp.jobs.retried", func() float64 { return float64(p.Retried()) })
+	r.GaugeFunc("exp.workers", func() float64 { return float64(p.Workers()) })
+	r.GaugeFunc("exp.pool.utilization", func() float64 { return p.Utilization() })
 }

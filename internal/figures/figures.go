@@ -64,6 +64,12 @@ type Config struct {
 	Fault     string
 	FaultCell string
 	FaultSeed int64
+
+	// HTTPAddr, when non-empty, serves the live telemetry plane while
+	// the suite runs: engine progress on /metrics, per-cell heat maps,
+	// relocation spans, and the /events stream. Purely additive — all
+	// stdout output (tables and JSON) is byte-identical with it on.
+	HTTPAddr string
 }
 
 // Envelope is the aggregated JSON document emitted when Config.JSON is
@@ -108,6 +114,35 @@ func Run(cfg Config, stdout, stderr io.Writer) error {
 		ctx, cancel := context.WithTimeout(context.Background(), cfg.SuiteTimeout)
 		defer cancel()
 		o.Ctx = ctx
+	}
+	if cfg.HTTPAddr != "" {
+		srv, err := memfwd.StartTelemetry(cfg.HTTPAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		o.Telemetry = srv
+		o.Progress = &memfwd.JobProgress{}
+		// The registry holds only JobProgress views, which are
+		// thread-safe, so snapshotting it from the publisher goroutine
+		// is sound (registration happens before the goroutine starts).
+		reg := memfwd.NewMetricsRegistry()
+		o.Progress.RegisterMetrics(reg)
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(250 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				srv.PublishMetrics(reg.Snapshot())
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+				}
+			}
+		}()
+		fmt.Fprintf(stderr, "[figures] telemetry plane on http://%s\n", srv.Addr())
 	}
 	want := func(name string) bool { return cfg.Only == "" || cfg.Only == name }
 	section := func(name string) { fmt.Fprintf(stderr, "[figures] running %s...\n", name) }

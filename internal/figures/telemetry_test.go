@@ -1,0 +1,144 @@
+package figures
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// addrWatcher is a stderr tee that extracts the telemetry-plane address
+// from the "[figures] telemetry plane on http://..." progress line.
+type addrWatcher struct {
+	mu   sync.Mutex
+	buf  bytes.Buffer
+	addr chan string
+	sent bool
+}
+
+func (w *addrWatcher) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	if !w.sent {
+		if i := strings.Index(w.buf.String(), "telemetry plane on http://"); i >= 0 {
+			rest := w.buf.String()[i+len("telemetry plane on http://"):]
+			if j := strings.IndexByte(rest, '\n'); j >= 0 {
+				w.addr <- strings.TrimSpace(rest[:j])
+				w.sent = true
+			}
+		}
+	}
+	return len(p), nil
+}
+
+// TestHTTPPlaneDuringFig5 is the acceptance check for the live plane:
+// while a fig5 run is in flight, a concurrent /events NDJSON consumer
+// and /heatmap?top=10 + /metrics pollers must all receive well-formed
+// data — and the stdout JSON must be byte-identical to a run without
+// the HTTP plane.
+func TestHTTPPlaneDuringFig5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full fig5 matrix twice")
+	}
+	base := Config{Only: "fig5", JSON: true, Seed: 9, Scale: 1}
+
+	// Reference run, no telemetry.
+	var refOut, refErr bytes.Buffer
+	if err := Run(base, &refOut, &refErr); err != nil {
+		t.Fatal(err)
+	}
+
+	// Telemetry run with concurrent consumers.
+	w := &addrWatcher{addr: make(chan string, 1)}
+	cfg := base
+	cfg.HTTPAddr = "127.0.0.1:0"
+	var liveOut bytes.Buffer
+	runDone := make(chan error, 1)
+	go func() { runDone <- Run(cfg, &liveOut, w) }()
+
+	var addr string
+	select {
+	case addr = <-w.addr:
+	case err := <-runDone:
+		t.Fatalf("run finished before announcing the telemetry plane (err=%v)", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("telemetry plane address never announced")
+	}
+
+	// /events consumer: bounded read of live NDJSON while cells run.
+	eventsDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/events")
+		if err != nil {
+			t.Errorf("/events: %v", err)
+			eventsDone <- 0
+			return
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		lines := 0
+		for lines < 100 && sc.Scan() {
+			if !json.Valid(sc.Bytes()) {
+				t.Errorf("/events line not JSON: %s", sc.Text())
+				break
+			}
+			lines++
+		}
+		eventsDone <- lines
+	}()
+
+	// Snapshot pollers while the suite runs.
+	heatOK, metricsOK := 0, 0
+	poll := func() {
+		for _, p := range []struct {
+			path string
+			ok   *int
+		}{{"/heatmap?top=10", &heatOK}, {"/metrics", &metricsOK}} {
+			resp, err := http.Get("http://" + addr + p.path)
+			if err != nil {
+				continue // transient connection issues are not failures
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK && json.Valid(body) {
+				*p.ok++
+			} else {
+				t.Errorf("%s: status %d / invalid JSON", p.path, resp.StatusCode)
+			}
+		}
+	}
+	for {
+		poll()
+		select {
+		case err := <-runDone:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(50 * time.Millisecond):
+			continue
+		}
+		break
+	}
+
+	if heatOK == 0 || metricsOK == 0 {
+		t.Fatalf("no successful polls (heat=%d metrics=%d)", heatOK, metricsOK)
+	}
+	select {
+	case lines := <-eventsDone:
+		if lines == 0 {
+			t.Error("/events consumer read no events during the run")
+		}
+	case <-time.After(10 * time.Second):
+		t.Error("/events consumer never finished")
+	}
+
+	if !bytes.Equal(refOut.Bytes(), liveOut.Bytes()) {
+		t.Error("stdout JSON differs with -http enabled; the plane must be purely additive")
+	}
+}

@@ -1,0 +1,137 @@
+// Trap attribution: the site-level forwarding profile of fprof.go
+// refined to guest PC (site) × object, answering "which code sites pay
+// forwarding overhead on which objects". When the machine carries an
+// obs.HeatMap the object key is the allocation block base (identity
+// survives interior pointers); otherwise it falls back to the trapped
+// word address.
+package fprof
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"memfwd/internal/core"
+	"memfwd/internal/mem"
+	"memfwd/internal/report"
+)
+
+// AttrKey identifies one (site, object) attribution cell.
+type AttrKey struct {
+	Site int
+	Base uint64
+}
+
+// AttrProfile accumulates forwarding behaviour for one site × object
+// pair.
+type AttrProfile struct {
+	Site     int    `json:"-"`
+	SiteName string `json:"site"`
+	Base     uint64 `json:"base"`
+	Loads    uint64 `json:"loads"`
+	Stores   uint64 `json:"stores"`
+	Hops     uint64 `json:"hops"`
+	MaxHops  int    `json:"maxHops"`
+}
+
+// DefaultMaxAttrs bounds the attribution table.
+const DefaultMaxAttrs = 4096
+
+// EnableAttribution turns on site × object accounting (off by default:
+// the table costs a map insert per trap). Bounded to MaxAttrs cells
+// (0 = DefaultMaxAttrs); traps past the bound that would open a new
+// cell are counted in AttrOverflow instead.
+func (p *Profiler) EnableAttribution() {
+	if p.attr == nil {
+		p.attr = make(map[AttrKey]*AttrProfile)
+	}
+}
+
+// AttributionEnabled reports whether site × object accounting is on.
+func (p *Profiler) AttributionEnabled() bool { return p.attr != nil }
+
+func (p *Profiler) recordAttr(ev core.Event) {
+	base := uint64(mem.WordAlign(ev.Initial))
+	if b, ok := p.m.HeatMap().Resolve(uint64(ev.Initial)); ok {
+		base = b
+	}
+	k := AttrKey{Site: ev.Site, Base: base}
+	ap := p.attr[k]
+	if ap == nil {
+		limit := p.MaxAttrs
+		if limit == 0 {
+			limit = DefaultMaxAttrs
+		}
+		if len(p.attr) >= limit {
+			p.AttrOverflow++
+			return
+		}
+		ap = &AttrProfile{Site: ev.Site, Base: base}
+		p.attr[k] = ap
+	}
+	if ev.Kind == core.Load {
+		ap.Loads++
+	} else {
+		ap.Stores++
+	}
+	ap.Hops += uint64(ev.Hops)
+	if ev.Hops > ap.MaxHops {
+		ap.MaxHops = ev.Hops
+	}
+}
+
+// Attribution returns the site × object profiles, hottest first (ties
+// broken by site then base for deterministic output), with SiteName
+// filled in.
+func (p *Profiler) Attribution() []*AttrProfile {
+	out := make([]*AttrProfile, 0, len(p.attr))
+	for _, ap := range p.attr {
+		ap.SiteName = p.m.SiteName(ap.Site)
+		out = append(out, ap)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := out[i].Loads+out[i].Stores, out[j].Loads+out[j].Stores
+		if ri != rj {
+			return ri > rj
+		}
+		if out[i].Site != out[j].Site {
+			return out[i].Site < out[j].Site
+		}
+		return out[i].Base < out[j].Base
+	})
+	return out
+}
+
+// AttributionTable renders the attribution as a table.
+func (p *Profiler) AttributionTable() *report.Table {
+	t := report.New("Trap attribution (site × object)",
+		"site", "object", "loads", "stores", "avg hops", "max hops")
+	for _, ap := range p.Attribution() {
+		refs := ap.Loads + ap.Stores
+		avg := 0.0
+		if refs > 0 {
+			avg = float64(ap.Hops) / float64(refs)
+		}
+		t.Add(ap.SiteName, fmt.Sprintf("0x%x", ap.Base),
+			fmt.Sprint(ap.Loads), fmt.Sprint(ap.Stores),
+			fmt.Sprintf("%.2f", avg), fmt.Sprint(ap.MaxHops))
+	}
+	return t
+}
+
+// WriteAttributionCSV emits the attribution as CSV — the
+// figures-consumable dump.
+func (p *Profiler) WriteAttributionCSV(w io.Writer) error {
+	return p.AttributionTable().WriteCSV(w)
+}
+
+// WriteAttributionJSON emits the attribution as a JSON array in the
+// shared envelope style.
+func (p *Profiler) WriteAttributionJSON(w io.Writer) error {
+	rows := p.Attribution()
+	vals := make([]AttrProfile, len(rows))
+	for i, ap := range rows {
+		vals[i] = *ap
+	}
+	return report.WriteJSON(w, vals)
+}

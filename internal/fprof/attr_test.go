@@ -1,0 +1,170 @@
+package fprof
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"memfwd/internal/obs"
+	"memfwd/internal/opt"
+	"memfwd/internal/sim"
+)
+
+func TestAttributionOffByDefault(t *testing.T) {
+	m, src, _ := setup(t)
+	p := Attach(m)
+	m.LoadWord(src)
+	if p.AttributionEnabled() {
+		t.Fatal("attribution on without EnableAttribution")
+	}
+	if rows := p.Attribution(); len(rows) != 0 {
+		t.Fatalf("disabled attribution has rows: %+v", rows)
+	}
+	// Site-level profiling is unaffected either way.
+	if p.Total() != 1 {
+		t.Fatalf("total = %d", p.Total())
+	}
+}
+
+func TestAttributionBySiteAndObject(t *testing.T) {
+	m, src, _ := setup(t)
+	p := Attach(m)
+	p.EnableAttribution()
+
+	hot := m.Site("hot.loop")
+	cold := m.Site("cold.path")
+	m.SetSite(hot)
+	for i := 0; i < 5; i++ {
+		m.LoadWord(src)
+	}
+	m.SetSite(cold)
+	m.StoreWord(src+8, 9) // same block, different site
+
+	rows := p.Attribution()
+	if len(rows) != 2 {
+		t.Fatalf("cells = %d, want 2 (two sites, one object)", len(rows))
+	}
+	// Hottest first; both keyed by the trapped word (no heat map, so
+	// the fallback key is the word-aligned initial address).
+	if rows[0].SiteName != "hot.loop" || rows[0].Loads != 5 || rows[0].Base != uint64(src) {
+		t.Fatalf("hot cell wrong: %+v", rows[0])
+	}
+	if rows[1].SiteName != "cold.path" || rows[1].Stores != 1 || rows[1].Base != uint64(src+8) {
+		t.Fatalf("cold cell wrong: %+v", rows[1])
+	}
+	if rows[0].MaxHops < 1 || rows[0].Hops < 5 {
+		t.Fatalf("hop accounting wrong: %+v", rows[0])
+	}
+}
+
+// TestAttributionUsesHeatMapIdentity: with a heat map attached, interior
+// pointers of the same allocation collapse onto the block base — object
+// identity, not word identity.
+func TestAttributionUsesHeatMapIdentity(t *testing.T) {
+	m := sim.New(sim.Config{})
+	h := obs.NewHeatMap(64, 0)
+	m.SetHeatMap(h)
+	src := m.Malloc(16)
+	tgt := m.Malloc(16)
+	m.StoreWord(src, 5)
+	opt.Relocate(m, src, tgt, 2)
+	p := Attach(m)
+	p.EnableAttribution()
+
+	m.LoadWord(src)
+	m.StoreWord(src+8, 7) // interior word, same block
+
+	rows := p.Attribution()
+	if len(rows) != 1 {
+		t.Fatalf("cells = %d, want 1 (one site, one block)", len(rows))
+	}
+	if rows[0].Base != uint64(src) || rows[0].Loads != 1 || rows[0].Stores != 1 {
+		t.Fatalf("block identity not used: %+v", rows[0])
+	}
+}
+
+func TestAttributionBounded(t *testing.T) {
+	m, src, _ := setup(t)
+	p := Attach(m)
+	p.EnableAttribution()
+	p.MaxAttrs = 2
+	// Three distinct sites on the same word: the third cell overflows.
+	for _, name := range []string{"s1", "s2", "s3"} {
+		m.SetSite(m.Site(name))
+		m.LoadWord(src)
+	}
+	if len(p.Attribution()) != 2 {
+		t.Fatalf("cells = %d, want 2 (bounded)", len(p.Attribution()))
+	}
+	if p.AttrOverflow != 1 {
+		t.Fatalf("AttrOverflow = %d, want 1", p.AttrOverflow)
+	}
+	// Existing cells keep counting past the bound.
+	m.SetSite(m.Site("s1"))
+	m.LoadWord(src)
+	rows := p.Attribution()
+	if rows[0].Loads != 2 {
+		t.Fatalf("existing cell stopped counting: %+v", rows[0])
+	}
+}
+
+func TestAttributionDumps(t *testing.T) {
+	m, src, _ := setup(t)
+	p := Attach(m)
+	p.EnableAttribution()
+	m.SetSite(m.Site("walker"))
+	m.LoadWord(src)
+
+	tab := p.AttributionTable().String()
+	for _, want := range []string{"walker", "0x", "site", "object"} {
+		if !strings.Contains(tab, want) {
+			t.Fatalf("table missing %q:\n%s", want, tab)
+		}
+	}
+
+	var cbuf bytes.Buffer
+	if err := p.WriteAttributionCSV(&cbuf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&cbuf).ReadAll()
+	if err != nil {
+		t.Fatalf("attribution CSV does not parse: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("CSV records = %d, want header + 1 row", len(recs))
+	}
+
+	var jbuf bytes.Buffer
+	if err := p.WriteAttributionJSON(&jbuf); err != nil {
+		t.Fatal(err)
+	}
+	var rows []struct {
+		Site  string `json:"site"`
+		Base  uint64 `json:"base"`
+		Loads uint64 `json:"loads"`
+	}
+	if err := json.Unmarshal(jbuf.Bytes(), &rows); err != nil {
+		t.Fatalf("attribution JSON invalid: %v\n%s", err, jbuf.String())
+	}
+	if len(rows) != 1 || rows[0].Site != "walker" || rows[0].Base != uint64(src) || rows[0].Loads != 1 {
+		t.Fatalf("JSON rows wrong: %+v", rows)
+	}
+}
+
+func TestAttributionMetrics(t *testing.T) {
+	m, src, _ := setup(t)
+	p := Attach(m)
+	p.EnableAttribution()
+	m.LoadWord(src)
+	r := obs.NewRegistry()
+	p.RegisterMetrics(r)
+	vals := map[string]float64{}
+	for _, mv := range r.Snapshot() {
+		vals[mv.Name] = mv.Value
+	}
+	if vals["fprof.attr.cells"] != 1 || vals["fprof.attr.overflow"] != 0 {
+		t.Fatalf("attr metrics wrong: %v", vals)
+	}
+}

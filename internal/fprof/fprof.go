@@ -36,9 +36,14 @@ type SiteProfile struct {
 type Profiler struct {
 	m     *sim.Machine
 	sites map[int]*SiteProfile
+	attr  map[AttrKey]*AttrProfile // nil until EnableAttribution
 
 	// MaxInitials bounds per-site address tracking (0 = 256).
 	MaxInitials int
+	// MaxAttrs bounds the site × object table (0 = DefaultMaxAttrs).
+	MaxAttrs int
+	// AttrOverflow counts traps dropped from attribution at the bound.
+	AttrOverflow uint64
 }
 
 // Attach installs the profiler on m (replacing any trap handler).
@@ -72,6 +77,9 @@ func (p *Profiler) record(ev core.Event) {
 	if len(sp.Initials) < limit || sp.Initials[ev.Initial] > 0 {
 		sp.Initials[ev.Initial]++
 	}
+	if p.attr != nil {
+		p.recordAttr(ev)
+	}
 }
 
 // Sites returns the collected profiles, hottest first.
@@ -99,6 +107,8 @@ func (p *Profiler) RegisterMetrics(r *obs.Registry) {
 		}
 		return float64(max)
 	})
+	r.GaugeFunc("fprof.attr.cells", func() float64 { return float64(len(p.attr)) })
+	r.GaugeFunc("fprof.attr.overflow", func() float64 { return float64(p.AttrOverflow) })
 }
 
 // Total returns the total number of trapped references.

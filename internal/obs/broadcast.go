@@ -1,0 +1,140 @@
+package obs
+
+import "sync"
+
+// Broadcaster is a Sink that fans event batches out to any number of
+// dynamically attached subscribers over bounded channels. Slow or stuck
+// subscribers never stall the producer: when a subscriber's queue is
+// full the batch is dropped for that subscriber and its drop counter
+// advances. This is the non-interference guarantee the live HTTP
+// telemetry plane relies on — a wedged client costs the simulation one
+// failed non-blocking send per flush, nothing more.
+//
+// Unlike most obs types, a Broadcaster IS safe for concurrent use: the
+// producer (machine goroutine, via a Tracer) and subscribers (HTTP
+// handler goroutines) are different goroutines by design.
+type Broadcaster struct {
+	mu     sync.Mutex
+	subs   map[*Subscriber]struct{}
+	closed bool
+
+	events  uint64 // events accepted from the producer
+	dropped uint64 // events not delivered to some subscriber
+}
+
+// Subscriber receives event batches from a Broadcaster. Read from C
+// until it closes; each received slice is owned by the subscriber.
+type Subscriber struct {
+	C chan []Event
+
+	b       *Broadcaster
+	dropped uint64 // guarded by b.mu
+}
+
+// NewBroadcaster returns an empty hub.
+func NewBroadcaster() *Broadcaster {
+	return &Broadcaster{subs: make(map[*Subscriber]struct{})}
+}
+
+// Subscribe attaches a new subscriber with a queue of buf batches
+// (buf <= 0 takes 16). On a closed broadcaster the returned
+// subscriber's channel is already closed.
+func (b *Broadcaster) Subscribe(buf int) *Subscriber {
+	if buf <= 0 {
+		buf = 16
+	}
+	s := &Subscriber{C: make(chan []Event, buf), b: b}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		close(s.C)
+		return s
+	}
+	b.subs[s] = struct{}{}
+	return s
+}
+
+// Unsubscribe detaches the subscriber and closes its channel. Safe to
+// call more than once.
+func (s *Subscriber) Unsubscribe() {
+	b := s.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.subs[s]; !ok {
+		return
+	}
+	delete(b.subs, s)
+	close(s.C)
+}
+
+// Dropped returns how many events were dropped for this subscriber
+// because its queue was full.
+func (s *Subscriber) Dropped() uint64 {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	return s.dropped
+}
+
+// WriteEvents implements Sink. The batch is copied once — the Tracer
+// zeroes its ring after flushing, so retained slices must not alias it
+// — then delivered to each subscriber with a non-blocking send.
+func (b *Broadcaster) WriteEvents(events []Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	b.events += uint64(len(events))
+	if len(b.subs) == 0 {
+		return nil
+	}
+	batch := make([]Event, len(events))
+	copy(batch, events)
+	for s := range b.subs {
+		select {
+		case s.C <- batch:
+		default:
+			s.dropped += uint64(len(batch))
+			b.dropped += uint64(len(batch))
+		}
+	}
+	return nil
+}
+
+// Close implements Sink: it detaches and closes every subscriber and
+// rejects future ones. Safe to call more than once.
+func (b *Broadcaster) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	for s := range b.subs {
+		delete(b.subs, s)
+		close(s.C)
+	}
+	return nil
+}
+
+// Stats returns the producer-side accounting: total events accepted,
+// total subscriber-side drops, and current subscriber count.
+func (b *Broadcaster) Stats() (events, dropped uint64, subscribers int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.events, b.dropped, len(b.subs)
+}
+
+// noClose wraps a Sink, forwarding writes but swallowing Close. Use it
+// to hand one shared sink (typically a Broadcaster) to several
+// short-lived tracers whose Close must not tear the shared sink down.
+type noClose struct{ s Sink }
+
+func (n noClose) WriteEvents(events []Event) error { return n.s.WriteEvents(events) }
+func (n noClose) Close() error                     { return nil }
+
+// NoClose returns sink with Close turned into a no-op.
+func NoClose(s Sink) Sink { return noClose{s: s} }

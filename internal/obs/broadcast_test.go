@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBroadcasterDeliversToAllSubscribers(t *testing.T) {
+	b := NewBroadcaster()
+	s1 := b.Subscribe(4)
+	s2 := b.Subscribe(4)
+	if err := b.WriteEvents([]Event{{Kind: KAlloc, Addr: 0x10}, {Kind: KFree, Addr: 0x10}}); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range []*Subscriber{s1, s2} {
+		batch := <-s.C
+		if len(batch) != 2 || batch[0].Kind != KAlloc || batch[1].Kind != KFree {
+			t.Fatalf("subscriber %d got %+v", i, batch)
+		}
+	}
+	if ev, dr, subs := b.Stats(); ev != 2 || dr != 0 || subs != 2 {
+		t.Fatalf("Stats = %d/%d/%d, want 2/0/2", ev, dr, subs)
+	}
+}
+
+// TestBroadcasterBatchSurvivesTracerReuse: the tracer zeroes its buffer
+// after flushing, so the broadcaster must have copied the batch.
+func TestBroadcasterBatchSurvivesTracerReuse(t *testing.T) {
+	b := NewBroadcaster()
+	s := b.Subscribe(4)
+	tr := NewTracer(NoClose(b), 2)
+	tr.Emit(Event{Cycle: 1, Kind: KAlloc})
+	tr.Emit(Event{Cycle: 2, Kind: KAlloc}) // fills buffer: flush + zero
+	tr.Emit(Event{Cycle: 3, Kind: KTrap})  // overwrites the tracer buffer
+	batch := <-s.C
+	if len(batch) != 2 || batch[0].Cycle != 1 || batch[1].Cycle != 2 {
+		t.Fatalf("batch aliases the zeroed tracer buffer: %+v", batch)
+	}
+}
+
+func TestBroadcasterDropsWhenSubscriberFull(t *testing.T) {
+	b := NewBroadcaster()
+	slow := b.Subscribe(1)
+	fast := b.Subscribe(8)
+	for i := 0; i < 4; i++ {
+		if err := b.WriteEvents([]Event{{Cycle: int64(i), Kind: KTrap}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// slow's queue held 1 batch; 3 batches of 1 event were dropped.
+	if d := slow.Dropped(); d != 3 {
+		t.Fatalf("slow.Dropped = %d, want 3", d)
+	}
+	if d := fast.Dropped(); d != 0 {
+		t.Fatalf("fast.Dropped = %d, want 0", d)
+	}
+	if ev, dr, _ := b.Stats(); ev != 4 || dr != 3 {
+		t.Fatalf("Stats = %d events / %d dropped, want 4/3", ev, dr)
+	}
+	// The producer never blocked and the retained batch is the oldest.
+	if batch := <-slow.C; batch[0].Cycle != 0 {
+		t.Fatalf("retained batch wrong: %+v", batch)
+	}
+}
+
+func TestBroadcasterUnsubscribeIdempotent(t *testing.T) {
+	b := NewBroadcaster()
+	s := b.Subscribe(0)
+	s.Unsubscribe()
+	s.Unsubscribe() // second call must not double-close
+	if _, ok := <-s.C; ok {
+		t.Fatal("channel should be closed after Unsubscribe")
+	}
+	if _, _, subs := b.Stats(); subs != 0 {
+		t.Fatalf("subscriber still attached: %d", subs)
+	}
+	// Writes after unsubscribe go nowhere but still count.
+	if err := b.WriteEvents([]Event{{Kind: KAlloc}}); err != nil {
+		t.Fatal(err)
+	}
+	if ev, dr, _ := b.Stats(); ev != 1 || dr != 0 {
+		t.Fatalf("Stats = %d/%d, want 1/0", ev, dr)
+	}
+}
+
+func TestBroadcasterCloseIdempotentAndFinal(t *testing.T) {
+	b := NewBroadcaster()
+	s := b.Subscribe(4)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-s.C; ok {
+		t.Fatal("Close should close subscriber channels")
+	}
+	// Late subscribe gets an already-closed channel; late writes no-op.
+	late := b.Subscribe(4)
+	if _, ok := <-late.C; ok {
+		t.Fatal("subscribe on closed hub should return a closed channel")
+	}
+	if err := b.WriteEvents([]Event{{Kind: KAlloc}}); err != nil {
+		t.Fatal(err)
+	}
+	if ev, _, _ := b.Stats(); ev != 0 {
+		t.Fatalf("closed hub accepted events: %d", ev)
+	}
+	late.Unsubscribe() // must not panic on a never-attached subscriber
+}
+
+func TestNoCloseShieldsSharedSink(t *testing.T) {
+	b := NewBroadcaster()
+	s := b.Subscribe(4)
+	tr := NewTracer(NoClose(b), 0)
+	tr.Emit(Event{Kind: KRelocate})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The tracer's Close flushed but did NOT close the hub.
+	if batch := <-s.C; batch[0].Kind != KRelocate {
+		t.Fatalf("flush-on-close lost: %+v", batch)
+	}
+	if err := b.WriteEvents([]Event{{Kind: KTrap}}); err != nil {
+		t.Fatal(err)
+	}
+	if batch := <-s.C; batch[0].Kind != KTrap {
+		t.Fatal("hub should still be open after wrapped Close")
+	}
+}
+
+// TestBroadcasterConcurrency exercises the producer / subscriber /
+// lifecycle paths concurrently; run with -race this is the regression
+// net for the /events hub.
+func TestBroadcasterConcurrency(t *testing.T) {
+	b := NewBroadcaster()
+	const producers, churners = 4, 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				_ = b.WriteEvents([]Event{{Cycle: int64(i), Kind: KTrap, Addr: uint64(p)}})
+			}
+		}(p)
+	}
+	for c := 0; c < churners; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s := b.Subscribe(2)
+				// Drain a little, then detach; leftover batches are
+				// garbage-collected with the channel.
+				select {
+				case <-s.C:
+				default:
+				}
+				_ = s.Dropped()
+				s.Unsubscribe()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	_ = stop
+	ev, _, subs := b.Stats()
+	if ev != producers*500 {
+		t.Fatalf("accepted %d events, want %d", ev, producers*500)
+	}
+	if subs != 0 {
+		t.Fatalf("%d subscribers leaked", subs)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

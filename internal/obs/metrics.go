@@ -98,12 +98,29 @@ type Histogram struct {
 	counts []uint64  // len(bounds)+1, last is the +inf bucket
 	sum    float64
 	n      uint64
+	max    float64
+}
+
+// NewHistogram builds an unregistered histogram with the given
+// ascending bucket upper bounds. Attach it to a registry with
+// AttachHistogram, or keep it private (the relocation span table keeps
+// its phase histograms either way).
+func NewHistogram(bounds ...float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds not ascending")
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
 }
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
 	h.n++
 	h.sum += v
+	if h.n == 1 || v > h.max {
+		h.max = v
+	}
 	for i, b := range h.bounds {
 		if v <= b {
 			h.counts[i]++
@@ -119,16 +136,50 @@ func (h *Histogram) Count() uint64 { return h.n }
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return h.sum }
 
-// Histogram registers and returns a histogram with the given ascending
-// bucket upper bounds. It expands in snapshots to name.count, name.sum,
-// and cumulative name.le* entries.
-func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
-	for i := 1; i < len(bounds); i++ {
-		if bounds[i] <= bounds[i-1] {
-			panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
-		}
+// Max returns the largest observed value (0 before any observation).
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear
+// interpolation within the bucket containing the target rank; values in
+// the overflow bucket are reported as the exact observed maximum. With
+// no observations it returns 0. The estimate is exact at q=1 and never
+// exceeds Max.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
 	}
-	h := &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.n)
+	var cum uint64
+	lower := 0.0
+	for i, b := range h.bounds {
+		c := h.counts[i]
+		if float64(cum+c) >= target && c > 0 {
+			frac := (target - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			v := lower + (b-lower)*frac
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		cum += c
+		lower = b
+	}
+	return h.max
+}
+
+// AttachHistogram registers an existing histogram under name; it
+// expands in snapshots to name.count, name.sum, and cumulative name.le*
+// entries.
+func (r *Registry) AttachHistogram(name string, h *Histogram) {
 	r.register(name, func(emit func(string, float64)) {
 		emit(name+".count", float64(h.n))
 		emit(name+".sum", h.sum)
@@ -138,6 +189,14 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 			emit(fmt.Sprintf("%s.le%g", name, b), float64(cum))
 		}
 	})
+}
+
+// Histogram registers and returns a histogram with the given ascending
+// bucket upper bounds. It expands in snapshots to name.count, name.sum,
+// and cumulative name.le* entries.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	h := NewHistogram(bounds...)
+	r.AttachHistogram(name, h)
 	return h
 }
 

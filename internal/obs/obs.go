@@ -34,6 +34,8 @@ const (
 	KDepViolation
 	KPhaseBegin
 	KPhaseEnd
+	KSpanBegin
+	KSpanEnd
 	nKinds
 )
 
@@ -60,6 +62,10 @@ func (k Kind) String() string {
 		return "phaseBegin"
 	case KPhaseEnd:
 		return "phaseEnd"
+	case KSpanBegin:
+		return "spanBegin"
+	case KSpanEnd:
+		return "spanEnd"
 	default:
 		return "unknown"
 	}
@@ -79,6 +85,8 @@ func (k Kind) String() string {
 //	KDepViolation Addr=initial, Addr2=final of the violating load
 //	KPhaseBegin   Label=phase name
 //	KPhaseEnd     Label=phase name
+//	KSpanBegin    Label=span name, Addr/Addr2/N per span (duration open)
+//	KSpanEnd      Label=span name (duration close, LIFO-nested with Begin)
 type Event struct {
 	Cycle int64
 	Kind  Kind

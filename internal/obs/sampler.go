@@ -36,14 +36,43 @@ type Sample struct {
 	HeapLiveBytes uint64
 }
 
+// IPC returns the interval's instructions per cycle, 0 for a
+// zero-width interval (two snapshots at the same cycle), matching the
+// figures-layer zero-denominator policy: report 0, never NaN/Inf.
+func (sm Sample) IPC() float64 {
+	if sm.DCycles <= 0 {
+		return 0
+	}
+	return float64(sm.DInstructions) / float64(sm.DCycles)
+}
+
+// CPI returns the interval's cycles per instruction, 0 for a
+// zero-width interval.
+func (sm Sample) CPI() float64 {
+	if sm.DInstructions == 0 {
+		return 0
+	}
+	return float64(sm.DCycles) / float64(sm.DInstructions)
+}
+
 // Series is an ordered time-series of samples.
 type Series struct {
 	Every   uint64 // nominal sampling period in instructions
 	Samples []Sample
+
+	// OnAdd, when set, observes each sample as it lands. The live
+	// telemetry plane uses this to publish fresh snapshots at sampler
+	// cadence without adding another hook to the machine hot path.
+	OnAdd func(Sample) `json:"-"`
 }
 
 // Add appends one sample.
-func (s *Series) Add(sm Sample) { s.Samples = append(s.Samples, sm) }
+func (s *Series) Add(sm Sample) {
+	s.Samples = append(s.Samples, sm)
+	if s.OnAdd != nil {
+		s.OnAdd(sm)
+	}
+}
 
 // Len returns the number of samples.
 func (s *Series) Len() int { return len(s.Samples) }

@@ -32,6 +32,62 @@ func TestSeriesTable(t *testing.T) {
 	}
 }
 
+// TestSampleZeroWidthIntervals: two snapshots at the same position must
+// yield 0 rates, never NaN or Inf — the JSON layer would reject them
+// and a live /samples consumer would choke.
+func TestSampleZeroWidthIntervals(t *testing.T) {
+	zero := Sample{Phase: "sim", Instructions: 500, Cycles: 700}
+	if got := zero.IPC(); got != 0 {
+		t.Fatalf("zero-width IPC = %v, want 0", got)
+	}
+	if got := zero.CPI(); got != 0 {
+		t.Fatalf("zero-width CPI = %v, want 0", got)
+	}
+	// Half-degenerate intervals: one delta zero, the other not.
+	instOnly := Sample{DInstructions: 100}
+	if got := instOnly.IPC(); got != 0 {
+		t.Fatalf("DCycles==0 IPC = %v, want 0 (not +Inf)", got)
+	}
+	if got := instOnly.CPI(); got != 0 {
+		t.Fatalf("DInstructions>0, DCycles==0 CPI = %v, want 0", got)
+	}
+	cycOnly := Sample{DCycles: 100}
+	if got := cycOnly.CPI(); got != 0 {
+		t.Fatalf("DInstructions==0 CPI = %v, want 0 (not +Inf)", got)
+	}
+	if got := cycOnly.IPC(); got != 0 {
+		t.Fatalf("DInstructions==0, DCycles>0 IPC = %v, want 0", got)
+	}
+	// Negative DCycles cannot happen in a monotone pipeline but must
+	// still not divide.
+	if got := (Sample{DInstructions: 10, DCycles: -5}).IPC(); got != 0 {
+		t.Fatalf("negative-width IPC = %v, want 0", got)
+	}
+	// The normal case still computes.
+	s := Sample{DInstructions: 1000, DCycles: 2000}
+	if got := s.IPC(); got != 0.5 {
+		t.Fatalf("IPC = %v, want 0.5", got)
+	}
+	if got := s.CPI(); got != 2 {
+		t.Fatalf("CPI = %v, want 2", got)
+	}
+}
+
+func TestSeriesOnAddHook(t *testing.T) {
+	var seen []Sample
+	s := &Series{Every: 100}
+	s.OnAdd = func(sm Sample) { seen = append(seen, sm) }
+	s.Add(Sample{Instructions: 100})
+	s.Add(Sample{Instructions: 200})
+	if len(seen) != 2 || seen[1].Instructions != 200 {
+		t.Fatalf("OnAdd observed %+v", seen)
+	}
+	// The hook sees the sample after it landed in the series.
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+}
+
 func TestSeriesWriteCSV(t *testing.T) {
 	var buf bytes.Buffer
 	if err := sampleSeries().WriteCSV(&buf); err != nil {

@@ -133,6 +133,23 @@ func (s *PerfettoSink) WriteEvents(evs []Event) error {
 			pe = perfettoEvent{Name: ev.Label, Phase: "B", Ts: ev.Cycle}
 		case KPhaseEnd:
 			pe = perfettoEvent{Name: ev.Label, Phase: "E", Ts: ev.Cycle}
+		case KSpanBegin:
+			pe = perfettoEvent{Name: ev.Label, Phase: "B", Ts: ev.Cycle}
+			args := make(map[string]any, 3)
+			if ev.Addr != 0 {
+				args["src"] = hexAddr(ev.Addr)
+			}
+			if ev.Addr2 != 0 {
+				args["tgt"] = hexAddr(ev.Addr2)
+			}
+			if ev.N != 0 {
+				args["words"] = ev.N
+			}
+			if len(args) > 0 {
+				pe.Args = args
+			}
+		case KSpanEnd:
+			pe = perfettoEvent{Name: ev.Label, Phase: "E", Ts: ev.Cycle}
 		default:
 			args := make(map[string]any, 4)
 			if ev.Addr != 0 {

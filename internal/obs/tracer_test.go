@@ -47,6 +47,38 @@ func TestRingRetainsMostRecent(t *testing.T) {
 	}
 }
 
+// TestRingWraparoundOrdering pins the read-back order across the whole
+// wraparound spectrum: below capacity, exactly at capacity, one past,
+// and after multiple full revolutions the window must always be the
+// most recent len(buf) events in emission order.
+func TestRingWraparoundOrdering(t *testing.T) {
+	const cap = 4
+	for _, total := range []int{0, 3, cap, cap + 1, 2 * cap, 2*cap + 3, 10 * cap} {
+		tr := NewRing(cap)
+		for i := 0; i < total; i++ {
+			tr.Emit(Event{Cycle: int64(i), Kind: KAlloc, Addr: uint64(i)})
+		}
+		evs := tr.Events()
+		wantLen := total
+		if wantLen > cap {
+			wantLen = cap
+		}
+		if len(evs) != wantLen {
+			t.Fatalf("total=%d: kept %d events, want %d", total, len(evs), wantLen)
+		}
+		first := total - wantLen
+		for i, ev := range evs {
+			if want := int64(first + i); ev.Cycle != want || ev.Addr != uint64(want) {
+				t.Fatalf("total=%d: evs[%d].Cycle = %d, want %d (window must be ordered)",
+					total, i, ev.Cycle, want)
+			}
+		}
+		if tr.Emitted() != uint64(total) {
+			t.Fatalf("total=%d: Emitted = %d", total, tr.Emitted())
+		}
+	}
+}
+
 func TestSinkFlushOnFullAndClose(t *testing.T) {
 	sink := &MemorySink{}
 	tr := NewTracer(sink, 3)

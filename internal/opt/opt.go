@@ -21,6 +21,7 @@ import (
 	"memfwd/internal/apps/app"
 	"memfwd/internal/fault"
 	"memfwd/internal/mem"
+	"memfwd/internal/obs"
 )
 
 // ErrTorn is wrapped by TryRelocate when its verification phases find
@@ -80,6 +81,7 @@ func TryRelocate(m app.Machine, src, tgt mem.Addr, nWords int) error {
 		j = &inj.Journal
 	}
 	fwd := m.Forwarder()
+	rec := beginSpan(m, fwd, inj, src, tgt, nWords)
 
 	j.Begin(src, tgt, nWords)
 	inj.Step(fault.RelocateBegin)
@@ -104,12 +106,16 @@ func TryRelocate(m app.Machine, src, tgt mem.Addr, nWords int) error {
 				checked = true
 				if _, _, err := fwd.Resolve(src+mem.Addr(i*mem.WordSize), nil); err != nil {
 					restore()
-					return fmt.Errorf("opt: relocating %#x word %d: %w", src, i, err)
+					err = fmt.Errorf("opt: relocating %#x word %d: %w", src, i, err)
+					rec.finish(fwd, src, obs.RelocAborted, err)
+					return err
 				}
 			}
 			if hops > fwd.ChainCap {
 				restore()
-				return fmt.Errorf("opt: relocating %#x word %d: chain exceeds cap %d", src, i, fwd.ChainCap)
+				err := fmt.Errorf("opt: relocating %#x word %d: chain exceeds cap %d", src, i, fwd.ChainCap)
+				rec.finish(fwd, src, obs.RelocAborted, err)
+				return err
 			}
 			s = mem.WordAlign(mem.Addr(v))
 			v, fbit = m.UnforwardedRead(s)
@@ -120,6 +126,7 @@ func TryRelocate(m app.Machine, src, tgt mem.Addr, nWords int) error {
 		inj.Step(fault.RelocateCopied)
 	}
 	restore()
+	rec.copyDone()
 
 	// Copy verification, only under fault injection: re-read every copy
 	// against its still-authoritative chain end, so a corrupted copy is
@@ -130,10 +137,13 @@ func TryRelocate(m app.Machine, src, tgt mem.Addr, nWords int) error {
 			dv, dfb := m.UnforwardedRead(d)
 			ev, _ := m.UnforwardedRead(e)
 			if dfb || dv != ev {
-				return fmt.Errorf("%w: copy of word %d (%#x -> %#x)", ErrTorn, i, e, d)
+				err := fmt.Errorf("%w: copy of word %d (%#x -> %#x)", ErrTorn, i, e, d)
+				rec.finish(fwd, src, obs.RelocTorn, err)
+				return err
 			}
 		}
 		inj.Step(fault.RelocateVerify)
+		rec.verifyDone()
 	}
 
 	// Phase 2: plant the forwarding words, each one atomic.
@@ -148,16 +158,20 @@ func TryRelocate(m app.Machine, src, tgt mem.Addr, nWords int) error {
 			ev, efb := m.UnforwardedRead(e)
 			if !efb || mem.Addr(ev) != d {
 				restore()
-				return fmt.Errorf("%w: plant of word %d at %#x", ErrTorn, i, e)
+				err := fmt.Errorf("%w: plant of word %d at %#x", ErrTorn, i, e)
+				rec.finish(fwd, src, obs.RelocTorn, err)
+				return err
 			}
 		}
 		inj.Step(fault.RelocatePlant)
 	}
 	restore()
+	rec.plantDone()
 
 	inj.Step(fault.RelocateEnd)
 	j.Commit()
 	m.TraceRelocate(src, tgt, nWords)
+	rec.finish(fwd, src, obs.RelocCommitted, nil)
 	return nil
 }
 

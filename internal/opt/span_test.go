@@ -1,0 +1,220 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"memfwd/internal/fault"
+	"memfwd/internal/mem"
+	"memfwd/internal/obs"
+	"memfwd/internal/quickseed"
+	"memfwd/internal/sim"
+)
+
+func TestTryRelocateRecordsCommittedSpan(t *testing.T) {
+	m := sim.New(sim.Config{LineSize: 128})
+	st := obs.NewSpanTable(8)
+	m.SetSpans(st)
+	base := m.Malloc(3 * mem.WordSize)
+	for i := 0; i < 3; i++ {
+		m.StoreWord(base+mem.Addr(i*8), uint64(200+i))
+	}
+	tgt := outOfHeap(m, 3)
+	if err := TryRelocate(m, base, tgt, 3); err != nil {
+		t.Fatal(err)
+	}
+	spans := st.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("recorded %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Outcome != obs.RelocCommitted || s.Err != "" {
+		t.Fatalf("outcome %q err %q, want committed", s.Outcome, s.Err)
+	}
+	if s.Src != uint64(base) || s.Tgt != uint64(tgt) || s.Words != 3 {
+		t.Fatalf("identity wrong: %+v", s)
+	}
+	if s.ChainBefore != 0 || s.ChainAfter != 1 {
+		t.Fatalf("chain %d -> %d, want 0 -> 1 (one forwarding hop planted)", s.ChainBefore, s.ChainAfter)
+	}
+	// On the cycle-accurate machine copy and plant completed with
+	// non-negative costs; copy verification only exists under fault
+	// injection, so with no injector it reports -1 (never ran).
+	if s.CopyCycles < 0 || s.PlantCycles < 0 {
+		t.Fatalf("completed phases report -1: %+v", s)
+	}
+	if s.VerifyCycles != -1 {
+		t.Fatalf("VerifyCycles = %d, want -1 with no injector", s.VerifyCycles)
+	}
+	if s.TotalCycles <= 0 {
+		t.Fatalf("TotalCycles = %d, want > 0", s.TotalCycles)
+	}
+	if sum := s.CopyCycles + s.VerifyCycles + s.PlantCycles; sum > s.TotalCycles {
+		t.Fatalf("phase sum %d exceeds total %d", sum, s.TotalCycles)
+	}
+	if len(s.Faults) != 0 {
+		t.Fatalf("no injector armed but span carries faults: %v", s.Faults)
+	}
+}
+
+// TestTryRelocateVerifyPhaseUnderInjector: with an (inert) injector
+// installed the copy-verification pass runs, so committed spans carry a
+// real verify-phase cost instead of -1.
+func TestTryRelocateVerifyPhaseUnderInjector(t *testing.T) {
+	m := sim.New(sim.Config{LineSize: 128})
+	st := obs.NewSpanTable(8)
+	m.SetSpans(st)
+	m.SetFaultInjector(fault.New(quickseed.Seed(t))) // armed with nothing
+	base := m.Malloc(2 * mem.WordSize)
+	m.StoreWord(base, 1)
+	m.StoreWord(base+8, 2)
+	if err := TryRelocate(m, base, outOfHeap(m, 2), 2); err != nil {
+		t.Fatal(err)
+	}
+	s := st.Spans()[0]
+	if s.Outcome != obs.RelocCommitted {
+		t.Fatalf("outcome %q, want committed", s.Outcome)
+	}
+	if s.VerifyCycles < 0 {
+		t.Fatalf("verify ran but reports %d", s.VerifyCycles)
+	}
+	if len(s.Faults) != 0 {
+		t.Fatalf("inert injector produced shots: %v", s.Faults)
+	}
+}
+
+// TestTryRelocateSpanChainGrowth: re-relocating the same source grows
+// the chain; the spans must see it (ChainBefore climbing).
+func TestTryRelocateSpanChainGrowth(t *testing.T) {
+	m := sim.New(sim.Config{LineSize: 128})
+	st := obs.NewSpanTable(8)
+	m.SetSpans(st)
+	base := m.Malloc(mem.WordSize)
+	m.StoreWord(base, 7)
+	for i := 0; i < 3; i++ {
+		tgt := outOfHeap(m, 1) + mem.Addr(0x1000*i)
+		if err := TryRelocate(m, base, tgt, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spans := st.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(spans))
+	}
+	for i, s := range spans {
+		if s.ChainBefore != i || s.ChainAfter != i+1 {
+			t.Fatalf("span %d chain %d -> %d, want %d -> %d",
+				i, s.ChainBefore, s.ChainAfter, i, i+1)
+		}
+	}
+}
+
+func TestTryRelocateAbortedSpanOnCycle(t *testing.T) {
+	m := sim.New(sim.Config{LineSize: 128})
+	st := obs.NewSpanTable(8)
+	m.SetSpans(st)
+	base := m.Malloc(2 * mem.WordSize)
+	m.UnforwardedWrite(base, uint64(base), true) // self-loop
+	if err := TryRelocate(m, base, outOfHeap(m, 1), 1); err == nil {
+		t.Fatal("cyclic chain accepted")
+	}
+	spans := st.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("recorded %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Outcome != obs.RelocAborted {
+		t.Fatalf("outcome %q, want aborted", s.Outcome)
+	}
+	if s.Err == "" {
+		t.Fatal("aborted span carries no reason")
+	}
+	if s.ChainAfter != -1 {
+		t.Fatalf("ChainAfter = %d, want -1 (nothing committed)", s.ChainAfter)
+	}
+	// The walk failed before any phase completed.
+	if s.CopyCycles != -1 || s.VerifyCycles != -1 || s.PlantCycles != -1 {
+		t.Fatalf("unreached phases not -1: %+v", s)
+	}
+}
+
+// TestTryRelocateTornSpanCarriesFaultAnnotation: a bit-flip armed on the
+// copy writes is caught by copy verification; the span must record the
+// torn outcome, the reason, and the injector shot that caused it.
+func TestTryRelocateTornSpanCarriesFaultAnnotation(t *testing.T) {
+	m := sim.New(sim.Config{LineSize: 128})
+	st := obs.NewSpanTable(8)
+	m.SetSpans(st)
+	inj := fault.New(quickseed.Seed(t)).Arm(fault.FlipBit, fault.CopyWrite, 1)
+	m.SetFaultInjector(inj)
+	base := m.Malloc(2 * mem.WordSize)
+	m.StoreWord(base, 0xAAAA)
+	m.StoreWord(base+8, 0xBBBB)
+	err := TryRelocate(m, base, outOfHeap(m, 2), 2)
+	if err == nil {
+		t.Fatal("corrupted copy committed")
+	}
+	spans := st.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("recorded %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Outcome != obs.RelocTorn {
+		t.Fatalf("outcome %q, want torn", s.Outcome)
+	}
+	if !strings.Contains(s.Err, "torn") {
+		t.Fatalf("Err %q does not name the tear", s.Err)
+	}
+	if len(s.Faults) != 1 || !strings.Contains(s.Faults[0], "flip") {
+		t.Fatalf("span missing fault annotation: %v", s.Faults)
+	}
+	// Copy completed (the flip is silent at write time); the failure is
+	// at verify, so verify/plant never completed.
+	if s.CopyCycles < 0 {
+		t.Fatalf("copy phase should have completed: %+v", s)
+	}
+	if s.VerifyCycles != -1 || s.PlantCycles != -1 {
+		t.Fatalf("phases past the tear not -1: %+v", s)
+	}
+}
+
+// TestTryRelocateCrashRecordsNoSpan: a crash fault panics out of
+// TryRelocate, modelling process death — no span is recorded, exactly
+// as a real flight recorder would lose the in-flight record.
+func TestTryRelocateCrashRecordsNoSpan(t *testing.T) {
+	m := sim.New(sim.Config{LineSize: 128})
+	st := obs.NewSpanTable(8)
+	m.SetSpans(st)
+	inj := fault.New(quickseed.Seed(t)).Arm(fault.Crash, fault.RelocateVerify, 1)
+	m.SetFaultInjector(inj)
+	base := m.Malloc(mem.WordSize)
+	m.StoreWord(base, 1)
+	func() {
+		defer func() {
+			if _, ok := fault.AsCrash(recover()); !ok {
+				t.Fatal("expected crash panic")
+			}
+		}()
+		_ = TryRelocate(m, base, outOfHeap(m, 1), 1)
+	}()
+	if st.Count() != 0 {
+		t.Fatalf("crashed relocation recorded %d spans, want 0", st.Count())
+	}
+}
+
+// TestTryRelocateWithoutTableRecordsNothing pins the disabled path: no
+// table attached means no spans anywhere, and relocation still works.
+func TestTryRelocateWithoutTableRecordsNothing(t *testing.T) {
+	m := sim.New(sim.Config{LineSize: 128})
+	base := m.Malloc(mem.WordSize)
+	m.StoreWord(base, 5)
+	if err := TryRelocate(m, base, outOfHeap(m, 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.RelocationSpans() != nil {
+		t.Fatal("machine grew a span table out of nowhere")
+	}
+	if got := m.LoadWord(base); got != 5 {
+		t.Fatalf("value = %d, want 5", got)
+	}
+}

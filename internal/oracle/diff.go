@@ -5,6 +5,7 @@ import (
 
 	"memfwd/internal/apps/app"
 	"memfwd/internal/fault"
+	"memfwd/internal/obs"
 	"memfwd/internal/sim"
 )
 
@@ -78,6 +79,12 @@ type ChaosConfig struct {
 	// FaultKinds restricts the injected kinds when Faults is set
 	// (nil = all kinds).
 	FaultKinds []fault.Kind
+
+	// Spans, when non-nil, is attached to the chaos-wrapped machine so
+	// every adversarial relocation — committed, aborted, or torn —
+	// lands in the caller's flight recorder. Callers may share one
+	// table across episodes to aggregate phase-cost quantiles.
+	Spans *obs.SpanTable
 }
 
 // ChaosEpisode runs app a under cfg once unperturbed on the oracle and
@@ -100,9 +107,12 @@ func ChaosEpisode(a app.App, cfg app.Config, ch ChaosConfig) (*Relocator, error)
 	var sm *sim.Machine
 	if ch.Timed {
 		sm = sim.New(ch.SimCfg)
+		sm.SetSpans(ch.Spans)
 		inner = sm
 	} else {
-		inner = New(ocfg)
+		om := New(ocfg)
+		om.SetSpans(ch.Spans)
+		inner = om
 	}
 	rel := NewRelocator(inner, ch.Seed, ch.Interval)
 	if ch.Faults {

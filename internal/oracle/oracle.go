@@ -25,6 +25,7 @@ import (
 	"memfwd/internal/core"
 	"memfwd/internal/fault"
 	"memfwd/internal/mem"
+	"memfwd/internal/obs"
 )
 
 // Config describes one oracle machine. Zero fields take the same
@@ -57,6 +58,7 @@ type Machine struct {
 
 	faultInj     *fault.Injector
 	chainScratch []mem.Addr
+	spans        *obs.SpanTable
 }
 
 var _ app.Machine = (*Machine)(nil)
@@ -283,3 +285,15 @@ func (m *Machine) PhaseEnd(name string) {}
 
 // TraceRelocate is an observability no-op.
 func (m *Machine) TraceRelocate(src, tgt mem.Addr, nWords int) {}
+
+// Now returns 0: the oracle is timing-free, so relocation spans
+// recorded here have zero-width phases but full structural content
+// (words moved, chain lengths, outcome, fault annotations).
+func (m *Machine) Now() int64 { return 0 }
+
+// SetSpans attaches a relocation-span table; opt.TryRelocate records
+// one span per relocation attempt into it. Passing nil detaches.
+func (m *Machine) SetSpans(t *obs.SpanTable) { m.spans = t }
+
+// RelocationSpans returns the attached span table (nil when disabled).
+func (m *Machine) RelocationSpans() *obs.SpanTable { return m.spans }

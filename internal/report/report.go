@@ -4,6 +4,7 @@ package report
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -118,4 +119,15 @@ func KB(n uint64) string {
 // MB formats a byte count in MB.
 func MB(n uint64) string {
 	return fmt.Sprintf("%.2fMB", float64(n)/(1024*1024))
+}
+
+// WriteJSON is the one JSON encoder every harness output goes through:
+// two-space-indented encoding of runs, stats, series, and telemetry
+// snapshots, shared by cmd/figures -json, cmd/memfwd-sim -json, and the
+// HTTP telemetry plane so their encodings can never drift apart.
+// (memfwd.WriteJSON delegates here.)
+func WriteJSON(w io.Writer, v interface{}) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"testing"
+
+	"memfwd/internal/core"
+	"memfwd/internal/obs"
+)
+
+// TestHeatMapTracksMachineAccesses wires a heat map into a live machine
+// and checks the Malloc/Free/Load/Store/trap feeds all attribute to the
+// right object.
+func TestHeatMapTracksMachineAccesses(t *testing.T) {
+	m := newM()
+	h := obs.NewHeatMap(64, 0)
+	m.SetHeatMap(h)
+
+	a := m.Malloc(24)
+	b := m.Malloc(16)
+	m.StoreWord(a, 1)
+	m.StoreWord(a+8, 2)
+	m.LoadWord(a)
+	m.LoadWord(b)
+
+	top := h.Top(2)
+	if len(top) != 2 || top[0].Base != uint64(a) {
+		t.Fatalf("Top = %+v, want %#x hottest", top, a)
+	}
+	if top[0].Stores != 2 || top[0].Loads != 1 {
+		t.Fatalf("object a counters: %+v", top[0])
+	}
+	if top[1].Base != uint64(b) || top[1].Loads != 1 {
+		t.Fatalf("object b counters: %+v", top[1])
+	}
+
+	// A forwarded access attributes to the ORIGINAL object (identity
+	// follows the initial address) and records its hop count.
+	src := m.Malloc(16)
+	tgt := m.Malloc(16)
+	m.StoreWord(src, 9)
+	relocateRaw(m, src, tgt, 2)
+	m.LoadWord(src)
+	found := false
+	for _, o := range h.Top(8) {
+		if o.Base == uint64(src) {
+			found = true
+			if o.Forwarded == 0 || o.MaxHops != 1 {
+				t.Fatalf("forwarded access not attributed: %+v", o)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("source object missing from heat map")
+	}
+
+	// Trap cost lands on the same object, measured in machine cycles.
+	m.SetTrap(func(core.Event) {})
+	m.LoadWord(src)
+	for _, o := range h.Top(8) {
+		if o.Base == uint64(src) {
+			if o.Traps != 1 || o.TrapCyc == 0 {
+				t.Fatalf("trap not attributed with cost: %+v", o)
+			}
+		}
+	}
+
+	// Free marks the object dead and stops attribution.
+	m.Free(b)
+	for _, o := range h.Top(8) {
+		if o.Base == uint64(b) && o.Live {
+			t.Fatalf("freed object still live: %+v", o)
+		}
+	}
+	before := h.Untracked()
+	m.SetTrap(nil)
+	m.LoadWord(b)
+	if h.Untracked() != before+1 {
+		t.Fatal("access to freed block still attributed")
+	}
+}
+
+// TestHeatMapDisabledZeroAlloc extends the zero-allocation acceptance
+// guards to the heat-map-disabled hot path: with no heat map attached
+// (the default) loads, stores, and forwarded accesses must stay
+// allocation-free — the nil check is the only cost.
+func TestHeatMapDisabledZeroAlloc(t *testing.T) {
+	m := newM()
+	if m.HeatMap() != nil {
+		t.Fatal("heat map attached by default")
+	}
+	a := m.Malloc(4096)
+	m.StoreWord(a, 7)
+	src := m.Malloc(16)
+	tgt := m.Malloc(16)
+	m.StoreWord(src, 9)
+	relocateRaw(m, src, tgt, 2)
+	for i := 0; i < 100; i++ {
+		m.LoadWord(a)
+		m.StoreWord(a, uint64(i))
+		m.LoadWord(src)
+		m.Inst(1)
+	}
+	var sink uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink += m.LoadWord(a)
+		m.StoreWord(a, 3)
+		sink += m.LoadWord(src) // forwarded: walks the chain, heat still nil
+	})
+	if allocs != 0 {
+		t.Fatalf("heat-disabled hot path allocated %.1f times per run, want 0", allocs)
+	}
+	_ = sink
+}
+
+// TestHeatMapDetach: SetHeatMap(nil) stops attribution mid-run.
+func TestHeatMapDetach(t *testing.T) {
+	m := newM()
+	h := obs.NewHeatMap(8, 0)
+	m.SetHeatMap(h)
+	a := m.Malloc(8)
+	m.LoadWord(a)
+	m.SetHeatMap(nil)
+	m.LoadWord(a)
+	top := h.Top(1)
+	if len(top) != 1 || top[0].Loads != 1 {
+		t.Fatalf("attribution continued after detach: %+v", top)
+	}
+}

@@ -207,6 +207,8 @@ type Machine struct {
 	sampleEvery uint64
 	sampleNext  uint64
 	samplePrev  Stats
+	heat        *obs.HeatMap
+	spans       *obs.SpanTable
 
 	stats     Stats
 	finalized bool
@@ -529,6 +531,9 @@ func (m *Machine) Load(a mem.Addr, size uint) uint64 {
 		}
 		m.fireTrap(core.Load, a, final, n)
 	}
+	if m.heat != nil {
+		m.heat.RecordAccess(uint64(a), uint64(final), false, len(hops))
+	}
 	m.maybeSample()
 	return v
 }
@@ -570,6 +575,9 @@ func (m *Machine) Store(a mem.Addr, v uint64, size uint) {
 		}
 		m.fireTrap(core.Store, a, final, nHops)
 	}
+	if m.heat != nil {
+		m.heat.RecordAccess(uint64(a), uint64(final), true, nHops)
+	}
 	m.maybeSample()
 }
 
@@ -582,11 +590,18 @@ func (m *Machine) fireTrap(kind core.Kind, initial, final mem.Addr, hops int) {
 		m.tracer.Emit(obs.Event{Cycle: m.Pipe.Now(), Kind: obs.KTrap,
 			Class: uint8(kind), Addr: uint64(initial), Addr2: uint64(final), N: uint64(hops)})
 	}
+	var t0 int64
+	if m.heat != nil {
+		t0 = m.Pipe.Now()
+	}
 	h := m.trap
 	m.trap = nil // traps do not recurse
 	m.Inst(m.cfg.TrapOverheadInst)
 	h(core.Event{Kind: kind, Site: m.curSite, Initial: initial, Final: final, Hops: hops})
 	m.trap = h
+	if m.heat != nil {
+		m.heat.RecordTrap(uint64(initial), m.Pipe.Now()-t0)
+	}
 }
 
 // Convenience accessors for common widths.
@@ -714,6 +729,7 @@ func (m *Machine) Malloc(n uint64) mem.Addr {
 		m.tracer.Emit(obs.Event{Cycle: m.Pipe.Now(), Kind: obs.KAlloc,
 			Addr: uint64(a), N: n})
 	}
+	m.heat.OnAlloc(uint64(a), n)
 	return a
 }
 
@@ -732,14 +748,17 @@ func (m *Machine) Free(a mem.Addr) {
 	for _, wa := range m.chainScratch {
 		if wa != a && m.Alloc.Freeable(wa) {
 			m.Alloc.Free(wa)
+			m.heat.OnFree(uint64(wa))
 		}
 	}
 	if m.Alloc.Freeable(a) {
 		m.Alloc.Free(a)
+		m.heat.OnFree(uint64(a))
 	}
 	if err == nil {
 		if tail := mem.WordAlign(final); tail != a && m.Alloc.Freeable(tail) {
 			m.Alloc.Free(tail)
+			m.heat.OnFree(uint64(tail))
 		}
 	}
 }

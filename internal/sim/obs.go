@@ -16,10 +16,39 @@ func (m *Machine) SetTracer(t *obs.Tracer) {
 	m.L1.SetTracer(t, 1)
 	m.L2.SetTracer(t, 2)
 	m.Pipe.SetTracer(t)
+	if m.spans != nil {
+		m.spans.Tracer = t
+	}
 }
 
 // Tracer returns the attached tracer (nil when tracing is disabled).
 func (m *Machine) Tracer() *obs.Tracer { return m.tracer }
+
+// Now returns the current pipeline cycle — the timestamp base the span
+// recorder stamps relocation phases with.
+func (m *Machine) Now() int64 { return m.Pipe.Now() }
+
+// SetHeatMap attaches a per-object heat map fed from the machine's
+// Malloc/Free/Load/Store/trap paths. Passing nil detaches; with no heat
+// map attached the hot paths pay one nil check each.
+func (m *Machine) SetHeatMap(h *obs.HeatMap) { m.heat = h }
+
+// HeatMap returns the attached heat map (nil when disabled).
+func (m *Machine) HeatMap() *obs.HeatMap { return m.heat }
+
+// SetSpans attaches a relocation-span table; opt.TryRelocate records
+// one span per relocation attempt into it. If a tracer is attached the
+// table also emits span duration events to it (and SetTracer keeps the
+// wiring current when called in either order). Passing nil detaches.
+func (m *Machine) SetSpans(t *obs.SpanTable) {
+	m.spans = t
+	if t != nil {
+		t.Tracer = m.tracer
+	}
+}
+
+// RelocationSpans returns the attached span table (nil when disabled).
+func (m *Machine) RelocationSpans() *obs.SpanTable { return m.spans }
 
 // PhaseBegin marks the start of a named program phase: a PhaseBegin
 // event is emitted and subsequent samples carry the label. Phases nest;

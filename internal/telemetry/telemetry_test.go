@@ -1,0 +1,412 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"memfwd/internal/obs"
+)
+
+func startServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func get(t *testing.T, s *Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get("http://" + s.Addr() + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestIndexListsEndpoints(t *testing.T) {
+	s := startServer(t)
+	resp, body := get(t, s, "/")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var m map[string]string
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("index not JSON: %v\n%s", err, body)
+	}
+	for _, k := range []string{"metrics", "samples", "heatmap", "spans", "events"} {
+		if m[k] == "" {
+			t.Fatalf("index missing %q: %v", k, m)
+		}
+	}
+	if resp, _ := get(t, s, "/nope"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestMetricsServesPublishedSnapshotPlusHubCounters(t *testing.T) {
+	s := startServer(t)
+	s.PublishMetrics([]obs.MetricValue{{Name: "cpu.cycles", Value: 42}})
+	_, body := get(t, s, "/metrics")
+	var doc struct {
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("/metrics not JSON: %v\n%s", err, body)
+	}
+	if doc.Metrics["cpu.cycles"] != 42 {
+		t.Fatalf("published metric lost: %v", doc.Metrics)
+	}
+	for _, k := range []string{"telemetry.events", "telemetry.events.dropped", "telemetry.subscribers"} {
+		if _, ok := doc.Metrics[k]; !ok {
+			t.Fatalf("hub counter %q missing: %v", k, doc.Metrics)
+		}
+	}
+}
+
+// TestMetricsCleansNonFinite: a gauge that divides by zero upstream must
+// arrive as 0, not break the JSON encoder.
+func TestMetricsCleansNonFinite(t *testing.T) {
+	s := startServer(t)
+	nan := 0.0
+	s.PublishMetrics([]obs.MetricValue{
+		{Name: "bad.nan", Value: nan / nan},
+		{Name: "bad.inf", Value: 1 / nan},
+	})
+	resp, body := get(t, s, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var doc struct {
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("non-finite values broke /metrics: %v\n%s", err, body)
+	}
+	if doc.Metrics["bad.nan"] != 0 || doc.Metrics["bad.inf"] != 0 {
+		t.Fatalf("non-finite not cleaned: %v", doc.Metrics)
+	}
+}
+
+func TestSamplesRoundTrip(t *testing.T) {
+	s := startServer(t)
+	s.PublishSamples(1000, []obs.Sample{
+		{Phase: "build", Instructions: 1000, Cycles: 1500, DInstructions: 1000, DCycles: 1500},
+		{Phase: "sim", Instructions: 2000, Cycles: 3200, DInstructions: 1000, DCycles: 1700},
+	})
+	_, body := get(t, s, "/samples")
+	var doc struct {
+		Every   uint64       `json:"every"`
+		Samples []obs.Sample `json:"samples"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("/samples not JSON: %v\n%s", err, body)
+	}
+	if doc.Every != 1000 || len(doc.Samples) != 2 || doc.Samples[1].Phase != "sim" {
+		t.Fatalf("samples wrong: %+v", doc)
+	}
+}
+
+func TestHeatmapTopParam(t *testing.T) {
+	s := startServer(t)
+	h := obs.NewHeatMap(16, 0)
+	for i := uint64(0); i < 5; i++ {
+		base := 0x100 + i*0x100
+		h.OnAlloc(base, 8)
+		for j := uint64(0); j <= i; j++ {
+			h.RecordAccess(base, base, false, 0)
+		}
+	}
+	s.PublishHeat(h.Snapshot(5))
+
+	_, body := get(t, s, "/heatmap?top=2")
+	var snap obs.HeatSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/heatmap not JSON: %v\n%s", err, body)
+	}
+	if len(snap.Hottest) != 2 {
+		t.Fatalf("top=2 returned %d objects", len(snap.Hottest))
+	}
+	if snap.Hottest[0].Base != 0x500 {
+		t.Fatalf("hottest = %#x, want 0x500", snap.Hottest[0].Base)
+	}
+	if snap.Objects != 5 {
+		t.Fatalf("Objects = %d, want 5 (totals not truncated)", snap.Objects)
+	}
+	if resp, _ := get(t, s, "/heatmap?top=zero"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad top status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := get(t, s, "/heatmap?top=-1"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative top status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestSpansEndpoint(t *testing.T) {
+	s := startServer(t)
+	st := obs.NewSpanTable(8)
+	st.Record(obs.RelocationSpan{Src: 0x10, Tgt: 0x20, Words: 4,
+		CopyCycles: 10, VerifyCycles: 2, PlantCycles: 4, TotalCycles: 16,
+		Outcome: obs.RelocCommitted})
+	s.PublishSpans(st.Snapshot(8))
+	_, body := get(t, s, "/spans")
+	var snap obs.SpanSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/spans not JSON: %v\n%s", err, body)
+	}
+	if snap.Total != 1 || snap.Committed != 1 || len(snap.Recent) != 1 {
+		t.Fatalf("span snapshot wrong: %+v", snap)
+	}
+	if len(snap.Phases) != 4 {
+		t.Fatalf("phases = %d, want 4", len(snap.Phases))
+	}
+}
+
+// TestEventsStreamNDJSON subscribes to /events while a producer-side
+// tracer emits, and checks each received line is one valid JSON event.
+func TestEventsStreamNDJSON(t *testing.T) {
+	s := startServer(t)
+	resp, err := http.Get("http://" + s.Addr() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	// Wait until the subscriber is attached before emitting, or the
+	// batch is dropped on the floor (no subscribers yet).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, _, subs := s.Hub().Stats(); subs > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("subscriber never attached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	tr := obs.NewTracer(obs.NoClose(s.Hub()), 4)
+	for i := 0; i < 8; i++ {
+		tr.Emit(obs.Event{Cycle: int64(i), Kind: obs.KTrap, Addr: 0x40})
+	}
+	tr.Flush()
+
+	sc := bufio.NewScanner(resp.Body)
+	for i := 0; i < 8; i++ {
+		if !sc.Scan() {
+			t.Fatalf("stream ended after %d lines: %v", i, sc.Err())
+		}
+		var ev struct {
+			Cycle int64  `json:"cycle"`
+			Kind  string `json:"kind"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v\n%s", i, err, sc.Text())
+		}
+		if ev.Cycle != int64(i) || ev.Kind != "trap" {
+			t.Fatalf("line %d = %+v", i, ev)
+		}
+	}
+}
+
+// TestEventsStreamEndsOnClose: closing the server must terminate open
+// /events streams instead of leaving clients hanging.
+func TestEventsStreamEndsOnClose(t *testing.T) {
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.ReadAll(resp.Body)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	s.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("/events did not end on server Close")
+	}
+}
+
+// TestConcurrentPublishAndServe is the -race regression net for the
+// publish/serve boundary: one goroutine publishes at sampler cadence
+// while several clients hammer every endpoint and an /events consumer
+// streams.
+func TestConcurrentPublishAndServe(t *testing.T) {
+	s := startServer(t)
+	h := obs.NewHeatMap(64, 0)
+	st := obs.NewSpanTable(64)
+	tr := obs.NewTracer(obs.NoClose(s.Hub()), 8)
+
+	var readers sync.WaitGroup
+	stop := make(chan struct{})
+	producerDone := make(chan struct{})
+
+	// Producer: owns the obs structures, publishes snapshots.
+	go func() {
+		defer close(producerDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				tr.Flush()
+				return
+			default:
+			}
+			base := uint64(0x100 + (i%32)*0x40)
+			h.OnAlloc(base, 16)
+			h.RecordAccess(base, base, i%2 == 0, i%3)
+			st.Record(obs.RelocationSpan{Src: base, Tgt: base + 0x1000, Words: 2,
+				CopyCycles: int64(i % 50), VerifyCycles: 0, PlantCycles: 1,
+				TotalCycles: int64(i%50) + 1, Outcome: obs.RelocCommitted})
+			tr.Emit(obs.Event{Cycle: int64(i), Kind: obs.KRelocate, Addr: base})
+			s.PublishHeat(h.Snapshot(10))
+			s.PublishSpans(st.Snapshot(10))
+			s.PublishMetrics([]obs.MetricValue{{Name: "i", Value: float64(i)}})
+			s.PublishSamples(100, []obs.Sample{{Instructions: uint64(i)}})
+		}
+	}()
+
+	// A streaming /events consumer that reads a bounded amount.
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		resp, err := http.Get("http://" + s.Addr() + "/events")
+		if err != nil {
+			t.Errorf("/events: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		for i := 0; i < 50 && sc.Scan(); i++ {
+			if !json.Valid(sc.Bytes()) {
+				t.Errorf("invalid event line: %s", sc.Text())
+				return
+			}
+		}
+	}()
+
+	// Snapshot readers.
+	for c := 0; c < 3; c++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			paths := []string{"/metrics", "/samples", "/heatmap?top=10", "/spans"}
+			for i := 0; i < 30; i++ {
+				path := paths[i%len(paths)]
+				resp, err := http.Get("http://" + s.Addr() + path)
+				if err != nil {
+					t.Errorf("%s: %v", path, err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("%s: status %d", path, resp.StatusCode)
+					return
+				}
+				if !json.Valid(body) {
+					t.Errorf("%s: invalid JSON under concurrency", path)
+					return
+				}
+			}
+		}()
+	}
+
+	// Let the readers finish, then stop the producer.
+	done := make(chan struct{})
+	go func() { readers.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("concurrent publish/serve deadlocked")
+	}
+	close(stop)
+	select {
+	case <-producerDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("producer did not stop")
+	}
+}
+
+// TestSlowEventsClientNeverStallsProducer floods the hub with a stuck
+// subscriber attached; the producer must complete immediately and the
+// drops must be visible in /metrics.
+func TestSlowEventsClientNeverStallsProducer(t *testing.T) {
+	s := startServer(t)
+	// A raw hub subscriber that never reads models the wedged client.
+	stuck := s.Hub().Subscribe(1)
+	defer stuck.Unsubscribe()
+
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		if err := s.Hub().WriteEvents([]obs.Event{{Cycle: int64(i), Kind: obs.KTrap}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("producer stalled behind stuck subscriber: %v", elapsed)
+	}
+	if d := stuck.Dropped(); d != 999 {
+		t.Fatalf("Dropped = %d, want 999 (queue of 1)", d)
+	}
+	_, body := get(t, s, "/metrics")
+	if !strings.Contains(string(body), "telemetry.events.dropped") {
+		t.Fatalf("drop counter missing from /metrics:\n%s", body)
+	}
+	var doc struct {
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Metrics["telemetry.events.dropped"] != 999 {
+		t.Fatalf("dropped = %v, want 999", doc.Metrics["telemetry.events.dropped"])
+	}
+}
+
+// TestPublishSamplesIsolation: the published slice is what is served —
+// callers pass copies, and the serving side must not leak the internal
+// series to mutation. This pins the contract documented on
+// PublishSamples.
+func TestPublishSamplesIsolation(t *testing.T) {
+	s := startServer(t)
+	samples := []obs.Sample{{Instructions: 1}}
+	s.PublishSamples(10, samples)
+	_, body1 := get(t, s, "/samples")
+	s.PublishSamples(10, []obs.Sample{{Instructions: 2}})
+	_, body2 := get(t, s, "/samples")
+	if string(body1) == string(body2) {
+		t.Fatal("republish did not replace the served snapshot")
+	}
+	var doc struct {
+		Samples []obs.Sample `json:"samples"`
+	}
+	if err := json.Unmarshal(body2, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Samples[0].Instructions != 2 {
+		t.Fatalf("served stale snapshot: %+v", doc.Samples)
+	}
+}

@@ -1,16 +1,16 @@
 package memfwd
 
 import (
-	"encoding/json"
 	"io"
+
+	"memfwd/internal/report"
 )
 
 // WriteJSON is the one JSON encoder every harness output goes through:
 // two-space-indented encoding of runs, stats, and series, shared by
 // cmd/figures -json and cmd/memfwd-sim -json so their encodings can
-// never drift apart.
+// never drift apart. It delegates to report.WriteJSON, which internal
+// packages (the HTTP telemetry plane) use directly.
 func WriteJSON(w io.Writer, v interface{}) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(v)
+	return report.WriteJSON(w, v)
 }
