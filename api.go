@@ -2,6 +2,7 @@ package memfwd
 
 import (
 	"io"
+	"time"
 
 	"memfwd/internal/core"
 	"memfwd/internal/exp"
@@ -176,6 +177,19 @@ type TelemetryServer = telemetry.Server
 // port); wire it to experiments via Options.Telemetry and stop it with
 // Close.
 func StartTelemetry(addr string) (*TelemetryServer, error) { return telemetry.Start(addr) }
+
+// TelemetryPlane is a TelemetryServer plus the shared boot/linger/close
+// lifecycle: Boot logs the bound address, Shutdown lingers at most once
+// and closes the server gracefully no matter how many times it runs.
+type TelemetryPlane = telemetry.Plane
+
+// BootTelemetry starts a telemetry plane on addr. linger is how long
+// Shutdown keeps the server reachable after the run (0 to stop
+// immediately); logf receives human-readable lifecycle lines (nil
+// discards them).
+func BootTelemetry(addr string, linger time.Duration, logf func(string, ...any)) (*TelemetryPlane, error) {
+	return telemetry.Boot(addr, linger, logf)
+}
 
 // NewMetricsRegistry returns an empty metrics registry; populate it
 // with Machine.RegisterMetrics and Profiler.RegisterMetrics.

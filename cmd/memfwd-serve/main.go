@@ -1,0 +1,102 @@
+// Command memfwd-serve is the long-running simulation session server:
+// a pool of simulated machines sharded across workers, driven by many
+// concurrent clients over HTTP+JSON. Sessions can run a registered
+// benchmark application in stepped guest-operation quanta (optionally
+// under the chaos relocation adversary), or expose the raw guest
+// operations directly; any session can be snapshotted, restored, and
+// migrated between shards mid-run.
+//
+// Usage:
+//
+//	memfwd-serve -addr 127.0.0.1:8377 -shards 4
+//	memfwd-serve -selftest -selftest-sessions 1000
+//
+// The API index is served at /; see DESIGN.md §10 for the full
+// protocol, the shard-ownership model, and the determinism contract.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"memfwd"
+	"memfwd/internal/obs"
+	"memfwd/internal/serve"
+	"memfwd/internal/sim"
+)
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "memfwd-serve: "+format+"\n", args...)
+}
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:8377", "listen address (\":0\" picks a free port)")
+		shards = flag.Int("shards", 4, "worker shards sessions are distributed over")
+		line   = flag.Int("line", 0, "cache line size for session machines (0 = simulator default)")
+
+		telemetryAddr = flag.String("telemetry", "", "also serve the observability telemetry plane on this address, publishing the session server's gauges")
+
+		selftest         = flag.Bool("selftest", false, "run the load-test harness against an in-process server and exit")
+		selftestSessions = flag.Int("selftest-sessions", 1000, "concurrent synthetic sessions for -selftest")
+		selftestWorkers  = flag.Int("selftest-workers", 32, "HTTP driver goroutines for -selftest")
+		selftestOps      = flag.Int("selftest-ops", 160, "script length per -selftest session")
+		selftestSeed     = flag.Int64("selftest-seed", 1, "base seed for -selftest scripts")
+	)
+	flag.Parse()
+
+	simCfg := sim.Config{LineSize: *line}
+	if *selftest {
+		cfg := serve.SelftestConfig{
+			Sessions: *selftestSessions,
+			Shards:   *shards,
+			Workers:  *selftestWorkers,
+			Ops:      *selftestOps,
+			Seed:     *selftestSeed,
+			Sim:      simCfg,
+		}
+		if err := serve.Selftest(cfg, logf); err != nil {
+			logf("selftest FAILED: %v", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	sv := serve.New(serve.Config{Shards: *shards, Sim: simCfg})
+	if err := sv.Start(*addr); err != nil {
+		logf("%v", err)
+		os.Exit(1)
+	}
+	logf("session server on http://%s (%d shards)", sv.Addr(), *shards)
+
+	if *telemetryAddr != "" {
+		plane, err := memfwd.BootTelemetry(*telemetryAddr, 0, logf)
+		if err != nil {
+			logf("%v", err)
+			os.Exit(1)
+		}
+		defer plane.Shutdown() //nolint:errcheck // best-effort teardown on exit
+		srv := plane.Server()
+		plane.StartPublisher(time.Second, func() {
+			snap := sv.MetricsSnapshot()
+			vals := make([]obs.MetricValue, 0, len(snap))
+			for name, v := range snap {
+				vals = append(vals, obs.MetricValue{Name: name, Value: v})
+			}
+			srv.PublishMetrics(vals)
+		})
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	logf("shutting down")
+	if err := sv.Close(); err != nil {
+		logf("close: %v", err)
+		os.Exit(1)
+	}
+}

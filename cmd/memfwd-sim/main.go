@@ -26,7 +26,6 @@ import (
 	"os"
 	"strconv"
 	"strings"
-	"time"
 
 	"memfwd"
 	"memfwd/internal/exp"
@@ -119,15 +118,15 @@ func main() {
 			Fault: *faultSpec, FaultSeed: *faultSeed,
 		}
 		if *httpAddr != "" {
-			srv, err := memfwd.StartTelemetry(*httpAddr)
+			plane, err := memfwd.BootTelemetry(*httpAddr, *httpLinger, logTelemetry)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "memfwd-sim:", err)
 				os.Exit(1)
 			}
-			defer srv.Close()
-			fmt.Fprintf(os.Stderr, "memfwd-sim: telemetry plane on http://%s\n", srv.Addr())
-			o.Telemetry = srv
-			defer linger(*httpLinger, srv.Addr())
+			// One handle owns linger + close; Shutdown is idempotent, so
+			// this single deferred call can never linger twice.
+			defer plane.Shutdown()
+			o.Telemetry = plane.Server()
 		}
 		v := variantOf(*optOn, *prefetch, *perfect)
 		runs, errs := memfwd.RunLines(a, ls, v, blockOf(*prefetch, *block), o)
@@ -179,13 +178,17 @@ func main() {
 	}
 	var telSrv *memfwd.TelemetryServer
 	if *httpAddr != "" {
-		telSrv, err = memfwd.StartTelemetry(*httpAddr)
+		plane, err := memfwd.BootTelemetry(*httpAddr, *httpLinger, logTelemetry)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "memfwd-sim:", err)
 			os.Exit(1)
 		}
-		defer telSrv.Close()
-		fmt.Fprintf(os.Stderr, "memfwd-sim: telemetry plane on http://%s\n", telSrv.Addr())
+		// The plane owns the whole lifecycle: the final publish happens
+		// before this deferred Shutdown runs (defers are LIFO and the
+		// publish is inline below), so the linger serves end state, and
+		// a second Shutdown anywhere could never linger again.
+		defer plane.Shutdown()
+		telSrv = plane.Server()
 		// The hub is shared infrastructure: shield it from the
 		// tracer's Close so /events outlives the trace files.
 		sinks = append(sinks, memfwd.NoCloseSink(telSrv.Hub()))
@@ -286,7 +289,6 @@ func main() {
 	st := m.Finalize()
 	if telSrv != nil {
 		publish() // final snapshots: the lingering server serves end state
-		defer linger(*httpLinger, telSrv.Addr())
 	}
 
 	if err := tracer.Close(); err != nil {
@@ -402,14 +404,10 @@ func writeFile(path string, write func(w io.Writer) error) error {
 	return err
 }
 
-// linger keeps the telemetry server reachable after the run so a human
-// (or the CI smoke test) can inspect the final snapshots.
-func linger(d time.Duration, addr string) {
-	if d <= 0 {
-		return
-	}
-	fmt.Fprintf(os.Stderr, "memfwd-sim: telemetry lingering %s on http://%s\n", d, addr)
-	time.Sleep(d)
+// logTelemetry routes plane lifecycle lines (bound address, linger
+// notice) to stderr with the command prefix.
+func logTelemetry(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "memfwd-sim: "+format+"\n", args...)
 }
 
 // variantOf maps the flag combination onto the paper's bar names.

@@ -1,0 +1,76 @@
+package cache
+
+import "fmt"
+
+// CacheSnapshot is an opaque deep copy of a Cache's timing state: the
+// tag array (valid/dirty/LRU per line), the MSHR file, the LRU clock,
+// and the accumulated Stats. The caches are tag-only (all data lives
+// in mem.Memory), so this plus the MemorySnapshot is the complete
+// memory-hierarchy state (DESIGN.md §10).
+type CacheSnapshot struct {
+	cfg   Config
+	lines []line
+	mshrs []mshr
+	clock int64
+	stats Stats
+}
+
+// Snapshot captures a deep copy of the cache's timing state.
+func (c *Cache) Snapshot() *CacheSnapshot {
+	return &CacheSnapshot{
+		cfg:   c.cfg,
+		lines: append([]line(nil), c.lines...),
+		mshrs: append([]mshr(nil), c.mshrs...),
+		clock: c.clock,
+		stats: c.Stats,
+	}
+}
+
+// Restore installs a snapshot onto c. The geometry (Config) must match
+// the snapshot's — set indexing and associativity are derived from it —
+// so a mismatch is reported as an error. The next-level backend and
+// tracer bindings are wiring of the target hierarchy and are preserved.
+func (c *Cache) Restore(s *CacheSnapshot) error {
+	if c.cfg != s.cfg {
+		return fmt.Errorf("cache: %s restore config mismatch: have %+v, snapshot %+v", c.cfg.Name, c.cfg, s.cfg)
+	}
+	c.lines = append(c.lines[:0], s.lines...)
+	c.mshrs = append(c.mshrs[:0], s.mshrs...)
+	c.clock = s.clock
+	c.Stats = s.stats
+	return nil
+}
+
+// MainMemorySnapshot captures a MainMemory's bus occupancy and traffic
+// counters.
+type MainMemorySnapshot struct {
+	latency       int64
+	bytesPerCycle int
+	lineSize      int
+	busFree       int64
+	bytesRead     uint64
+	bytesWritten  uint64
+}
+
+// Snapshot captures the main-memory model's state.
+func (mm *MainMemory) Snapshot() MainMemorySnapshot {
+	return MainMemorySnapshot{
+		latency:       mm.Latency,
+		bytesPerCycle: mm.BytesPerCycle,
+		lineSize:      mm.LineSize,
+		busFree:       mm.busFree,
+		bytesRead:     mm.BytesRead,
+		bytesWritten:  mm.BytesWritten,
+	}
+}
+
+// Restore installs a snapshot onto mm, geometry included (the fields
+// are plain configuration, so restoring them is always safe).
+func (mm *MainMemory) Restore(s MainMemorySnapshot) {
+	mm.Latency = s.latency
+	mm.BytesPerCycle = s.bytesPerCycle
+	mm.LineSize = s.lineSize
+	mm.busFree = s.busFree
+	mm.BytesRead = s.bytesRead
+	mm.BytesWritten = s.bytesWritten
+}

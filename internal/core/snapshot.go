@@ -1,0 +1,37 @@
+package core
+
+// ForwarderSnapshot captures a Forwarder's configuration and counter
+// state for session suspend/migrate (DESIGN.md §10). The forwarding
+// graph itself lives in mem.Memory (words + fbits) and travels with
+// the MemorySnapshot; what the Forwarder owns is the chain-walk policy
+// (HopLimit/ChainCap) and the cycle/chain statistics, which must
+// survive migration so per-session metrics stay monotone.
+type ForwarderSnapshot struct {
+	HopLimit         int
+	ChainCap         int
+	CycleFalseAlarms uint64
+	CyclesDetected   uint64
+	MaxChain         int
+}
+
+// Snapshot captures the forwarder's policy and counters.
+func (f *Forwarder) Snapshot() ForwarderSnapshot {
+	return ForwarderSnapshot{
+		HopLimit:         f.HopLimit,
+		ChainCap:         f.ChainCap,
+		CycleFalseAlarms: f.CycleFalseAlarms,
+		CyclesDetected:   f.CyclesDetected,
+		MaxChain:         f.MaxChain,
+	}
+}
+
+// Restore installs a snapshot's policy and counters. The Mem binding
+// and the FaultHook are wiring of the target machine and are preserved
+// (sim.Machine.LoadState re-installs fault injection explicitly).
+func (f *Forwarder) Restore(s ForwarderSnapshot) {
+	f.HopLimit = s.HopLimit
+	f.ChainCap = s.ChainCap
+	f.CycleFalseAlarms = s.CycleFalseAlarms
+	f.CyclesDetected = s.CyclesDetected
+	f.MaxChain = s.MaxChain
+}

@@ -1,0 +1,70 @@
+package cpu
+
+import "fmt"
+
+// PipelineSnapshot is an opaque deep copy of a Pipeline's timing state:
+// dispatch/graduation cursors, the ROB graduation ring, the store
+// buffer, the in-flight store window for dependence checking, and the
+// accumulated Stats. Restoring it onto a Pipeline built with the same
+// Config reproduces cycle-exact behaviour from the capture point
+// (DESIGN.md §10).
+type PipelineSnapshot struct {
+	cfg       Config
+	dispCycle int64
+	dispUsed  int
+	gradCycle int64
+	gradUsed  int
+	robGrad   []int64
+	robPos    int
+	robSeen   uint64
+	sb        []int64
+	sbHead    int
+	sbCount   int
+	stores    []inflightStore
+	finalized bool
+	stats     Stats
+}
+
+// Snapshot captures a deep copy of the pipeline's timing state.
+func (p *Pipeline) Snapshot() *PipelineSnapshot {
+	return &PipelineSnapshot{
+		cfg:       p.cfg,
+		dispCycle: p.dispCycle,
+		dispUsed:  p.dispUsed,
+		gradCycle: p.gradCycle,
+		gradUsed:  p.gradUsed,
+		robGrad:   append([]int64(nil), p.robGrad...),
+		robPos:    p.robPos,
+		robSeen:   p.robSeen,
+		sb:        append([]int64(nil), p.sb...),
+		sbHead:    p.sbHead,
+		sbCount:   p.sbCount,
+		stores:    append([]inflightStore(nil), p.stores...),
+		finalized: p.finalized,
+		stats:     p.Stats,
+	}
+}
+
+// Restore installs a snapshot onto p. The pipeline's Config must equal
+// the snapshot's (the ROB ring and store buffer are sized by it); a
+// mismatch is a session-routing bug and is reported as an error. The
+// tracer binding is wiring of the target and is preserved.
+func (p *Pipeline) Restore(s *PipelineSnapshot) error {
+	if p.cfg != s.cfg {
+		return fmt.Errorf("cpu: pipeline restore config mismatch: have %+v, snapshot %+v", p.cfg, s.cfg)
+	}
+	p.dispCycle = s.dispCycle
+	p.dispUsed = s.dispUsed
+	p.gradCycle = s.gradCycle
+	p.gradUsed = s.gradUsed
+	p.robGrad = append(p.robGrad[:0], s.robGrad...)
+	p.robPos = s.robPos
+	p.robSeen = s.robSeen
+	p.sb = append(p.sb[:0], s.sb...)
+	p.sbHead = s.sbHead
+	p.sbCount = s.sbCount
+	p.stores = append(p.stores[:0], s.stores...)
+	p.finalized = s.finalized
+	p.Stats = s.stats
+	return nil
+}

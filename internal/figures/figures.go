@@ -116,33 +116,24 @@ func Run(cfg Config, stdout, stderr io.Writer) error {
 		o.Ctx = ctx
 	}
 	if cfg.HTTPAddr != "" {
-		srv, err := memfwd.StartTelemetry(cfg.HTTPAddr)
+		plane, err := memfwd.BootTelemetry(cfg.HTTPAddr, 0, func(format string, args ...any) {
+			fmt.Fprintf(stderr, "[figures] "+format+"\n", args...)
+		})
 		if err != nil {
 			return err
 		}
-		defer srv.Close()
+		defer plane.Shutdown()
+		srv := plane.Server()
 		o.Telemetry = srv
 		o.Progress = &memfwd.JobProgress{}
 		// The registry holds only JobProgress views, which are
-		// thread-safe, so snapshotting it from the publisher goroutine
-		// is sound (registration happens before the goroutine starts).
+		// thread-safe, so snapshotting it from the plane's publisher
+		// goroutine is sound (registration happens before it starts).
 		reg := memfwd.NewMetricsRegistry()
 		o.Progress.RegisterMetrics(reg)
-		stop := make(chan struct{})
-		defer close(stop)
-		go func() {
-			tick := time.NewTicker(250 * time.Millisecond)
-			defer tick.Stop()
-			for {
-				srv.PublishMetrics(reg.Snapshot())
-				select {
-				case <-stop:
-					return
-				case <-tick.C:
-				}
-			}
-		}()
-		fmt.Fprintf(stderr, "[figures] telemetry plane on http://%s\n", srv.Addr())
+		plane.StartPublisher(250*time.Millisecond, func() {
+			srv.PublishMetrics(reg.Snapshot())
+		})
 	}
 	want := func(name string) bool { return cfg.Only == "" || cfg.Only == name }
 	section := func(name string) { fmt.Fprintf(stderr, "[figures] running %s...\n", name) }

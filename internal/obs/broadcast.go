@@ -37,8 +37,14 @@ func NewBroadcaster() *Broadcaster {
 }
 
 // Subscribe attaches a new subscriber with a queue of buf batches
-// (buf <= 0 takes 16). On a closed broadcaster the returned
-// subscriber's channel is already closed.
+// (buf <= 0 takes 16).
+//
+// Subscribe is safe concurrently with Close — the defined behaviour
+// (relied on by memfwd-serve, whose session teardowns race incoming
+// /events attachments): whichever wins the hub mutex, the caller gets
+// a usable *Subscriber and never a panic. If Close won, the returned
+// subscriber's channel is already closed, so a ranging consumer exits
+// immediately; Unsubscribe on it remains a safe no-op.
 func (b *Broadcaster) Subscribe(buf int) *Subscriber {
 	if buf <= 0 {
 		buf = 16
@@ -105,7 +111,12 @@ func (b *Broadcaster) WriteEvents(events []Event) error {
 }
 
 // Close implements Sink: it detaches and closes every subscriber and
-// rejects future ones. Safe to call more than once.
+// rejects future ones. Safe to call more than once, and safe
+// concurrently with Subscribe/Unsubscribe/WriteEvents. Closing a
+// subscriber's channel does not discard batches already queued on it:
+// a draining consumer receives every buffered batch and then the
+// close — the graceful-drain property telemetry.Server.Close builds
+// its shutdown sequence on.
 func (b *Broadcaster) Close() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()

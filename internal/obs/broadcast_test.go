@@ -178,3 +178,53 @@ func TestBroadcasterConcurrency(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestBroadcasterSubscribeCloseRace is the ISSUE 7 regression net for
+// Subscribe racing Close (memfwd-serve hits this on every session
+// teardown): whichever order the mutex serializes them into, Subscribe
+// must return a usable subscriber — never panic — and every consumer
+// loop must terminate because its channel is (eventually) closed.
+// Under -race this also proves the lifecycle paths are data-race free.
+func TestBroadcasterSubscribeCloseRace(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		b := NewBroadcaster()
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+
+		for s := 0; s < 4; s++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				sub := b.Subscribe(2)
+				// Must terminate whether we attached before or after
+				// Close; queued batches drain first, then the close.
+				for range sub.C {
+				}
+				sub.Unsubscribe() // no-op on a detached subscriber
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			_ = b.WriteEvents([]Event{{Kind: KAlloc}})
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if err := b.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		}()
+
+		close(start)
+		wg.Wait()
+		if s := b.Subscribe(1); s == nil {
+			t.Fatal("Subscribe on closed broadcaster returned nil")
+		} else if _, ok := <-s.C; ok {
+			t.Fatal("subscriber attached after Close received an event")
+		}
+	}
+}

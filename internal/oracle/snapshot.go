@@ -1,0 +1,83 @@
+package oracle
+
+import (
+	"fmt"
+
+	"memfwd/internal/mem"
+	"memfwd/internal/sim"
+)
+
+// SnapshotEquivalent verifies that dst is an architectural clone of
+// src, at three escalating strengths:
+//
+//  1. byte-exact memory: the two machines materialized the same pages
+//     and every word and forwarding bit is identical — stronger than
+//     the digest, which ignores dead storage and forwarding plumbing;
+//  2. identical heap digests modulo forwarding (the paper's
+//     "architecturally identical heaps" comparator), plus identical
+//     allocator shape (brk, live blocks, sizes, pin state);
+//  3. identical timing statistics (Snapshot Stats are compared in
+//     full, cycle counts included) — a restored machine must not just
+//     compute the same values, it must be at the same cycle.
+//
+// It is the acceptance check behind memfwd-serve's suspend/migrate
+// path: src is the machine a session was saved from, dst the machine
+// it was restored into on another shard.
+func SnapshotEquivalent(src, dst *sim.Machine) error {
+	sp := src.Mem.TouchedPages()
+	dp := dst.Mem.TouchedPages()
+	if len(sp) != len(dp) {
+		return fmt.Errorf("oracle: snapshot pages diverged: src %d, dst %d", len(sp), len(dp))
+	}
+	for i, pb := range sp {
+		if dp[i] != pb {
+			return fmt.Errorf("oracle: snapshot page set diverged at %#x vs %#x", pb, dp[i])
+		}
+		for w := 0; w < mem.PageWords; w++ {
+			a := pb + mem.Addr(w*mem.WordSize)
+			sv, sf := src.Mem.ReadWordFBit(a)
+			dv, df := dst.Mem.ReadWordFBit(a)
+			if sv != dv || sf != df {
+				return fmt.Errorf("oracle: snapshot word %#x diverged: src (%#x,%v), dst (%#x,%v)",
+					a, sv, sf, dv, df)
+			}
+		}
+	}
+
+	if sb, db := src.Alloc.Brk(), dst.Alloc.Brk(); sb != db {
+		return fmt.Errorf("oracle: snapshot brk diverged: src %#x, dst %#x", sb, db)
+	}
+	sl := src.Alloc.LiveBlocks()
+	dl := dst.Alloc.LiveBlocks()
+	if len(sl) != len(dl) {
+		return fmt.Errorf("oracle: snapshot live blocks diverged: src %d, dst %d", len(sl), len(dl))
+	}
+	for i, a := range sl {
+		if dl[i] != a {
+			return fmt.Errorf("oracle: snapshot live block set diverged at %#x vs %#x", a, dl[i])
+		}
+		sn, _ := src.Alloc.SizeOf(a)
+		dn, _ := dst.Alloc.SizeOf(a)
+		if sn != dn || src.Alloc.Pinned(a) != dst.Alloc.Pinned(a) {
+			return fmt.Errorf("oracle: snapshot block %#x diverged: size %d/%d pinned %v/%v",
+				a, sn, dn, src.Alloc.Pinned(a), dst.Alloc.Pinned(a))
+		}
+	}
+
+	sd, err := DigestModuloForwarding(src.Mem, src.Fwd, src.Alloc)
+	if err != nil {
+		return fmt.Errorf("oracle: snapshot src digest: %w", err)
+	}
+	dd, err := DigestModuloForwarding(dst.Mem, dst.Fwd, dst.Alloc)
+	if err != nil {
+		return fmt.Errorf("oracle: snapshot dst digest: %w", err)
+	}
+	if sd != dd {
+		return fmt.Errorf("oracle: snapshot digests diverged: src %#x, dst %#x", sd, dd)
+	}
+
+	if ss, ds := *src.Snapshot(), *dst.Snapshot(); ss != ds {
+		return fmt.Errorf("oracle: snapshot stats diverged:\nsrc %+v\ndst %+v", ss, ds)
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package oracle
+
+import (
+	"testing"
+
+	"memfwd/internal/core"
+	"memfwd/internal/mem"
+	"memfwd/internal/opt"
+	"memfwd/internal/sim"
+)
+
+// buildSnapshotFixture drives a sim machine into the richest state the
+// snapshot layer must carry (the golden coverage of ISSUE 7 satellite
+// 5): live multi-hop forwarding chains, a planted misaligned-target
+// forwarding word, a pinned arena block, and a non-empty free list —
+// plus trapped loads so trap accounting and provenance state are
+// populated.
+func buildSnapshotFixture(t *testing.T, cfg sim.Config) (*sim.Machine, []mem.Addr) {
+	t.Helper()
+	m := sim.New(cfg)
+	eff := m.Config()
+	arena := (eff.HeapBase + mem.Addr(eff.HeapLimit) + 0xF_FFFF) &^ mem.Addr(0xF_FFFF)
+
+	traps := 0
+	m.SetTrap(func(core.Event) { traps++ })
+
+	// Live blocks with data; a and b end up forwarded, c stays direct.
+	var blocks []mem.Addr
+	for i := 0; i < 6; i++ {
+		b := m.Malloc(8 * mem.WordSize)
+		for w := 0; w < 8; w++ {
+			m.StoreWord(b+mem.Addr(w*mem.WordSize), uint64(i+1)<<32|uint64(w+1))
+		}
+		blocks = append(blocks, b)
+	}
+
+	// Two-hop chain under block 0: relocate it, then relocate the copy.
+	if err := opt.TryRelocate(m, blocks[0], arena, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.TryRelocate(m, arena, arena+0x1000, 8); err != nil {
+		t.Fatal(err)
+	}
+	// Single-hop chain under block 1.
+	if err := opt.TryRelocate(m, blocks[1], arena+0x2000, 8); err != nil {
+		t.Fatal(err)
+	}
+
+	// Misaligned planted word (chaos-probe style, outside live blocks):
+	// a forwarding word whose target is 3 bytes into a data word.
+	tgtWord := arena + 0x3000
+	m.UnforwardedWrite(tgtWord, 0x00AA_BBCC_DDEE_FF00, false)
+	m.UnforwardedWrite(arena+0x3100, uint64(tgtWord)+3, true)
+
+	// Pinned arena block inside the guest heap.
+	mem.NewArena(m.Allocator(), 4096)
+
+	// Non-empty free list: two sizes, interleaved frees.
+	m.Free(blocks[4])
+	m.Free(blocks[5])
+	blocks = blocks[:4]
+
+	// Loads through the chains fire the user-level trap and populate
+	// the pointer-provenance window.
+	for _, b := range blocks {
+		if got := m.Load(b, 8); got == 0 {
+			t.Fatalf("fixture load from %#x returned 0", b)
+		}
+	}
+	if traps == 0 {
+		t.Fatal("fixture produced no forwarding traps")
+	}
+	return m, blocks
+}
+
+// TestSnapshotGoldenRoundTrip is the satellite-5 golden: save the
+// fixture machine, restore into a fresh machine, and demand digest
+// equality, byte-exact memory, identical stats, and a clean
+// CheckMachine sweep on the restored machine.
+func TestSnapshotGoldenRoundTrip(t *testing.T) {
+	cfg := sim.Config{LineSize: 64}
+	m, _ := buildSnapshotFixture(t, cfg)
+	st := m.SaveState()
+
+	m2 := sim.New(cfg)
+	if err := m2.LoadState(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := SnapshotEquivalent(m, m2); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckMachine(m2); err != nil {
+		t.Fatalf("restored machine invariants: %v", err)
+	}
+
+	// The state must be reusable: a second restore from the same
+	// snapshot is equally equivalent.
+	m3 := sim.New(cfg)
+	if err := m3.LoadState(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := SnapshotEquivalent(m, m3); err != nil {
+		t.Fatalf("second restore: %v", err)
+	}
+}
+
+// TestSnapshotReplayDeterminism: after restore, the clone and the
+// source must stay in lockstep under identical further operations —
+// same values loaded, same allocation addresses, same relocation
+// behaviour, same final digests and cycle counts.
+func TestSnapshotReplayDeterminism(t *testing.T) {
+	cfg := sim.Config{LineSize: 64}
+	m, blocks := buildSnapshotFixture(t, cfg)
+	st := m.SaveState()
+	m2 := sim.New(cfg)
+	if err := m2.LoadState(st); err != nil {
+		t.Fatal(err)
+	}
+
+	eff := m.Config()
+	arena2 := (eff.HeapBase + mem.Addr(eff.HeapLimit) + 0xF_FFFF) &^ mem.Addr(0xF_FFFF)
+	arena2 += 0x10_0000
+
+	script := func(mm *sim.Machine) {
+		t.Helper()
+		// Free-list reuse must hand out the same addresses.
+		n1 := mm.Malloc(8 * mem.WordSize)
+		n2 := mm.Malloc(8 * mem.WordSize)
+		mm.StoreWord(n1, uint64(n2))
+		mm.StoreWord(n2, 7)
+		// Another relocation, including a chain extension.
+		if err := opt.TryRelocate(mm, blocks[2], arena2, 8); err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range blocks {
+			mm.Load(b, 8)
+		}
+		mm.Free(n1)
+	}
+	script(m)
+	script(m2)
+	m.Finalize()
+	m2.Finalize()
+	if err := SnapshotEquivalent(m, m2); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckMachine(m2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadStateConfigMismatch: restoring into a machine with different
+// geometry must fail loudly, not corrupt the session.
+func TestLoadStateConfigMismatch(t *testing.T) {
+	m, _ := buildSnapshotFixture(t, sim.Config{LineSize: 64})
+	st := m.SaveState()
+	m2 := sim.New(sim.Config{LineSize: 32})
+	if err := m2.LoadState(st); err == nil {
+		t.Fatal("LoadState accepted a mismatched config")
+	}
+}

@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"memfwd"
+	"memfwd/internal/apps/app"
+	"memfwd/internal/mem"
+	"memfwd/internal/obs"
+	"memfwd/internal/oracle"
+	"memfwd/internal/sim"
+)
+
+// arenaRegionBytes is the relocation-target address space one shard
+// region spans. Regions are keyed by shard id and sit far above any
+// heap geometry the simulator configures (heaps end around 0x5000_0000
+// with defaults), so a session's relocation targets always encode the
+// shard that performed the relocation — and cross-shard migration
+// visibly changes where new copies land while DigestModuloForwarding,
+// which never looks at target addresses, stays invariant.
+const arenaRegionBytes = 0x4_0000_0000
+
+// shardArenaBase returns the relocation-arena base address for a shard.
+func shardArenaBase(shard int) mem.Addr {
+	return mem.Addr(arenaRegionBytes) * mem.Addr(shard+1)
+}
+
+// Session is one simulated machine owned by the server, in one of two
+// modes:
+//
+//   - raw: the client is the guest program, driving individual
+//     malloc/free/load/store/relocate operations through /op;
+//   - app: a registered benchmark application runs on a dedicated
+//     runner goroutine, advanced in guest-operation quanta through
+//     /step, optionally wrapped in the chaos Relocator adversary.
+//
+// Either mode can be suspended, snapshotted, and migrated between
+// shards at any operation boundary.
+type Session struct {
+	ID    string
+	Mode  string // "raw" or an application name
+	Chaos bool
+
+	shard atomic.Int32
+
+	cfg sim.Config
+	hub *obs.Broadcaster
+	tr  *obs.Tracer
+
+	// mu serializes raw-mode guest operations and all control-plane
+	// work (digest, snapshot, migrate, close) on both modes. The
+	// app-mode /step path deliberately does not take it: stepping can
+	// block for a long time and synchronizes through the gate alone.
+	mu        sync.Mutex
+	m         *sim.Machine // raw mode; app mode reaches it via px
+	closed    bool
+	rawOps    uint64
+	arenaNext mem.Addr // raw-mode relocation cursor within the shard region
+	arenaOff  mem.Addr // cursor offset, preserved across migrations
+
+	// App mode.
+	g          *gate
+	px         *proxy
+	rel        *oracle.Relocator
+	runnerDone chan struct{}
+	res        app.Result
+	runErr     error
+}
+
+// newSession builds a session on the given shard. For app mode, name
+// must be a registered application; the runner goroutine starts parked
+// (zero budget) and advances only under /step grants.
+func newSession(id string, shard int, cfg sim.Config, req createRequest) (*Session, error) {
+	s := &Session{
+		ID:   id,
+		Mode: "raw",
+		cfg:  cfg,
+		hub:  obs.NewBroadcaster(),
+	}
+	s.shard.Store(int32(shard))
+	s.arenaNext = shardArenaBase(shard)
+	s.tr = obs.NewTracer(obs.NoClose(s.hub), 32)
+
+	m := sim.New(cfg)
+	m.SetTracer(s.tr)
+	if req.Mode == "" || req.Mode == "raw" {
+		s.m = m
+		return s, nil
+	}
+
+	a, ok := memfwd.AppByName(req.Mode)
+	if !ok {
+		return nil, fmt.Errorf("unknown mode %q (want \"raw\" or an application name)", req.Mode)
+	}
+	s.Mode = a.Name
+	s.Chaos = req.Chaos
+	s.g = newGate()
+	s.px = newProxy(s.g, m)
+	var gm app.Machine = s.px
+	if req.Chaos {
+		seed := req.ChaosSeed
+		if seed == 0 {
+			seed = 1
+		}
+		s.rel = oracle.NewRelocator(s.px, seed, req.ChaosInterval)
+		gm = s.rel
+	}
+	appCfg := app.Config{
+		Opt:      req.Opt,
+		Prefetch: req.Prefetch,
+		Seed:     req.Seed,
+		Scale:    req.Scale,
+	}
+	s.runnerDone = make(chan struct{})
+	go func() {
+		defer close(s.runnerDone)
+		defer s.g.finish()
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killed); !ok {
+					s.runErr = fmt.Errorf("serve: session %s (%s) panicked: %v", s.ID, s.Mode, r)
+				}
+			}
+		}()
+		s.res = a.Run(gm, appCfg)
+		s.px.machine().Finalize()
+	}()
+	return s, nil
+}
+
+// withMachine runs fn with exclusive ownership of the session's
+// machine, quiescing the runner at an operation boundary for app
+// sessions. fn must not retain the machine.
+func (s *Session) withMachine(fn func(m *sim.Machine) error) error {
+	if s.g != nil {
+		s.g.pause()
+		defer s.g.resume()
+		return fn(s.px.machine())
+	}
+	return fn(s.m)
+}
+
+// ops returns the guest operations performed so far.
+func (s *Session) ops() uint64 {
+	if s.g != nil {
+		return uint64(s.g.ops())
+	}
+	return s.rawOps
+}
+
+// digest computes the heap digest modulo forwarding. Callers hold s.mu.
+func (s *Session) digest() (uint64, error) {
+	var d uint64
+	err := s.withMachine(func(m *sim.Machine) error {
+		var err error
+		d, err = oracle.DigestModuloForwarding(m.Mem, m.Fwd, m.Alloc)
+		return err
+	})
+	return d, err
+}
+
+// save captures the session's machine state. Callers hold s.mu.
+func (s *Session) save() *sim.MachineState {
+	var st *sim.MachineState
+	s.withMachine(func(m *sim.Machine) error { //nolint:errcheck // fn returns nil
+		st = m.SaveState()
+		return nil
+	})
+	return st
+}
+
+// migrate re-homes the session on shard `to`: the machine state is
+// captured, re-instantiated on a fresh machine, and the session's
+// observability attachments and relocation cursor move with it (the
+// cursor re-bases into the target shard's arena region at its current
+// offset, so relocation targets never repeat). Callers hold s.mu.
+func (s *Session) migrate(to int) error {
+	return s.withMachine(func(m *sim.Machine) error {
+		nm := sim.New(s.cfg)
+		if err := nm.LoadState(m.SaveState()); err != nil {
+			return fmt.Errorf("serve: migrate %s: %w", s.ID, err)
+		}
+		nm.SetTracer(s.tr)
+		if s.g != nil {
+			s.px.swap(nm)
+		} else {
+			s.m = nm
+		}
+		s.shard.Store(int32(to))
+		s.arenaNext = shardArenaBase(to) + s.arenaOff
+		return nil
+	})
+}
+
+// close tears the session down: the runner (if any) is unwound, the
+// tracer's tail is flushed into the hub, and the hub closes so /events
+// streams drain and end. Callers hold s.mu.
+func (s *Session) close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.g != nil {
+		s.g.kill()
+		<-s.runnerDone
+	}
+	s.tr.Close() //nolint:errcheck // flush into a NoClose hub cannot fail
+	s.hub.Close()
+}
+
+// result returns the app run's outcome; valid only once the run is
+// done (gate.finished).
+func (s *Session) result() (app.Result, error) {
+	<-s.runnerDone
+	return s.res, s.runErr
+}

@@ -103,6 +103,17 @@ func (t *provTable) grow() {
 	}
 }
 
+// clone returns an independent deep copy of the table (fresh scratch):
+// the provenance window is part of a machine snapshot because entry
+// eviction, though timing-invisible, determines future probe layout
+// and the bounds CheckInvariants enforces.
+func (t *provTable) clone() provTable {
+	c := *t
+	c.slots = append([]provSlot(nil), t.slots...)
+	c.scratch = nil
+	return c
+}
+
 // sweep deletes every entry whose ready time is at or below floor,
 // rehashing the survivors (linear-probe tables cannot delete in place
 // without breaking probe chains).

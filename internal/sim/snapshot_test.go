@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"testing"
+
+	"memfwd/internal/core"
+	"memfwd/internal/mem"
+	"memfwd/internal/obs"
+)
+
+// TestSaveStateCarriesTrapHandler: the trap handler travels verbatim
+// with the state, so a restored session keeps firing the same
+// user-level forwarding handler (serve re-attaches observability, but
+// the handler is guest semantics and must migrate).
+func TestSaveStateCarriesTrapHandler(t *testing.T) {
+	m := New(Config{LineSize: 64})
+	fired := 0
+	m.SetTrap(func(core.Event) { fired++ })
+
+	b := m.Malloc(2 * mem.WordSize)
+	m.StoreWord(b, 5)
+	// Forge a one-hop chain by hand (UnforwardedWrite is the ISA-level
+	// primitive; geometry does not matter for this test).
+	tgt := mem.Addr(0x6000_0000)
+	m.UnforwardedWrite(tgt, 5, false)
+	m.UnforwardedWrite(b, uint64(tgt), true)
+
+	m.Load(b, 8)
+	if fired != 1 {
+		t.Fatalf("source trap fired %d times, want 1", fired)
+	}
+
+	st := m.SaveState()
+	m2 := New(Config{LineSize: 64})
+	if err := m2.LoadState(st); err != nil {
+		t.Fatal(err)
+	}
+	m2.Load(b, 8)
+	if fired != 2 {
+		t.Fatalf("restored trap fired %d times total, want 2", fired)
+	}
+}
+
+// TestLoadStateKeepsTargetAttachments: observability wiring (heat map,
+// tracer) is process-local and stays with the target machine across a
+// restore — LoadState must not detach it and must leave it functional.
+func TestLoadStateKeepsTargetAttachments(t *testing.T) {
+	src := New(Config{LineSize: 64})
+	b := src.Malloc(64)
+	src.StoreWord(b, 1)
+	st := src.SaveState()
+
+	dst := New(Config{LineSize: 64})
+	heat := obs.NewHeatMap(16, 0)
+	dst.SetHeatMap(heat)
+	sink := &obs.MemorySink{}
+	tr := obs.NewTracer(sink, 16)
+	dst.SetTracer(tr)
+	if err := dst.LoadState(st); err != nil {
+		t.Fatal(err)
+	}
+	if dst.HeatMap() != heat || dst.Tracer() != tr {
+		t.Fatal("LoadState dropped the target's observability attachments")
+	}
+	dst.Load(b, 8)
+	nb := dst.Malloc(32)
+	if nb == 0 {
+		t.Fatal("restored machine failed to allocate")
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.Events) == 0 {
+		t.Fatal("tracer attached to restored machine emitted nothing")
+	}
+}

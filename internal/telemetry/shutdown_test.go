@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"memfwd/internal/obs"
+)
+
+// TestCloseDrainsOpenEventsStream pins the ISSUE 7 satellite-1 fix:
+// a client holding /events open across Server.Close must receive every
+// batch that was queued on its subscription before the close, then a
+// clean end-of-stream — not an abrupt connection reset. The old
+// hub.Close-then-srv.Close teardown could cut the connection while the
+// handler still had queued batches to flush.
+func TestCloseDrainsOpenEventsStream(t *testing.T) {
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, _, subs := s.Hub().Stats(); subs > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("subscriber never attached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Queue batches on the subscription without reading the stream, so
+	// Close finds them undelivered and must drain them.
+	const batches = 32
+	for i := 0; i < batches; i++ {
+		if err := s.Hub().WriteEvents([]obs.Event{{Cycle: int64(i), Kind: obs.KTrap}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Everything queued must now be readable, ending in a clean EOF.
+	sc := bufio.NewScanner(resp.Body)
+	got := 0
+	for sc.Scan() {
+		var ev struct {
+			Cycle int64  `json:"cycle"`
+			Kind  string `json:"kind"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v\n%s", got, err, sc.Text())
+		}
+		if ev.Cycle != int64(got) || ev.Kind != "trap" {
+			t.Fatalf("line %d = %+v", got, ev)
+		}
+		got++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream did not end cleanly: %v", err)
+	}
+	if got != batches {
+		t.Fatalf("drained %d events across Close, want %d", got, batches)
+	}
+}
+
+// TestPlaneShutdownLingersOnce pins the satellite-3 fix: however many
+// times (and from however many goroutines) Shutdown runs, the linger
+// happens exactly once and the server closes exactly once.
+func TestPlaneShutdownLingersOnce(t *testing.T) {
+	var mu sync.Mutex
+	var logs []string
+	p, err := Boot("127.0.0.1:0", 50*time.Millisecond, func(format string, args ...any) {
+		mu.Lock()
+		logs = append(logs, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := p.Addr()
+	if resp, err := http.Get("http://" + addr + "/metrics"); err != nil {
+		t.Fatalf("plane not serving: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Shutdown(); err != nil {
+				t.Errorf("Shutdown: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	start := time.Now()
+	if err := p.Shutdown(); err != nil { // post-hoc deferred call
+		t.Fatalf("repeat Shutdown: %v", err)
+	}
+	if d := time.Since(start); d > 40*time.Millisecond {
+		t.Fatalf("repeat Shutdown lingered again (%v)", d)
+	}
+
+	mu.Lock()
+	lingers := 0
+	for _, l := range logs {
+		if strings.Contains(l, "lingering") {
+			lingers++
+		}
+	}
+	mu.Unlock()
+	if lingers != 1 {
+		t.Fatalf("lingered %d times, want exactly 1\nlogs: %q", lingers, logs)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("server still serving after Shutdown")
+	}
+}
+
+// TestBootFailureLeavesNothingBehind: a failed Boot returns an error
+// and no Plane, so no linger or close can ever be owed for it.
+func TestBootFailureLeavesNothingBehind(t *testing.T) {
+	p, err := Boot("definitely-not-a-listen-address", time.Hour, nil)
+	if err == nil {
+		t.Fatal("Boot on a bad address succeeded")
+	}
+	if p != nil {
+		t.Fatal("failed Boot returned a Plane")
+	}
+}
+
+// TestPlanePublisherStopsAtShutdown: the periodic publisher runs at
+// least once immediately, gets a final run during Shutdown, and never
+// runs again after Shutdown returns.
+func TestPlanePublisherStopsAtShutdown(t *testing.T) {
+	p, err := Boot("127.0.0.1:0", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n atomic.Int64
+	p.StartPublisher(time.Hour, func() { n.Add(1) })
+	if err := p.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	after := n.Load()
+	if after < 2 { // immediate run + final run
+		t.Fatalf("publisher ran %d times, want >= 2", after)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if n.Load() != after {
+		t.Fatal("publisher still running after Shutdown")
+	}
+}

@@ -19,6 +19,7 @@
 package telemetry
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"net"
@@ -74,10 +75,29 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // tracer's Close from tearing the shared hub down.
 func (s *Server) Hub() *obs.Broadcaster { return s.hub }
 
-// Close stops the listener and closes the hub (ending /events streams).
+// closeTimeout bounds the graceful drain in Close. Short on purpose:
+// a cooperative /events client exits within one batch delivery once the
+// hub closes, so the deadline only matters for wedged connections.
+const closeTimeout = 2 * time.Second
+
+// Close tears the plane down gracefully: it closes the hub first —
+// every /events subscriber drains its queued batches and gets a final
+// flush before its handler returns (the Broadcaster's close-with-
+// buffered-batches drain guarantee) — then lets http.Server.Shutdown
+// wait, briefly, for in-flight handlers to finish. Only connections
+// still open after the deadline (a client that stopped reading
+// mid-stream) are cut hard via http.Server.Close.
+//
+// This replaces the abrupt hub.Close + srv.Close teardown that could
+// cut a mid-stream client before its final batch was written.
 func (s *Server) Close() error {
 	s.hub.Close()
-	return s.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), closeTimeout)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
 }
 
 // PublishMetrics replaces the served registry snapshot. Call it from
