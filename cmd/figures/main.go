@@ -1,12 +1,13 @@
 // Command figures regenerates every table and figure of the paper's
-// evaluation section (Table 1, Figures 5, 6a, 6b, 7, 8, 9, 10a-d) and
-// prints them as text tables.
+// evaluation section (Table 1, Figures 5, 6a, 6b, 7, 8, 9, 10a-d),
+// plus the tiered-memory extension (static vs online adaptive
+// relocation), and prints them as text tables.
 //
 // Usage:
 //
 //	figures                 # everything
 //	figures -only fig5      # one experiment: table1, fig5, fig6, fig7,
-//	                        # fig8, fig9, fig10, ext
+//	                        # fig8, fig9, fig10, tier, ext
 //	figures -scale 2        # larger workloads
 //	figures -jobs 8         # experiment cells across 8 workers
 //	                        # (results identical at any jobs count)
@@ -28,10 +29,10 @@ import (
 
 func main() {
 	var (
-		only   = flag.String("only", "", "run a single experiment (table1, fig5, fig6, fig7, fig8, fig9, fig10, ext)")
+		only   = flag.String("only", "", "run a single experiment (table1, fig5, fig6, fig7, fig8, fig9, fig10, tier, ext)")
 		seed   = flag.Int64("seed", 9, "workload seed")
 		scale  = flag.Int("scale", 1, "workload scale factor")
-		asJSON = flag.Bool("json", false, "emit raw runs as JSON instead of tables (fig5/fig6/fig7/fig10)")
+		asJSON = flag.Bool("json", false, "emit raw runs as JSON instead of tables (fig5/fig6/fig7/fig10/tier)")
 		sample = flag.Uint64("sample", 0, "attach the sampler: a time-series point every N instructions per run, in each run's Samples (JSON) with per-phase labels")
 		jobs   = flag.Int("jobs", 0, "experiment-engine worker count (0 = GOMAXPROCS); results are identical at any value")
 		http   = flag.String("http", "", "serve the live telemetry plane on this address while the suite runs (e.g. 127.0.0.1:8080; /metrics, /samples, /heatmap, /spans, /events)")

@@ -28,9 +28,13 @@ import (
 	"strings"
 
 	"memfwd"
+	"memfwd/internal/apps/app"
 	"memfwd/internal/exp"
 	"memfwd/internal/fault"
+	"memfwd/internal/mem"
 	"memfwd/internal/pprofutil"
+	"memfwd/internal/sim"
+	"memfwd/internal/tier"
 )
 
 func main() {
@@ -62,6 +66,11 @@ func main() {
 
 		lines = flag.String("lines", "", "comma-separated line sizes (e.g. 32,64,128): sweep them through the parallel experiment engine instead of one -line run")
 		jobs  = flag.Int("jobs", 0, "experiment-engine worker count for -lines sweeps (0 = GOMAXPROCS); results are identical at any value")
+
+		tiers        = flag.Int("tiers", 0, "partition main memory into N latency tiers and run the online adaptive migrator (0 = flat memory; the heap is the near tier, demotions and over-budget allocations go far)")
+		migrateEvery = flag.Int("migrate-every", 4096, "mean guest operations between migrator wakes (with -tiers)")
+		fastFrac     = flag.Float64("fast-frac", 0.25, "near-memory residency budget as a fraction of live heap bytes (with -tiers)")
+		tierStatic   = flag.Bool("tier-static", false, "one-shot static placement instead of online adaptation (with -tiers)")
 
 		faultSpec = flag.String("fault", "", "arm a deterministic fault: kind@point[:visit] (e.g. flip@relocate.copy-write); a crashed or corrupted run exits 1 with the reason")
 		faultSeed = flag.Int64("fault-seed", 0, "seed for the fault corruption stream (0 = -seed)")
@@ -98,13 +107,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *tiers == 1 || *tiers < 0 {
+		fmt.Fprintln(os.Stderr, "memfwd-sim: -tiers wants 0 (flat) or >= 2")
+		os.Exit(2)
+	}
+
 	if *lines != "" {
 		// Sweep mode: each line size is one engine job with its own
 		// machine, so per-machine observability flags do not apply
 		// (-http does: the engine wires each cell to the shared plane).
 		if *tracePath != "" || *perfettoPath != "" || *sampleCSV != "" || *metrics || *profile ||
-			*relocReport || *heatTop > 0 || *attrCSV != "" || *attrJSON != "" {
-			fmt.Fprintln(os.Stderr, "memfwd-sim: -lines sweeps do not support -trace, -perfetto, -sample-csv, -metrics, -profile, -relocation-report, -heat, -attr-csv, or -attr-json")
+			*relocReport || *heatTop > 0 || *attrCSV != "" || *attrJSON != "" || *tiers != 0 {
+			fmt.Fprintln(os.Stderr, "memfwd-sim: -lines sweeps do not support -trace, -perfetto, -sample-csv, -metrics, -profile, -relocation-report, -heat, -attr-csv, -attr-json, or -tiers")
 			os.Exit(2)
 		}
 		ls, err := parseLines(*lines)
@@ -153,9 +167,14 @@ func main() {
 		return
 	}
 
+	var tierSpec *mem.TierConfig
+	if *tiers >= 2 {
+		tierSpec = mem.DefaultTierConfig(*tiers, sim.DefaultConfig().MemLatency)
+	}
 	m := memfwd.NewMachine(memfwd.MachineConfig{
 		LineSize:          *line,
 		PerfectForwarding: *perfect,
+		Tiers:             tierSpec,
 	})
 
 	// Event tracing: one tracer can feed several sinks.
@@ -209,8 +228,15 @@ func main() {
 	m.RegisterMetrics(reg)
 
 	var heat *memfwd.HeatMap
-	if *heatTop > 0 || *attrCSV != "" || *attrJSON != "" || telSrv != nil {
-		heat = memfwd.NewHeatMap(0, 0)
+	if *heatTop > 0 || *attrCSV != "" || *attrJSON != "" || telSrv != nil || tierSpec != nil {
+		// The migrator refuses to demote blocks the heat map does not
+		// track, so with -tiers the table must cover the whole heap,
+		// not just a telemetry-sized hot set.
+		heatObjs := 0
+		if tierSpec != nil {
+			heatObjs = 1 << 16
+		}
+		heat = memfwd.NewHeatMap(heatObjs, 0)
 		m.SetHeatMap(heat)
 		heat.RegisterMetrics(reg)
 	}
@@ -263,6 +289,24 @@ func main() {
 		m.SetFaultInjector(inj)
 	}
 
+	// The guest runs on the machine directly, or — with -tiers — on the
+	// migrator daemon wrapped around it. Sharing the machine's heat map
+	// gives the daemon full trap-cost and hop attribution.
+	var guest app.Machine = m
+	var daemon *tier.Daemon
+	if tierSpec != nil {
+		daemon = tier.New(m, tier.Config{
+			Tiers:    tierSpec,
+			Seed:     *seed,
+			Every:    *migrateEvery,
+			FastFrac: *fastFrac,
+			OneShot:  *tierStatic,
+			Heat:     heat,
+		})
+		daemon.RegisterMetrics(reg)
+		guest = daemon
+	}
+
 	// The run goes through the hardened engine even as a single job, so
 	// an injected crash, a hung workload, or a timeout is reported as a
 	// structured reason instead of killing the process.
@@ -279,7 +323,7 @@ func main() {
 		exp.Config{Jobs: 1, JobTimeout: *timeout, Retries: *retries, RetrySeed: *seed},
 		[]exp.Spec{spec},
 		func(int, exp.Spec) (struct{}, error) {
-			res = a.Run(m, appCfg)
+			res = a.Run(guest, appCfg)
 			return struct{}{}, nil
 		})
 	if len(jobErrs) > 0 {
@@ -366,6 +410,11 @@ func main() {
 	fmt.Printf("dep speculation     %d violations, %d bypasses\n", st.DepViolations, st.DepBypasses)
 	fmt.Printf("relocated objects   %d, space overhead %d bytes\n", res.Relocated, res.SpaceOverhead)
 	fmt.Printf("heap peak           %d bytes, pages touched %d\n", st.HeapPeak, st.PagesTouched)
+	if daemon != nil {
+		ds := daemon.Stats()
+		fmt.Printf("tiering             %d wakes, %d placed, %d demoted (%d B), %d spilled (%d B), %d promoted, %d repaired, near hit rate %.2f%%\n",
+			ds.Wakes, ds.Placed, ds.Demotions, ds.DemotedBytes, ds.Spills, ds.SpilledBytes, ds.Promotions, ds.Repaired, 100*ds.HitRate(0))
+	}
 	if tracer != nil {
 		fmt.Printf("trace events        %d\n", tracer.Emitted())
 	}

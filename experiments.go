@@ -8,10 +8,12 @@ import (
 
 	"memfwd/internal/exp"
 	"memfwd/internal/fault"
+	"memfwd/internal/mem"
 	"memfwd/internal/obs"
 	"memfwd/internal/opt"
 	"memfwd/internal/report"
 	"memfwd/internal/telemetry"
+	"memfwd/internal/tier"
 )
 
 // Variant names one bar of the paper's figures.
@@ -24,7 +26,16 @@ const (
 	VariantNP   Variant = "NP"   // original + software prefetch
 	VariantLP   Variant = "LP"   // optimized + software prefetch
 	VariantPerf Variant = "Perf" // optimized + perfect forwarding
+
+	// The tiering experiment's variants (RunTiering).
+	VariantFlat     Variant = "Flat"     // untiered machine: all memory near
+	VariantStatic   Variant = "Static"   // 2 tiers, one-shot static placement pass
+	VariantAdaptive Variant = "Adaptive" // 2 tiers, online adaptive migrator
 )
+
+// TierStats is the migrator daemon's accounting, attached to tiered
+// runs (Run.Tier).
+type TierStats = tier.Stats
 
 // Run is one measured application execution. The struct is
 // JSON-encodable so harnesses can export raw series
@@ -41,6 +52,11 @@ type Run struct {
 	// -sample-every); omitted from JSON otherwise, so existing encodings
 	// are unchanged.
 	Samples []Sample `json:",omitempty"`
+
+	// Tier is the migrator daemon's accounting, present only on the
+	// tiered variants of RunTiering; omitted from JSON otherwise, so
+	// existing encodings are unchanged.
+	Tier *TierStats `json:",omitempty"`
 
 	// Incomplete, when non-empty, marks a cell the engine could not
 	// finish (panic, timeout, cancellation, error) with its
@@ -642,6 +658,133 @@ func (sr *SMVRuns) Tables() []*report.Table {
 			avg(st.StoreFwdCycles, st.Stores))
 	}
 	return []*report.Table{a, b, c, d}
+}
+
+// TierRuns is the tiered-memory experiment (the OBASE direction
+// applied to the paper's mechanism): every application on a 2-tier
+// machine whose far tier costs 3x the near miss latency, comparing a
+// one-shot static placement pass (the paper's offline model: one
+// demotion sweep over the heat observed so far, then silence) against
+// the online adaptive migrator that keeps re-deciding residency as the
+// workload's phases shift. The untiered machine is the flat reference
+// both are normalized to.
+type TierRuns struct {
+	Runs []Run // app-major, tierVariants order per app
+
+	// Errs lists the cells the engine could not complete.
+	Errs []*exp.JobError
+}
+
+// tierVariants is the per-app column order of the tiering experiment.
+var tierVariants = []Variant{VariantFlat, VariantStatic, VariantAdaptive}
+
+// tierFigureHeatObjects sizes the heat map each tiered cell shares
+// between its machine and its migrator: whole-heap coverage, because
+// the migrator refuses to demote blocks the map does not track.
+const tierFigureHeatObjects = 1 << 16
+
+// RunTiering executes the tiering experiment across all eight
+// applications through the engine.
+func RunTiering(o Options) *TierRuns {
+	o = o.Norm()
+	var specs []exp.Spec
+	for _, a := range apps {
+		for _, v := range tierVariants {
+			specs = append(specs, exp.Spec{App: a.Name, Variant: string(v)})
+		}
+	}
+	runs, errs := runEngine(o, specs, func(_ int, s exp.Spec) Run {
+		return runTierCell(MustApp(s.App), Variant(s.Variant), o)
+	})
+	return &TierRuns{Runs: runs, Errs: errs}
+}
+
+// runTierCell executes one (app, tier-variant) cell. The tiered
+// variants share one machine-owned heat map with the migrator (full
+// trap and hop attribution — the same wiring as memfwd-sim -tiers) and
+// differ only in Config.OneShot; placement physics is identical.
+func runTierCell(a App, v Variant, o Options) Run {
+	cfg := AppConfig{Seed: o.Seed, Scale: o.Scale}
+	spec := exp.Spec{App: a.Name, Variant: string(v)}
+	if v == VariantFlat {
+		m := NewMachine(MachineConfig{})
+		if inj := o.armFault(spec); inj != nil {
+			m.SetFaultInjector(inj)
+		}
+		res := a.Run(m, cfg)
+		return Run{App: a.Name, Variant: v, Stats: m.Finalize(), Result: res}
+	}
+	tc := mem.DefaultTierConfig(2, DefaultMachineConfig().MemLatency)
+	m := NewMachine(MachineConfig{Tiers: tc})
+	if inj := o.armFault(spec); inj != nil {
+		m.SetFaultInjector(inj)
+	}
+	h := NewHeatMap(tierFigureHeatObjects, 0)
+	m.SetHeatMap(h)
+	d := tier.New(m, tier.Config{
+		Tiers:   tc,
+		Seed:    o.Seed,
+		OneShot: v == VariantStatic,
+		Heat:    h,
+	})
+	res := a.Run(d, cfg)
+	r := Run{App: a.Name, Variant: v, Stats: m.Finalize(), Result: res}
+	ts := d.Stats()
+	r.Tier = &ts
+	return r
+}
+
+// Get returns the run for (app, variant).
+func (tr *TierRuns) Get(appName string, v Variant) (Run, bool) {
+	for _, r := range tr.Runs {
+		if r.App == appName && r.Variant == v {
+			return r, true
+		}
+	}
+	return Run{}, false
+}
+
+// Table renders the tiering experiment: per app, each case's execution
+// time normalized to the flat reference, the adaptive arm's speedup
+// over the static one, and the migrator's accounting.
+func (tr *TierRuns) Table() *report.Table {
+	t := report.New(
+		"Tiering: one-shot static vs online adaptive relocation (2 tiers, far = 3x near latency; time normalized to Flat)",
+		"app", "case", "norm.time", "vs Static", "demoted", "promoted", "spilled", "near hit")
+	for _, a := range apps {
+		flat, _ := tr.Get(a.Name, VariantFlat)
+		static, _ := tr.Get(a.Name, VariantStatic)
+		for _, v := range tierVariants {
+			r, _ := tr.Get(a.Name, v)
+			if r.Stats == nil {
+				t.Add(a.Name, string(v), incompleteCell(r), "", "", "", "", "")
+				continue
+			}
+			var flatCycles float64
+			if flat.Stats != nil {
+				flatCycles = float64(flat.Stats.Cycles)
+			}
+			sp := ""
+			if v == VariantAdaptive {
+				if s := r.Speedup(static); s == 0 {
+					sp = "n/a"
+				} else {
+					sp = fmt.Sprintf("(%+.1f%%)", 100*(s-1))
+				}
+			}
+			demoted, promoted, spilled, hit := "", "", "", ""
+			if ts := r.Tier; ts != nil {
+				demoted = fmt.Sprint(ts.Demotions)
+				promoted = fmt.Sprint(ts.Promotions)
+				spilled = fmt.Sprint(ts.Spills)
+				hit = report.Pct(ts.HitRate(0))
+			}
+			t.Add(a.Name, string(v),
+				report.Ratio(float64(r.Stats.Cycles), flatCycles),
+				sp, demoted, promoted, spilled, hit)
+		}
+	}
+	return t
 }
 
 // RunTable1 regenerates Table 1: each application, the optimization

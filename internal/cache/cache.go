@@ -420,6 +420,13 @@ type MainMemory struct {
 	BytesRead    uint64
 	BytesWritten uint64
 	LineSize     int
+
+	// TierLatency, when non-nil, overrides Latency per line with the
+	// miss penalty of the memory tier owning that address
+	// (mem.Tiers.LineLatency). Nil is the untiered flat-DRAM model.
+	// The hook is derived from machine configuration, not simulation
+	// state, so snapshots neither save nor restore it.
+	TierLatency func(lineAddr uint64) int64
 }
 
 // NewMainMemory builds the DRAM model.
@@ -440,7 +447,11 @@ func (mm *MainMemory) transfer(now int64) int64 {
 // Fetch returns the cycle the requested line arrives from DRAM.
 func (mm *MainMemory) Fetch(lineAddr uint64, now int64) int64 {
 	mm.BytesRead += uint64(mm.LineSize)
-	return mm.transfer(now + mm.Latency)
+	lat := mm.Latency
+	if mm.TierLatency != nil {
+		lat = mm.TierLatency(lineAddr)
+	}
+	return mm.transfer(now + lat)
 }
 
 // WriteBack absorbs a dirty line, occupying the bus.

@@ -18,7 +18,7 @@ import (
 )
 
 // Names lists the known experiment selectors in output order.
-var Names = []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ext"}
+var Names = []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "tier", "ext"}
 
 // ErrIncomplete is wrapped by Run when one or more cells could not be
 // completed (panic, timeout, cancellation). All completed output has
@@ -85,6 +85,7 @@ type Envelope struct {
 	Fig5       []memfwd.Run `json:"fig5"`
 	Fig7       []memfwd.Run `json:"fig7"`
 	Fig10      []memfwd.Run `json:"fig10"`
+	Tier       []memfwd.Run `json:"tier"`
 	Incomplete []string     `json:"incomplete,omitempty"`
 }
 
@@ -228,6 +229,22 @@ func Run(cfg Config, stdout, stderr io.Writer) error {
 			for _, t := range sr.Tables() {
 				fmt.Fprintln(stdout, t)
 			}
+		}
+	}
+
+	if want("tier") {
+		section("tier")
+		tr := memfwd.RunTiering(o)
+		collect(tr.Errs)
+		switch {
+		case aggregate:
+			env.Tier = tr.Runs
+		case cfg.JSON:
+			if err := emit(tr.Runs); err != nil {
+				return err
+			}
+		default:
+			fmt.Fprintln(stdout, tr.Table())
 		}
 	}
 

@@ -54,6 +54,7 @@ func TestEnvelopeShape(t *testing.T) {
 		Fig5:  []memfwd.Run{{App: "health", Line: 32, Variant: memfwd.VariantN}},
 		Fig7:  []memfwd.Run{{App: "health", Line: 32, Variant: memfwd.VariantNP, Block: 4}},
 		Fig10: []memfwd.Run{{App: "smv", Line: 32, Variant: memfwd.VariantPerf}},
+		Tier:  []memfwd.Run{{App: "health", Variant: memfwd.VariantAdaptive}},
 	}
 	var buf bytes.Buffer
 	if err := memfwd.WriteJSON(&buf, env); err != nil {
@@ -63,19 +64,20 @@ func TestEnvelopeShape(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
 		t.Fatalf("envelope is not one JSON object: %v", err)
 	}
-	for _, key := range []string{"fig5", "fig7", "fig10"} {
+	for _, key := range []string{"fig5", "fig7", "fig10", "tier"} {
 		if _, ok := m[key]; !ok {
 			t.Errorf("envelope missing key %q", key)
 		}
 	}
-	if len(m) != 3 {
-		t.Errorf("envelope has %d keys, want 3", len(m))
+	if len(m) != 4 {
+		t.Errorf("envelope has %d keys, want 4", len(m))
 	}
 	i5 := bytes.Index(buf.Bytes(), []byte(`"fig5"`))
 	i7 := bytes.Index(buf.Bytes(), []byte(`"fig7"`))
 	i10 := bytes.Index(buf.Bytes(), []byte(`"fig10"`))
-	if !(i5 < i7 && i7 < i10) {
-		t.Errorf("key order not fixed: fig5@%d fig7@%d fig10@%d", i5, i7, i10)
+	it := bytes.Index(buf.Bytes(), []byte(`"tier"`))
+	if !(i5 < i7 && i7 < i10 && i10 < it) {
+		t.Errorf("key order not fixed: fig5@%d fig7@%d fig10@%d tier@%d", i5, i7, i10, it)
 	}
 }
 
@@ -120,6 +122,86 @@ func TestJSONDeterministicAcrossJobs(t *testing.T) {
 	}
 	if got != string(want) {
 		t.Errorf("fig10 JSON drifted from the committed golden:\n got %s want %s"+
+			"(run with -update-golden if the change is intentional)", got, want)
+	}
+}
+
+// TestTierFigureGoldenAndAdaptiveWins pins the tiering experiment the
+// same way: byte-identical JSON at different worker counts, a digest
+// committed under testdata/, and the experiment's headline claims —
+// the online adaptive migrator must beat the one-shot static pass on
+// at least one phase-changing application, and neither tiered arm may
+// change any application's checksum (residency is re-decided through
+// forwarding-safe relocation; results are untouchable).
+func TestTierFigureGoldenAndAdaptiveWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 24 application simulations")
+	}
+	out := func(jobs int) []byte {
+		var stdout, stderr bytes.Buffer
+		if err := Run(Config{Only: "tier", JSON: true, Seed: 9, Scale: 1, Jobs: jobs}, &stdout, &stderr); err != nil {
+			t.Fatal(err)
+		}
+		return stdout.Bytes()
+	}
+	a, b := out(1), out(8)
+	if len(a) == 0 {
+		t.Fatal("no JSON output")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("tier JSON differs between jobs=1 and jobs=8")
+	}
+
+	var runs []memfwd.Run
+	if err := json.Unmarshal(a, &runs); err != nil {
+		t.Fatalf("tier JSON does not decode: %v", err)
+	}
+	get := func(app string, v memfwd.Variant) memfwd.Run {
+		for _, r := range runs {
+			if r.App == app && r.Variant == v {
+				return r
+			}
+		}
+		t.Fatalf("run %s/%s missing", app, v)
+		return memfwd.Run{}
+	}
+	wins := 0
+	for _, app := range []string{"health", "radiosity", "smv", "vis"} {
+		st, ad := get(app, memfwd.VariantStatic), get(app, memfwd.VariantAdaptive)
+		if st.Stats == nil || ad.Stats == nil {
+			t.Fatalf("%s: incomplete tier cells", app)
+		}
+		if ad.Stats.Cycles < st.Stats.Cycles {
+			wins++
+		}
+	}
+	if wins == 0 {
+		t.Error("online adaptive tiering beat one-shot static on no phase-changing app")
+	}
+	for _, appName := range []string{"compress", "eqntott", "bh", "health", "mst", "radiosity", "smv", "vis"} {
+		flat := get(appName, memfwd.VariantFlat)
+		for _, v := range []memfwd.Variant{memfwd.VariantStatic, memfwd.VariantAdaptive} {
+			if r := get(appName, v); r.Result.Checksum != flat.Result.Checksum {
+				t.Errorf("%s/%s checksum %#x != flat %#x: tiering changed program results",
+					appName, v, r.Result.Checksum, flat.Result.Checksum)
+			}
+		}
+	}
+
+	got := fmt.Sprintf("sha256:%x bytes:%d\n", sha256.Sum256(a), len(a))
+	golden := filepath.Join("testdata", "tier-json.digest")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden digest (regenerate with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("tier JSON drifted from the committed golden:\n got %s want %s"+
 			"(run with -update-golden if the change is intentional)", got, want)
 	}
 }

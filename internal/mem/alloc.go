@@ -47,8 +47,26 @@ type Allocator struct {
 	PeakLive       uint64
 
 	// OnEvent, when non-nil, observes every "alloc" and "free" with the
-	// block base (debugging/test support).
-	OnEvent func(op string, a Addr)
+	// block base and its rounded usable size. It fires *after* the
+	// allocator's own bookkeeping, so a listener that inspects the
+	// allocator (Live, SizeOf) sees a consistent post-state. This is the
+	// single identity channel for heat attribution: every path that
+	// creates or retires a block — timed Malloc/Free, untimed Alloc/Free,
+	// arena carving — passes through here, so an address-reuse listener
+	// (obs.HeatMap) can never be left holding a stale identity.
+	OnEvent func(op string, a Addr, size uint64)
+
+	// Place, when non-nil, is consulted by Alloc with the rounded block
+	// size before the heap path runs. Returning a nonzero word-aligned
+	// address places the block there instead of on the heap: the caller
+	// owns that address space (in practice a tier window, carved by the
+	// tiering daemon from its mem.Tiers arenas) and guarantees it is
+	// fresh, zeroed, and never handed out twice. Placed blocks carry no
+	// header and never enter the freelist — Free of one only retires its
+	// identity — so window space is consumed bump-style, exactly like
+	// relocation targets. Returning 0 means "no opinion": the block goes
+	// on the heap as usual.
+	Place func(size uint64) Addr
 }
 
 // NewAllocator creates an allocator managing [base, base+limit).
@@ -68,10 +86,16 @@ func NewAllocator(m *Memory, base Addr, limit uint64) *Allocator {
 	}
 }
 
-// roundSize rounds a request up to a whole number of words.
+// roundSize rounds a request up to a whole number of words. Requests
+// within a word of 2^64 cannot be rounded without wrapping to zero —
+// no arena can hold them, so they panic as exhaustion rather than
+// silently becoming zero-size blocks.
 func roundSize(n uint64) uint64 {
 	if n == 0 {
 		n = WordSize
+	}
+	if n > ^uint64(0)-(WordSize-1) {
+		panic(fmt.Sprintf("mem: arena exhausted (allocation size %#x overflows word rounding)", n))
 	}
 	return (n + WordSize - 1) &^ uint64(WordMask)
 }
@@ -82,26 +106,47 @@ func roundSize(n uint64) uint64 {
 func (al *Allocator) Alloc(n uint64) Addr {
 	size := roundSize(n)
 	var a Addr
+	if al.Place != nil {
+		if p := al.Place(size); p != 0 {
+			if p&WordMask != 0 {
+				panic(fmt.Sprintf("mem: Place hook returned unaligned address %#x", p))
+			}
+			if al.Contains(p) {
+				panic(fmt.Sprintf("mem: Place hook returned in-heap address %#x", p))
+			}
+			al.live[p] = size
+			al.BytesAllocated += size
+			al.BytesLive += size
+			if al.BytesLive > al.PeakLive {
+				al.PeakLive = al.BytesLive
+			}
+			if al.OnEvent != nil {
+				al.OnEvent("alloc", p, size)
+			}
+			return p
+		}
+	}
 	if stack := al.free[size]; len(stack) > 0 {
 		a = stack[len(stack)-1]
 		al.free[size] = stack[:len(stack)-1]
 		al.m.Zero(a, size)
 	} else {
 		a = al.brk
-		al.brk += Addr(size + al.HeaderBytes)
-		if al.brk > al.end {
-			panic(fmt.Sprintf("mem: arena exhausted (brk %#x > end %#x)", al.brk, al.end))
+		need := size + al.HeaderBytes
+		if need < size || al.brk+Addr(need) < al.brk || al.brk+Addr(need) > al.end {
+			panic(fmt.Sprintf("mem: arena exhausted (%#x bytes at brk %#x, end %#x)", need, al.brk, al.end))
 		}
+		al.brk += Addr(need)
 		// Fresh pages are already zero with clear fbits; no Zero needed.
-	}
-	if al.OnEvent != nil {
-		al.OnEvent("alloc", a)
 	}
 	al.live[a] = size
 	al.BytesAllocated += size
 	al.BytesLive += size
 	if al.BytesLive > al.PeakLive {
 		al.PeakLive = al.BytesLive
+	}
+	if al.OnEvent != nil {
+		al.OnEvent("alloc", a, size)
 	}
 	return a
 }
@@ -117,12 +162,16 @@ func (al *Allocator) Free(a Addr) {
 	if al.pinned[a] {
 		panic(fmt.Sprintf("mem: free of pinned (arena) block %#x", a))
 	}
-	if al.OnEvent != nil {
-		al.OnEvent("free", a)
-	}
 	delete(al.live, a)
 	al.BytesLive -= size
-	al.free[size] = append(al.free[size], a)
+	// Placed (out-of-heap) blocks never re-enter circulation: their
+	// window space is bump-only, like relocation targets.
+	if al.Contains(a) {
+		al.free[size] = append(al.free[size], a)
+	}
+	if al.OnEvent != nil {
+		al.OnEvent("free", a, size)
+	}
 }
 
 // SizeOf returns the usable size of the live block at a.
@@ -199,11 +248,25 @@ func NewArena(al *Allocator, n uint64) *Arena {
 	return &Arena{base: base, next: base, end: base + Addr(n)}
 }
 
+// NewArenaAt lays an arena directly over [base, base+n) without drawing
+// from any allocator. Tier windows live outside the guest heap's
+// reserved range, so their arenas cannot be carved from the heap
+// allocator; they are raw address-space regions backed, like all of
+// Memory, by demand-zero pages.
+func NewArenaAt(base Addr, n uint64) *Arena {
+	if base&WordMask != 0 {
+		panic("mem: arena base must be word-aligned")
+	}
+	return &Arena{base: base, next: base, end: base + Addr(n)}
+}
+
 // Alloc returns n contiguous word-aligned bytes, or 0 if the arena is
-// exhausted (callers fall back to a fresh arena).
+// exhausted (callers fall back to a fresh arena). The comparison is
+// phrased against Remaining so a request within a word of 2^64 cannot
+// wrap the cursor past end and "succeed".
 func (ar *Arena) Alloc(n uint64) Addr {
 	size := roundSize(n)
-	if ar.next+Addr(size) > ar.end {
+	if size > ar.Remaining() {
 		return 0
 	}
 	a := ar.next

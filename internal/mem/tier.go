@@ -1,0 +1,199 @@
+package mem
+
+import "fmt"
+
+// Memory tiers (the OBASE direction): the physical address space is
+// partitioned into N latency classes, fastest first. The guest heap —
+// and every other address outside the explicit windows — is NEAR
+// memory, tier 0: data is born fast, exactly like DRAM in a
+// DRAM-plus-CXL or DRAM-plus-persistent-memory system. Each tier also
+// owns a relocation window, a contiguous region outside the heap that
+// the tiering daemon bump-allocates relocation targets from: windows
+// of tiers 1..N-1 are far memory (demotion targets and overflow
+// placement when near memory is over budget), and tier 0's window is
+// near-latency space for hauling a mistakenly-demoted object back.
+// An object changes tier only by being *relocated* — that is the
+// paper's thesis applied to tiering: forwarding makes the relocation
+// that tiering needs always safe, so placement can be re-decided
+// continuously at run time.
+//
+// Tier geometry is a pure function of its TierConfig: windows start at
+// TierWindowBase (far above the heap, the serve shard arenas, and the
+// chaos arenas) and are laid out sequentially with guard gaps. Two
+// Tiers built from equal configs agree on every address, so a machine
+// rebuilt from a snapshot — or swapped under a live session — keeps
+// the same tier map without any mutable state travelling with it.
+
+const (
+	// TierWindowBase is the first tier window's base address: 2^40,
+	// far outside the guest heap (ends below 2^31) and the per-shard
+	// serve arenas (top out below 2^39 for any realistic shard count).
+	TierWindowBase = Addr(1) << 40
+
+	// tierGuardBytes separates consecutive tier windows so an
+	// off-by-one can never silently cross tiers.
+	tierGuardBytes = uint64(1) << 30
+
+	// maxTierCapacity bounds one window; enough for any simulated
+	// working set while keeping window arithmetic far from overflow.
+	maxTierCapacity = uint64(1) << 38
+)
+
+// TierConfig is the immutable specification of a tiered memory: the
+// per-tier miss latency in cycles (fastest first) and the per-tier
+// window capacity in bytes. It is carried by pointer inside sim.Config
+// (which must stay comparable), so build one and share it.
+type TierConfig struct {
+	Latencies  []int64
+	Capacities []uint64
+}
+
+// DefaultTierConfig builds an n-tier config whose near tier (the heap)
+// costs baseLatency cycles and each further tier 3x the previous —
+// DRAM vs CXL-attached vs persistent-class memory, roughly. Every tier
+// gets a 64 MB relocation window.
+func DefaultTierConfig(n int, baseLatency int64) *TierConfig {
+	if n < 2 {
+		panic("mem: a tier config needs at least 2 tiers")
+	}
+	if baseLatency <= 0 {
+		panic("mem: tier base latency must be positive")
+	}
+	cfg := &TierConfig{}
+	lat := baseLatency
+	for i := 0; i < n; i++ {
+		cfg.Latencies = append(cfg.Latencies, lat)
+		cfg.Capacities = append(cfg.Capacities, 64<<20)
+		lat *= 3
+	}
+	return cfg
+}
+
+// Tiers is the realized geometry plus per-tier residency accounting.
+// Geometry (windows, latencies) is immutable after NewTiers; the
+// accounting (Take/Release, BytesLive) is only ever driven by a single
+// tiering daemon, so a Tiers held by a Machine purely for latency
+// lookups stays constant.
+type Tiers struct {
+	lat    []int64
+	base   []Addr
+	cap    []uint64
+	live   []uint64
+	arenas []*Arena
+}
+
+// NewTiers validates cfg and lays out the tier windows. It panics on a
+// malformed config: tier counts and capacities are experiment
+// parameters, not runtime conditions.
+func NewTiers(cfg *TierConfig) *Tiers {
+	n := len(cfg.Latencies)
+	if n < 2 {
+		panic("mem: a tiered memory needs at least 2 tiers")
+	}
+	if len(cfg.Capacities) != n {
+		panic(fmt.Sprintf("mem: tier config has %d latencies but %d capacities", n, len(cfg.Capacities)))
+	}
+	t := &Tiers{
+		lat:    make([]int64, n),
+		base:   make([]Addr, n),
+		cap:    make([]uint64, n),
+		live:   make([]uint64, n),
+		arenas: make([]*Arena, n),
+	}
+	next := TierWindowBase
+	for i := 0; i < n; i++ {
+		if cfg.Latencies[i] <= 0 {
+			panic(fmt.Sprintf("mem: tier %d latency %d must be positive", i, cfg.Latencies[i]))
+		}
+		if i > 0 && cfg.Latencies[i] < cfg.Latencies[i-1] {
+			panic(fmt.Sprintf("mem: tier latencies must be non-decreasing (tier %d: %d < %d)",
+				i, cfg.Latencies[i], cfg.Latencies[i-1]))
+		}
+		c := cfg.Capacities[i]
+		if c == 0 || c&WordMask != 0 || c > maxTierCapacity {
+			panic(fmt.Sprintf("mem: tier %d capacity %#x must be word-aligned, nonzero, and at most %#x",
+				i, c, maxTierCapacity))
+		}
+		t.lat[i] = cfg.Latencies[i]
+		t.cap[i] = c
+		t.base[i] = next
+		next += Addr(c + tierGuardBytes)
+	}
+	return t
+}
+
+// N returns the number of tiers.
+func (t *Tiers) N() int { return len(t.lat) }
+
+// Default returns the tier index of addresses outside every window —
+// tier 0, near memory, where the heap and all unrelocated data live.
+func (t *Tiers) Default() int { return 0 }
+
+// Slowest returns the far-memory tier index.
+func (t *Tiers) Slowest() int { return len(t.lat) - 1 }
+
+// TierOf maps an address to its tier: the owning window's tier, or
+// near memory (tier 0) for addresses outside all windows.
+func (t *Tiers) TierOf(a Addr) int {
+	if a < t.base[0] {
+		return t.Default()
+	}
+	for i := range t.base {
+		if a >= t.base[i] && a < t.base[i]+Addr(t.cap[i]) {
+			return i
+		}
+	}
+	return t.Default()
+}
+
+// Latency returns tier i's miss latency in cycles.
+func (t *Tiers) Latency(i int) int64 { return t.lat[i] }
+
+// LineLatency is the cache.MainMemory hook: the miss latency of the
+// tier owning lineAddr.
+func (t *Tiers) LineLatency(lineAddr uint64) int64 {
+	return t.lat[t.TierOf(Addr(lineAddr))]
+}
+
+// Window returns tier i's relocation window [base, end).
+func (t *Tiers) Window(i int) (base, end Addr) {
+	return t.base[i], t.base[i] + Addr(t.cap[i])
+}
+
+// Capacity returns tier i's window capacity in bytes.
+func (t *Tiers) Capacity(i int) uint64 { return t.cap[i] }
+
+// BytesLive returns the bytes currently resident in tier i's window
+// per Take/Release accounting.
+func (t *Tiers) BytesLive(i int) uint64 { return t.live[i] }
+
+// Arena returns tier i's bump arena over its window, built on first use.
+func (t *Tiers) Arena(i int) *Arena {
+	if t.arenas[i] == nil {
+		t.arenas[i] = NewArenaAt(t.base[i], t.cap[i])
+	}
+	return t.arenas[i]
+}
+
+// Take bump-allocates n word-rounded bytes from tier i's window and
+// accounts them resident, returning 0 when the window is exhausted.
+// Targets are never recycled: a relocated-away copy may still be a
+// live chain link, so the cursor only advances (same rule as the opt
+// relocation pools).
+func (t *Tiers) Take(i int, n uint64) Addr {
+	a := t.Arena(i).Alloc(n)
+	if a != 0 {
+		t.live[i] += roundSize(n)
+	}
+	return a
+}
+
+// Release un-accounts n bytes from tier i (the object moved elsewhere
+// or died). The window bytes themselves are not reused.
+func (t *Tiers) Release(i int, n uint64) {
+	n = roundSize(n)
+	if n > t.live[i] {
+		panic(fmt.Sprintf("mem: tier %d release of %#x bytes exceeds %#x live", i, n, t.live[i]))
+	}
+	t.live[i] -= n
+}

@@ -187,6 +187,20 @@ func (h *HeatMap) Resolve(addr uint64) (base uint64, ok bool) {
 	return o.Base, true
 }
 
+// Get returns a copy of the tracked profile for the block at base
+// (nil-safe). The tiering daemon uses it to read the current decayed
+// heat of a specific resident object when ranking demotion victims.
+func (h *HeatMap) Get(base uint64) (HeatObject, bool) {
+	if h == nil {
+		return HeatObject{}, false
+	}
+	o, ok := h.objs[base]
+	if !ok {
+		return HeatObject{}, false
+	}
+	return *o, true
+}
+
 // RecordAccess attributes one load or store (nil-safe). initial is the
 // address the program issued (object identity follows the original
 // location so heat survives relocation until the chain is collapsed);

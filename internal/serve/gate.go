@@ -75,12 +75,31 @@ func (g *gate) tick() {
 // step grants n additional guest operations and blocks until they are
 // consumed or the run finishes, returning the total operations consumed
 // so far and whether the run is done. A pause in force does not abort
-// the grant — the runner resumes consuming it once resumed.
+// the grant — the runner resumes consuming it once resumed. A
+// non-positive n grants nothing and returns the current state
+// immediately: it must not turn into a wait on budget some *earlier*
+// step granted (the HTTP layer rejects such requests, but the gate is
+// safe against them regardless).
 func (g *gate) step(n int64) (used int64, done bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if n <= 0 {
+		return g.used, g.done
+	}
 	g.budget += n
 	g.cond.Broadcast()
+	for g.budget > 0 && !g.done {
+		g.cond.Wait()
+	}
+	return g.used, g.done
+}
+
+// drain blocks until every previously granted operation is consumed or
+// the run finishes — the wait-only behaviour step(0) used to have by
+// accident, as an explicit primitive for controllers that want it.
+func (g *gate) drain() (used int64, done bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	for g.budget > 0 && !g.done {
 		g.cond.Wait()
 	}

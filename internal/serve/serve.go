@@ -166,6 +166,16 @@ type createRequest struct {
 	Chaos         bool  `json:"chaos,omitempty"`
 	ChaosSeed     int64 `json:"chaosSeed,omitempty"`
 	ChaosInterval int   `json:"chaosInterval,omitempty"`
+
+	// Tiers builds the session's machine with n latency tiers (n >= 2;
+	// 0 means untiered). App sessions additionally run under the online
+	// migrator daemon; raw sessions get the tiered geometry only. The
+	// remaining knobs mirror the CLI's -migrate-every, -fast-frac and
+	// -tier-static flags and take the daemon's defaults when zero.
+	Tiers        int     `json:"tiers,omitempty"`
+	MigrateEvery int     `json:"migrateEvery,omitempty"`
+	FastFrac     float64 `json:"fastFrac,omitempty"`
+	TierStatic   bool    `json:"tierStatic,omitempty"`
 }
 
 // sessionInfo is the JSON view of a session.
@@ -174,6 +184,7 @@ type sessionInfo struct {
 	Mode  string `json:"mode"`
 	Shard int    `json:"shard"`
 	Chaos bool   `json:"chaos,omitempty"`
+	Tiers int    `json:"tiers,omitempty"`
 	Ops   uint64 `json:"ops"`
 	Done  bool   `json:"done,omitempty"`
 }
@@ -185,6 +196,7 @@ func (sv *Server) info(s *Session) sessionInfo {
 		Mode:  s.Mode,
 		Shard: int(s.shard.Load()),
 		Chaos: s.Chaos,
+		Tiers: s.Tiers,
 		Ops:   s.ops(),
 		Done:  done,
 	}
@@ -609,16 +621,21 @@ func (sv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		stats = m.Snapshot()
 		return nil
 	})
+	tv := s.tierSnapshot()
 	s.mu.Unlock()
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "digest: %v", err)
 		return
 	}
-	writeJSON(w, map[string]any{
+	resp := map[string]any{
 		"session": info,
 		"digest":  fmt.Sprintf("%#x", dig),
 		"stats":   stats,
-	})
+	}
+	if tv != nil {
+		resp["tier"] = tv
+	}
+	writeJSON(w, resp)
 }
 
 func (sv *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
@@ -730,11 +747,34 @@ func (sv *Server) MetricsSnapshot() map[string]float64 {
 	sv.mu.Unlock()
 	var ops, events, drops uint64
 	active := len(sessions)
+	var tierSessions int
+	var tierAgg tierView
 	for _, s := range sessions {
 		ops += s.ops()
 		e, d, _ := s.hub.Stats()
 		events += e
 		drops += d
+		if s.td == nil {
+			continue
+		}
+		// Tier gauges need the machine quiesced; take the session mutex
+		// like any other control-plane read and skip closed sessions.
+		s.mu.Lock()
+		if !s.closed {
+			if tv := s.tierSnapshot(); tv != nil {
+				tierSessions++
+				tierAgg.Stats.Wakes += tv.Stats.Wakes
+				tierAgg.Stats.Promotions += tv.Stats.Promotions
+				tierAgg.Stats.Demotions += tv.Stats.Demotions
+				tierAgg.Stats.Placed += tv.Stats.Placed
+				tierAgg.Stats.Spills += tv.Stats.Spills
+				tierAgg.Stats.Repaired += tv.Stats.Repaired
+				tierAgg.Stats.Remorse += tv.Stats.Remorse
+				tierAgg.NearBytes += tv.NearBytes
+				tierAgg.FarBytes += tv.FarBytes
+			}
+		}
+		s.mu.Unlock()
 	}
 	ops += sv.opsRetired.Load()
 	events += sv.eventsRetired.Load()
@@ -756,6 +796,17 @@ func (sv *Server) MetricsSnapshot() map[string]float64 {
 		"serve.ops_per_session":      scrub(float64(ops) / float64(created)),
 		"serve.sessions_per_shard":   scrub(float64(active) / float64(len(sv.shards))),
 		"serve.events.drop_fraction": scrub(float64(drops) / float64(events)),
+		// Tiering, aggregated over live tiered sessions (all 0 when none).
+		"serve.tier.sessions":       float64(tierSessions),
+		"serve.tier.wakes":          float64(tierAgg.Stats.Wakes),
+		"serve.tier.promotions":     float64(tierAgg.Stats.Promotions),
+		"serve.tier.demotions":      float64(tierAgg.Stats.Demotions),
+		"serve.tier.placed":         float64(tierAgg.Stats.Placed),
+		"serve.tier.spills":         float64(tierAgg.Stats.Spills),
+		"serve.tier.repaired":       float64(tierAgg.Stats.Repaired),
+		"serve.tier.remorse":        float64(tierAgg.Stats.Remorse),
+		"serve.tier.near.bytesLive": float64(tierAgg.NearBytes),
+		"serve.tier.far.bytesLive":  float64(tierAgg.FarBytes),
 	}
 	for _, sh := range sv.shards {
 		prefix := fmt.Sprintf("serve.shard.%d.", sh.id)

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -313,7 +314,7 @@ func TestGate(t *testing.T) {
 		t.Fatal("runner advanced while paused")
 	}
 	g.resume()
-	used, _ = g.step(0) // wait out the 100-op grant
+	used, _ = g.drain() // wait out the 100-op grant
 	if used != 110 {
 		t.Fatalf("after resume used=%d, want 110", used)
 	}
@@ -326,6 +327,117 @@ func TestGate(t *testing.T) {
 	<-done
 	if !g.finished() {
 		t.Fatal("killed runner not finished")
+	}
+}
+
+// Satellite regression: a non-positive grant must not block on budget
+// granted by an earlier step. Before the guard, step(n<=0) added
+// nothing to the budget but still sat in the wait loop until the
+// pending grant drained — with a parked runner, forever.
+func TestGateStepNonPositiveReturnsImmediately(t *testing.T) {
+	g := newGate()
+	g.mu.Lock()
+	g.budget = 7 // pending grant from an earlier step; nobody consuming
+	g.used = 3
+	g.mu.Unlock()
+	type res struct {
+		used int64
+		done bool
+	}
+	got := make(chan res, 2)
+	for _, n := range []int64{0, -4} {
+		go func(n int64) {
+			used, done := g.step(n)
+			got <- res{used, done}
+		}(n)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-got:
+			if r.used != 3 || r.done {
+				t.Fatalf("step(<=0) = %+v, want used=3 done=false", r)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("step with non-positive grant blocked on earlier budget")
+		}
+	}
+}
+
+// Race test: a kill during a blocked step must wake the waiter with
+// done=true promptly, not leave it hung on budget that will never be
+// consumed.
+func TestGateKillWakesBlockedStep(t *testing.T) {
+	g := newGate()
+	started := make(chan struct{})
+	go func() {
+		defer g.finish()
+		defer func() { recover() }() //nolint:errcheck // killed unwind
+		close(started)
+		for {
+			g.tick()
+		}
+	}()
+	<-started
+	g.pause() // park the runner so the grant below is never consumed
+
+	type res struct {
+		used int64
+		done bool
+	}
+	got := make(chan res, 1)
+	go func() {
+		used, done := g.step(100)
+		got <- res{used, done}
+	}()
+	time.Sleep(5 * time.Millisecond) // let the step enter its wait
+	g.kill()
+	select {
+	case r := <-got:
+		if !r.done {
+			t.Fatalf("blocked step woke with done=%v, want true", r.done)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("kill did not wake the blocked step")
+	}
+}
+
+// TestStepHTTPRejectsNonPositive: the HTTP layer 400s non-positive
+// grants before they reach the gate.
+func TestStepHTTPRejectsNonPositive(t *testing.T) {
+	sv := startServer(t, Config{Shards: 1})
+	var info sessionInfo
+	call(t, sv, "POST", "/sessions", createRequest{Mode: "mst", Seed: 3}, &info)
+	for _, ops := range []int64{0, -1} {
+		err := callErr(sv, "POST", "/sessions/"+info.ID+"/step", map[string]int64{"ops": ops}, nil)
+		if err == nil || !strings.Contains(err.Error(), "400") {
+			t.Fatalf("step ops=%d: err=%v, want 400", ops, err)
+		}
+	}
+	call(t, sv, "DELETE", "/sessions/"+info.ID, nil, nil)
+}
+
+// TestDeleteWakesBlockedStep drives the kill-during-step race over
+// real HTTP: a step holding a grant far larger than the run consumes
+// quickly is interrupted by session deletion and must return promptly.
+func TestDeleteWakesBlockedStep(t *testing.T) {
+	sv := startServer(t, Config{Shards: 1})
+	var info sessionInfo
+	call(t, sv, "POST", "/sessions", createRequest{Mode: "mst", Seed: 3}, &info)
+	done := make(chan error, 1)
+	go func() {
+		var resp stepResponse
+		done <- callErr(sv, "POST", "/sessions/"+info.ID+"/step",
+			map[string]int64{"ops": 1 << 40}, &resp)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	call(t, sv, "DELETE", "/sessions/"+info.ID, nil, nil)
+	select {
+	case err := <-done:
+		// Either a clean done=true response or the handler observed the
+		// session vanish; hanging is the failure mode.
+		_ = err
+	case <-time.After(5 * time.Second):
+		t.Fatal("step did not return after session deletion")
 	}
 }
 

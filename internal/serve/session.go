@@ -11,7 +11,13 @@ import (
 	"memfwd/internal/obs"
 	"memfwd/internal/oracle"
 	"memfwd/internal/sim"
+	"memfwd/internal/tier"
 )
+
+// tierHeatObjects sizes a tiered session's shared heat map: whole-heap
+// coverage, because the migrator refuses to demote blocks the map does
+// not track (same sizing as the CLI's -tiers path).
+const tierHeatObjects = 1 << 16
 
 // arenaRegionBytes is the relocation-target address space one shard
 // region spans. Regions are keyed by shard id and sit far above any
@@ -42,6 +48,7 @@ type Session struct {
 	ID    string
 	Mode  string // "raw" or an application name
 	Chaos bool
+	Tiers int // latency tiers the session's machine was built with (0 = untiered)
 
 	shard atomic.Int32
 
@@ -67,17 +74,42 @@ type Session struct {
 	runnerDone chan struct{}
 	res        app.Result
 	runErr     error
+
+	// Tiering (app mode with Tiers >= 2): the migrator daemon wrapping
+	// the proxy, and the heat map shared between machine and daemon.
+	// Both are host state — they survive live migration by reattaching
+	// to the swapped-in machine (see migrate).
+	td   *tier.Daemon
+	heat *obs.HeatMap
 }
 
 // newSession builds a session on the given shard. For app mode, name
 // must be a registered application; the runner goroutine starts parked
 // (zero budget) and advances only under /step grants.
 func newSession(id string, shard int, cfg sim.Config, req createRequest) (*Session, error) {
+	// Tiering is per-session config: the tier spec goes into the
+	// machine's sim.Config (so it travels with snapshots and rebuilds
+	// identically on migration), and app sessions additionally get the
+	// migrator daemon. Raw sessions get geometry only — the daemon is an
+	// app.Machine interceptor and raw ops drive the machine directly.
+	var tc *mem.TierConfig
+	if req.Tiers != 0 {
+		if req.Tiers < 2 {
+			return nil, fmt.Errorf("tiers must be at least 2 (got %d)", req.Tiers)
+		}
+		base := cfg.MemLatency
+		if base <= 0 {
+			base = sim.DefaultConfig().MemLatency
+		}
+		tc = mem.DefaultTierConfig(req.Tiers, base)
+		cfg.Tiers = tc
+	}
 	s := &Session{
-		ID:   id,
-		Mode: "raw",
-		cfg:  cfg,
-		hub:  obs.NewBroadcaster(),
+		ID:    id,
+		Mode:  "raw",
+		Tiers: req.Tiers,
+		cfg:   cfg,
+		hub:   obs.NewBroadcaster(),
 	}
 	s.shard.Store(int32(shard))
 	s.arenaNext = shardArenaBase(shard)
@@ -99,12 +131,30 @@ func newSession(id string, shard int, cfg sim.Config, req createRequest) (*Sessi
 	s.g = newGate()
 	s.px = newProxy(s.g, m)
 	var gm app.Machine = s.px
+	if tc != nil {
+		h := obs.NewHeatMap(tierHeatObjects, 0)
+		m.SetHeatMap(h)
+		s.heat = h
+		s.td = tier.New(s.px, tier.Config{
+			Tiers:    tc,
+			Seed:     req.Seed,
+			Every:    req.MigrateEvery,
+			FastFrac: req.FastFrac,
+			OneShot:  req.TierStatic,
+			Heat:     h,
+		})
+		gm = s.td
+	}
 	if req.Chaos {
 		seed := req.ChaosSeed
 		if seed == 0 {
 			seed = 1
 		}
-		s.rel = oracle.NewRelocator(s.px, seed, req.ChaosInterval)
+		// The adversary wraps the daemon (when present): its relocations
+		// and clock run through the same interception chain the guest
+		// uses, so a chaos episode perturbs the migrator's view exactly
+		// as an external agent would.
+		s.rel = oracle.NewRelocator(gm, seed, req.ChaosInterval)
 		gm = s.rel
 	}
 	appCfg := app.Config{
@@ -150,6 +200,28 @@ func (s *Session) ops() uint64 {
 	return s.rawOps
 }
 
+// tierView is the /stats and /metrics view of a session's migrator.
+type tierView struct {
+	Stats     tier.Stats `json:"stats"`
+	NearBytes uint64     `json:"nearBytes"`
+	FarBytes  uint64     `json:"farBytes"`
+}
+
+// tierSnapshot reads the migrator's accounting with the machine
+// quiesced (the daemon shares the runner's synchronization domain).
+// Callers hold s.mu. Returns nil for untiered and raw sessions.
+func (s *Session) tierSnapshot() *tierView {
+	if s.td == nil {
+		return nil
+	}
+	var v tierView
+	s.withMachine(func(m *sim.Machine) error { //nolint:errcheck // fn returns nil
+		v = tierView{Stats: s.td.Stats(), NearBytes: s.td.NearLive(), FarBytes: s.td.FarLive()}
+		return nil
+	})
+	return &v
+}
+
 // digest computes the heap digest modulo forwarding. Callers hold s.mu.
 func (s *Session) digest() (uint64, error) {
 	var d uint64
@@ -183,10 +255,19 @@ func (s *Session) migrate(to int) error {
 			return fmt.Errorf("serve: migrate %s: %w", s.ID, err)
 		}
 		nm.SetTracer(s.tr)
+		if s.heat != nil {
+			nm.SetHeatMap(s.heat)
+		}
 		if s.g != nil {
 			s.px.swap(nm)
 		} else {
 			s.m = nm
+		}
+		if s.td != nil {
+			// The daemon's policy state is host state and persists; the
+			// allocator (and its placement hook) is machine state and
+			// must be re-cached from the swapped-in machine.
+			s.td.Rebind()
 		}
 		s.shard.Store(int32(to))
 		s.arenaNext = shardArenaBase(to) + s.arenaOff

@@ -112,6 +112,55 @@ func TestHeatMapDisabledZeroAlloc(t *testing.T) {
 	_ = sink
 }
 
+// Satellite regression: heat identity must not alias across address
+// reuse on the *untimed* allocator path. Before heat attribution moved
+// to the allocator's OnEvent hook, only timed Malloc/Free fed the map;
+// a block freed through Allocator.Free directly (arena carving, heap
+// aging, tools) and re-allocated at the same base kept the dead
+// object's decayed counters and its stale word index.
+func TestHeatMapNoAliasOnUntimedReuse(t *testing.T) {
+	m := newM()
+	h := obs.NewHeatMap(64, 0)
+	m.SetHeatMap(h)
+
+	a := m.Malloc(64)
+	m.StoreWord(a, 1)
+	m.StoreWord(a+8, 2)
+	m.LoadWord(a)
+	if o, ok := h.Get(uint64(a)); !ok || o.Loads != 1 || o.Stores != 2 || !o.Live {
+		t.Fatalf("first incarnation: %+v ok=%v", o, ok)
+	}
+
+	// Free and re-allocate through the UNTIMED allocator: same size
+	// class, LIFO freelist, so the base comes straight back.
+	m.Allocator().Free(a)
+	if o, ok := h.Get(uint64(a)); !ok || o.Live {
+		t.Fatalf("untimed free not observed: %+v ok=%v", o, ok)
+	}
+	b := m.Allocator().Alloc(64)
+	if b != a {
+		t.Fatalf("expected freelist reuse of %#x, got %#x", a, b)
+	}
+
+	// The reused base is a fresh object: live, zero counters.
+	o, ok := h.Get(uint64(b))
+	if !ok {
+		t.Fatal("reused base not tracked")
+	}
+	if !o.Live {
+		t.Fatalf("reused base not live: %+v", o)
+	}
+	if o.Loads != 0 || o.Stores != 0 {
+		t.Fatalf("reused base inherited dead object's counters: %+v", o)
+	}
+
+	// And the word index points at the new incarnation.
+	m.LoadWord(b + 8)
+	if o, _ := h.Get(uint64(b)); o.Loads != 1 {
+		t.Fatalf("access to reused block not attributed: %+v", o)
+	}
+}
+
 // TestHeatMapDetach: SetHeatMap(nil) stops attribution mid-run.
 func TestHeatMapDetach(t *testing.T) {
 	m := newM()

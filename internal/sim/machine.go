@@ -64,6 +64,15 @@ type Config struct {
 	// Heap geometry.
 	HeapBase  mem.Addr
 	HeapLimit uint64
+
+	// Tiers, when non-nil, partitions the physical address space into
+	// latency tiers (mem.NewTiers): main memory charges the owning
+	// tier's miss penalty per line instead of the flat MemLatency, and
+	// the heap falls in the slowest tier. Carried by pointer so Config
+	// stays comparable (snapshot restore requires it); the realized
+	// geometry is a pure function of this spec, so machines rebuilt
+	// from snapshots agree on every address's tier.
+	Tiers *mem.TierConfig
 }
 
 // DefaultConfig returns the baseline machine: a 4-wide out-of-order
@@ -199,6 +208,11 @@ type Machine struct {
 	ptrProv   provTable
 	provLimit int
 
+	// tiers is the realized tier geometry when cfg.Tiers is set (nil
+	// otherwise). The machine uses it only for immutable latency
+	// lookups; residency accounting belongs to the tiering daemon.
+	tiers *mem.Tiers
+
 	// Observability (see obs.go). All nil/zero when disabled, leaving
 	// the hot paths with a single nil check each.
 	tracer      *obs.Tracer
@@ -274,6 +288,11 @@ func New(cfg Config) *Machine {
 
 	m := mem.New()
 	mm := cache.NewMainMemory(cfg.MemLatency, cfg.MemBusBytesPerCycle, cfg.LineSize)
+	var tiers *mem.Tiers
+	if cfg.Tiers != nil {
+		tiers = mem.NewTiers(cfg.Tiers)
+		mm.TierLatency = tiers.LineLatency
+	}
 	l2 := cache.New(cache.Config{
 		Name: "L2", SizeBytes: cfg.L2Size, LineSize: cfg.LineSize,
 		Assoc: cfg.L2Assoc, HitLatency: cfg.L2HitLat, MSHRs: cfg.L2MSHRs,
@@ -294,6 +313,7 @@ func New(cfg Config) *Machine {
 		L2:    l2,
 		MM:    mm,
 		Pipe:  cpu.New(cfg.CPU),
+		tiers: tiers,
 		sites: []string{"<unknown>"},
 	}
 	mach.provLimit = provLimitFor(mach.Pipe.Config())
@@ -321,6 +341,10 @@ func provLimitFor(c cpu.Config) int {
 
 // Config returns the effective configuration.
 func (m *Machine) Config() Config { return m.cfg }
+
+// Tiers returns the machine's realized tier geometry, or nil on an
+// untiered machine.
+func (m *Machine) Tiers() *mem.Tiers { return m.tiers }
 
 // LineSize returns the primary-cache line size in bytes (the guest
 // Machine interface's layout-target geometry).
@@ -729,7 +753,10 @@ func (m *Machine) Malloc(n uint64) mem.Addr {
 		m.tracer.Emit(obs.Event{Cycle: m.Pipe.Now(), Kind: obs.KAlloc,
 			Addr: uint64(a), N: n})
 	}
-	m.heat.OnAlloc(uint64(a), n)
+	// Heat attribution rides the allocator's OnEvent hook (wired by
+	// SetHeatMap), not a call here: untimed Alloc/Free — arena carving,
+	// heap aging — retire and mint object identities too, and a reused
+	// base must always start a fresh HeatObject.
 	return a
 }
 
@@ -748,17 +775,14 @@ func (m *Machine) Free(a mem.Addr) {
 	for _, wa := range m.chainScratch {
 		if wa != a && m.Alloc.Freeable(wa) {
 			m.Alloc.Free(wa)
-			m.heat.OnFree(uint64(wa))
 		}
 	}
 	if m.Alloc.Freeable(a) {
 		m.Alloc.Free(a)
-		m.heat.OnFree(uint64(a))
 	}
 	if err == nil {
 		if tail := mem.WordAlign(final); tail != a && m.Alloc.Freeable(tail) {
 			m.Alloc.Free(tail)
-			m.heat.OnFree(uint64(tail))
 		}
 	}
 }

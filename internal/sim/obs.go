@@ -29,9 +29,28 @@ func (m *Machine) Tracer() *obs.Tracer { return m.tracer }
 func (m *Machine) Now() int64 { return m.Pipe.Now() }
 
 // SetHeatMap attaches a per-object heat map fed from the machine's
-// Malloc/Free/Load/Store/trap paths. Passing nil detaches; with no heat
-// map attached the hot paths pay one nil check each.
-func (m *Machine) SetHeatMap(h *obs.HeatMap) { m.heat = h }
+// Load/Store/trap paths plus the allocator's event hook. Object
+// identity (OnAlloc/OnFree) comes from the allocator itself — not from
+// Malloc/Free — so blocks minted or retired through the *untimed*
+// allocator paths (arena carving, heap aging, tools) are tracked too;
+// otherwise a base freed untimed and re-allocated would alias the dead
+// object's decayed counters. Passing nil detaches; with no heat map
+// attached the hot paths pay one nil check each.
+func (m *Machine) SetHeatMap(h *obs.HeatMap) {
+	m.heat = h
+	if h == nil {
+		m.Alloc.OnEvent = nil
+		return
+	}
+	m.Alloc.OnEvent = func(op string, a mem.Addr, size uint64) {
+		switch op {
+		case "alloc":
+			h.OnAlloc(uint64(a), size)
+		case "free":
+			h.OnFree(uint64(a))
+		}
+	}
+}
 
 // HeatMap returns the attached heat map (nil when disabled).
 func (m *Machine) HeatMap() *obs.HeatMap { return m.heat }

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"testing"
+
+	"memfwd/internal/mem"
+)
+
+// coldSweep loads n addresses one page apart starting at base — every
+// access a cold miss serviced by main memory — and returns the cycles
+// the sweep took.
+func coldSweep(m *Machine, base mem.Addr, n int) int64 {
+	t0 := m.Now()
+	for i := 0; i < n; i++ {
+		m.LoadWord(base + mem.Addr(i)*4096)
+	}
+	return m.Now() - t0
+}
+
+// TestTierLatencyCharged proves the tiered main memory charges the
+// owning tier's miss penalty per line: on a 2-tier machine the heap is
+// near memory (tier 0) and costs exactly what the same sweep costs on
+// an untiered machine with the same base latency, while a sweep over
+// the far tier's window costs more.
+func TestTierLatencyCharged(t *testing.T) {
+	flat := New(Config{})
+	tiered := New(Config{Tiers: mem.DefaultTierConfig(2, 70)})
+	tt := tiered.Tiers()
+	if tt == nil || tt.N() != 2 {
+		t.Fatalf("tiered machine has no tier geometry: %v", tt)
+	}
+	if flat.Tiers() != nil {
+		t.Fatal("untiered machine grew tier geometry")
+	}
+
+	// Each sweep runs on a fresh machine so earlier sweeps' cache state
+	// cannot skew the comparison.
+	const n = 64
+	tcfg := mem.DefaultTierConfig(2, 70)
+	fresh := func() *Machine { return New(Config{Tiers: tcfg}) }
+	heapBase := flat.Config().HeapBase
+	flatHeap := coldSweep(flat, heapBase, n)
+	nearHeap := coldSweep(tiered, heapBase, n)
+	if nearHeap != flatHeap {
+		t.Fatalf("near-tier heap sweep %d cycles != flat sweep %d: tiering must not tax the heap", nearHeap, flatHeap)
+	}
+
+	farBase, _ := tt.Window(tt.Slowest())
+	farSweep := coldSweep(fresh(), farBase, n)
+	if farSweep <= nearHeap {
+		t.Fatalf("far-window sweep %d cycles not slower than near heap sweep %d", farSweep, nearHeap)
+	}
+
+	nearBase, _ := tt.Window(0)
+	nearWin := coldSweep(fresh(), nearBase, n)
+	if nearWin != nearHeap {
+		t.Fatalf("tier-0 window sweep %d cycles != heap sweep %d: both are near memory", nearWin, nearHeap)
+	}
+}
+
+// TestTierSnapshotRoundTrip: a tiered machine snapshots and restores
+// like any other — the tier geometry is config, not state, so the
+// restored machine rebuilds it from the shared TierConfig pointer.
+func TestTierSnapshotRoundTrip(t *testing.T) {
+	cfg := Config{Tiers: mem.DefaultTierConfig(2, 70)}
+	m := New(cfg)
+	a := m.Malloc(64)
+	m.StoreWord(a, 42)
+	fastBase, _ := m.Tiers().Window(0)
+	m.StoreWord(fastBase, 7) // data in a tier window travels too
+
+	st := m.SaveState()
+	r := New(st.Config())
+	if err := r.LoadState(st); err != nil {
+		t.Fatalf("LoadState: %v", err)
+	}
+	if got := r.LoadWord(a); got != 42 {
+		t.Fatalf("heap word after restore = %d", got)
+	}
+	if got := r.LoadWord(fastBase); got != 7 {
+		t.Fatalf("fast-window word after restore = %d", got)
+	}
+	if r.Tiers() == nil || r.Tiers().TierOf(fastBase) != 0 {
+		t.Fatal("restored machine lost tier geometry")
+	}
+}

@@ -1,0 +1,75 @@
+package tier
+
+import (
+	"testing"
+
+	"memfwd/internal/mem"
+	"memfwd/internal/sim"
+)
+
+// BenchmarkDaemonInterception is the steady-state tax: one guest load
+// routed through the daemon with the wake countdown never expiring.
+// This is the number every intercepted operation pays between wakes,
+// so it is alloc-gated like the machine's own hot paths.
+func BenchmarkDaemonInterception(b *testing.B) {
+	tc := mem.DefaultTierConfig(2, 70)
+	m := sim.New(sim.Config{Tiers: tc})
+	d := New(m, Config{Tiers: tc, Seed: 1, Every: 1 << 30})
+	a := d.Malloc(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += d.LoadWord(a)
+	}
+	_ = sink
+}
+
+// BenchmarkDaemonWake is one full policy pass over a populated heap:
+// residency validation, heat ranking, and whatever migrations the
+// budget admits. The first iterations do real two-phase-commit moves;
+// later ones measure the steady-state ranking cost once the hot set
+// has settled.
+func BenchmarkDaemonWake(b *testing.B) {
+	tc := mem.DefaultTierConfig(2, 70)
+	m := sim.New(sim.Config{Tiers: tc})
+	d := New(m, Config{Tiers: tc, Seed: 2, Every: 1 << 30, FastFrac: 0.25, MaxMoves: 8})
+	for i := 0; i < 256; i++ {
+		a := d.Malloc(256)
+		for j := 0; j <= i%16; j++ {
+			d.StoreWord(a, uint64(j))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.wake()
+	}
+}
+
+// BenchmarkDaemonMigrate is the cost of one demotion through the
+// production two-phase commit, per 256-byte object.
+func BenchmarkDaemonMigrate(b *testing.B) {
+	// A wider-than-default far window: the benchmark never reuses
+	// target space, and b.N objects must all fit. MinBudget is huge so
+	// every object is born near and the timed move is a real demotion.
+	tc := &mem.TierConfig{Latencies: []int64{70, 210}, Capacities: []uint64{1 << 32, 1 << 32}}
+	m := sim.New(sim.Config{Tiers: tc})
+	d := New(m, Config{Tiers: tc, Seed: 3, Every: 1 << 30, MinBudget: 1 << 38})
+	objs := make([]mem.Addr, b.N)
+	for i := range objs {
+		objs[i] = d.Malloc(256)
+		d.StoreWord(objs[i], uint64(i))
+	}
+	slow := d.Tiers().Slowest()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !d.migrate(objs[i], 256, slow) {
+			b.Fatal("far window exhausted")
+		}
+	}
+	b.StopTimer()
+	if d.Stats().Demotions != uint64(b.N) {
+		b.Fatalf("demotions %d, want %d", d.Stats().Demotions, b.N)
+	}
+}
