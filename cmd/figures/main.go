@@ -25,6 +25,7 @@ import (
 
 	"memfwd/internal/figures"
 	"memfwd/internal/pprofutil"
+	"memfwd/internal/sim"
 )
 
 func main() {
@@ -44,10 +45,18 @@ func main() {
 		faultCell    = flag.String("fault-cell", "", "restrict -fault to cells whose label contains this substring (e.g. health/line32/L)")
 		faultSeed    = flag.Int64("fault-seed", 0, "seed for the fault corruption stream (0 = -seed)")
 
+		harts     = flag.Int("harts", 1, "hart count per cell: harts 1..N-1 race the guest with concurrent relocations under the deterministic scheduler (1 = single-hart)")
+		schedSeed = flag.Int64("sched-seed", 0, "seed for the relocator-hart interleaving (0 = -seed; with -harts)")
+
 		cpuProfile = flag.String("cpuprofile", "", "write a Go CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a Go heap profile (after GC) to this file at exit")
 	)
 	flag.Parse()
+
+	if *harts < 1 || *harts > sim.MaxHarts {
+		fmt.Fprintf(os.Stderr, "figures: -harts wants 1..%d (got %d)\n", sim.MaxHarts, *harts)
+		os.Exit(2)
+	}
 
 	stopProf, err := pprofutil.StartCPU(*cpuProfile)
 	if err != nil {
@@ -69,6 +78,8 @@ func main() {
 		FaultCell:    *faultCell,
 		FaultSeed:    *faultSeed,
 		HTTPAddr:     *http,
+		Harts:        *harts,
+		SchedSeed:    *schedSeed,
 	}
 	runErr := figures.Run(cfg, os.Stdout, os.Stderr)
 

@@ -33,6 +33,7 @@ import (
 	"memfwd/internal/fault"
 	"memfwd/internal/mem"
 	"memfwd/internal/pprofutil"
+	"memfwd/internal/sched"
 	"memfwd/internal/sim"
 	"memfwd/internal/tier"
 )
@@ -66,6 +67,9 @@ func main() {
 
 		lines = flag.String("lines", "", "comma-separated line sizes (e.g. 32,64,128): sweep them through the parallel experiment engine instead of one -line run")
 		jobs  = flag.Int("jobs", 0, "experiment-engine worker count for -lines sweeps (0 = GOMAXPROCS); results are identical at any value")
+
+		harts     = flag.Int("harts", 1, "hart count: harts 1..N-1 are relocator harts a deterministic seeded scheduler interleaves against the guest, racing concurrent relocations (1 = single-hart, byte-identical to previous releases)")
+		schedSeed = flag.Int64("sched-seed", 0, "seed for the relocator-hart interleaving (0 = -seed; with -harts)")
 
 		tiers        = flag.Int("tiers", 0, "partition main memory into N latency tiers and run the online adaptive migrator (0 = flat memory; the heap is the near tier, demotions and over-budget allocations go far)")
 		migrateEvery = flag.Int("migrate-every", 4096, "mean guest operations between migrator wakes (with -tiers)")
@@ -112,6 +116,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Validate -harts here so a bad count is a clean usage error, not a
+	// machine-construction panic deep in the run.
+	if *harts < 1 || *harts > sim.MaxHarts {
+		fmt.Fprintf(os.Stderr, "memfwd-sim: -harts wants 1..%d (got %d)\n", sim.MaxHarts, *harts)
+		os.Exit(2)
+	}
+
 	if *lines != "" {
 		// Sweep mode: each line size is one engine job with its own
 		// machine, so per-machine observability flags do not apply
@@ -130,6 +141,7 @@ func main() {
 			Seed: *seed, Scale: *scale, SampleEvery: *sampleEvery, Jobs: *jobs,
 			JobTimeout: *timeout, Retries: *retries,
 			Fault: *faultSpec, FaultSeed: *faultSeed,
+			Harts: *harts, SchedSeed: *schedSeed,
 		}
 		if *httpAddr != "" {
 			plane, err := memfwd.BootTelemetry(*httpAddr, *httpLinger, logTelemetry)
@@ -171,11 +183,15 @@ func main() {
 	if *tiers >= 2 {
 		tierSpec = mem.DefaultTierConfig(*tiers, sim.DefaultConfig().MemLatency)
 	}
-	m := memfwd.NewMachine(memfwd.MachineConfig{
+	mc := memfwd.MachineConfig{
 		LineSize:          *line,
 		PerfectForwarding: *perfect,
 		Tiers:             tierSpec,
-	})
+	}
+	if *harts > 1 {
+		mc.Harts = *harts
+	}
+	m := memfwd.NewMachine(mc)
 
 	// Event tracing: one tracer can feed several sinks.
 	var sinks []memfwd.TraceSink
@@ -289,13 +305,30 @@ func main() {
 		m.SetFaultInjector(inj)
 	}
 
-	// The guest runs on the machine directly, or — with -tiers — on the
-	// migrator daemon wrapped around it. Sharing the machine's heat map
-	// gives the daemon full trap-cost and hop attribution.
+	// The guest runs on the machine directly, or wrapped: with -harts,
+	// the scheduling group interleaves relocator harts against the
+	// guest's operations; with -tiers, the migrator daemon sits
+	// outermost, so its migrations hit the group's relocation barrier
+	// like any other agent's. Sharing the machine's heat map gives the
+	// daemon full trap-cost and hop attribution.
 	var guest app.Machine = m
+	var grp *sched.Group
+	if *harts > 1 {
+		sseed := *schedSeed
+		if sseed == 0 {
+			sseed = *seed
+		}
+		var err error
+		grp, err = sched.New(m, sched.Config{Harts: *harts, Seed: sseed})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memfwd-sim:", err)
+			os.Exit(2)
+		}
+		guest = grp
+	}
 	var daemon *tier.Daemon
 	if tierSpec != nil {
-		daemon = tier.New(m, tier.Config{
+		daemon = tier.New(guest, tier.Config{
 			Tiers:    tierSpec,
 			Seed:     *seed,
 			Every:    *migrateEvery,
@@ -329,6 +362,10 @@ func main() {
 	if len(jobErrs) > 0 {
 		fmt.Fprintf(os.Stderr, "memfwd-sim: run incomplete: %s\n", jobErrs[0].Reason())
 		os.Exit(1)
+	}
+	if grp != nil {
+		grp.Quiesce()
+		grp.Close()
 	}
 	st := m.Finalize()
 	if telSrv != nil {
@@ -385,6 +422,10 @@ func main() {
 		if series != nil {
 			run.Samples = series.Samples
 		}
+		if grp != nil {
+			gs := grp.Stats()
+			run.Sched = &gs
+		}
 		if err := memfwd.WriteJSON(os.Stdout, run); err != nil {
 			fmt.Fprintln(os.Stderr, "memfwd-sim:", err)
 			os.Exit(1)
@@ -410,6 +451,11 @@ func main() {
 	fmt.Printf("dep speculation     %d violations, %d bypasses\n", st.DepViolations, st.DepBypasses)
 	fmt.Printf("relocated objects   %d, space overhead %d bytes\n", res.Relocated, res.SpaceOverhead)
 	fmt.Printf("heap peak           %d bytes, pages touched %d\n", st.HeapPeak, st.PagesTouched)
+	if grp != nil {
+		gs := grp.Stats()
+		fmt.Printf("scheduling          %d harts, %d steps, %d relocations committed (%d faulted, %d crashes, %d scavenges), %d barrier drains\n",
+			*harts, gs.Steps, gs.Relocations, gs.Faulted, gs.Crashes, gs.Scavenges, gs.Drains)
+	}
 	if daemon != nil {
 		ds := daemon.Stats()
 		fmt.Printf("tiering             %d wakes, %d placed, %d demoted (%d B), %d spilled (%d B), %d promoted, %d repaired, near hit rate %.2f%%\n",

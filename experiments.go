@@ -6,12 +6,14 @@ import (
 	"strings"
 	"time"
 
+	"memfwd/internal/apps/app"
 	"memfwd/internal/exp"
 	"memfwd/internal/fault"
 	"memfwd/internal/mem"
 	"memfwd/internal/obs"
 	"memfwd/internal/opt"
 	"memfwd/internal/report"
+	"memfwd/internal/sched"
 	"memfwd/internal/telemetry"
 	"memfwd/internal/tier"
 )
@@ -37,6 +39,10 @@ const (
 // runs (Run.Tier).
 type TierStats = tier.Stats
 
+// SchedStats is the multi-hart scheduling group's accounting, attached
+// to runs executed with Options.Harts > 1 (Run.Sched).
+type SchedStats = sched.Stats
+
 // Run is one measured application execution. The struct is
 // JSON-encodable so harnesses can export raw series
 // (cmd/figures -json).
@@ -57,6 +63,11 @@ type Run struct {
 	// tiered variants of RunTiering; omitted from JSON otherwise, so
 	// existing encodings are unchanged.
 	Tier *TierStats `json:",omitempty"`
+
+	// Sched is the scheduling group's accounting, present only when the
+	// run executed with Options.Harts > 1; omitted from JSON otherwise,
+	// so existing encodings are unchanged.
+	Sched *SchedStats `json:",omitempty"`
 
 	// Incomplete, when non-empty, marks a cell the engine could not
 	// finish (panic, timeout, cancellation, error) with its
@@ -130,6 +141,19 @@ type Options struct {
 
 	// FaultSeed seeds the injector's corruption stream; 0 takes Seed.
 	FaultSeed int64
+
+	// Harts, when > 1, builds every cell's machine with that many harts
+	// and runs the guest inside a deterministic scheduling group
+	// (internal/sched): harts 1..Harts-1 are relocator harts racing the
+	// guest's loads and stores with concurrent relocations, interleaved
+	// at word-access granularity under SchedSeed. App checksums and heap
+	// digests are unchanged by construction (the forwarding safety
+	// argument); timing moves. Harts <= 1 leaves every code path
+	// byte-identical to the single-hart runner.
+	Harts int
+
+	// SchedSeed seeds the scheduling group's interleaving; 0 takes Seed.
+	SchedSeed int64
 
 	// Telemetry, when non-nil, makes every cell observable on the live
 	// HTTP plane: each cell's machine gets a tracer feeding the
@@ -234,6 +258,9 @@ func localityApps() []App {
 func RunOne(a App, line int, v Variant, block int, o Options) Run {
 	o = o.Norm()
 	mc := MachineConfig{LineSize: line}
+	if o.Harts > 1 {
+		mc.Harts = o.Harts
+	}
 	cfg := AppConfig{Seed: o.Seed, Scale: o.Scale}
 	switch v {
 	case VariantL:
@@ -286,8 +313,32 @@ func RunOne(a App, line int, v Variant, block int, o Options) Run {
 			t.PublishSamples(pub.Every, samples)
 		}
 	}
-	res := a.Run(m, cfg)
+	var guest app.Machine = m
+	var grp *sched.Group
+	if o.Harts > 1 {
+		seed := o.SchedSeed
+		if seed == 0 {
+			seed = o.Seed
+		}
+		var err error
+		grp, err = sched.New(m, sched.Config{Harts: o.Harts, Seed: seed})
+		if err != nil {
+			// A harness configuration error, like a malformed fault spec:
+			// the cmd flag parsing validates -harts before any cell runs.
+			panic(fmt.Sprintf("memfwd: bad hart count %d: %v", o.Harts, err))
+		}
+		defer grp.Close()
+		guest = grp
+	}
+	res := a.Run(guest, cfg)
+	if grp != nil {
+		grp.Quiesce()
+	}
 	r := Run{App: a.Name, Line: line, Variant: v, Block: block, Stats: m.Finalize(), Result: res}
+	if grp != nil {
+		gs := grp.Stats()
+		r.Sched = &gs
+	}
 	if series != nil {
 		r.Samples = series.Samples
 	}

@@ -65,6 +65,13 @@ type Config struct {
 	FaultCell string
 	FaultSeed int64
 
+	// Harts runs every cell's guest with that many harts under the
+	// deterministic relocator-hart scheduler (internal/sched); SchedSeed
+	// seeds the interleaving (0 takes Seed). Harts <= 1 leaves the
+	// pipeline byte-identical to the single-hart runner.
+	Harts     int
+	SchedSeed int64
+
 	// HTTPAddr, when non-empty, serves the live telemetry plane while
 	// the suite runs: engine progress on /metrics, per-cell heat maps,
 	// relocation spans, and the /events stream. Purely additive — all
@@ -110,6 +117,8 @@ func Run(cfg Config, stdout, stderr io.Writer) error {
 		Fault:       cfg.Fault,
 		FaultCell:   cfg.FaultCell,
 		FaultSeed:   cfg.FaultSeed,
+		Harts:       cfg.Harts,
+		SchedSeed:   cfg.SchedSeed,
 	}
 	if cfg.SuiteTimeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), cfg.SuiteTimeout)

@@ -30,6 +30,19 @@ import (
 // (fault.Scavenge / Injector.Repair).
 var ErrTorn = errors.New("opt: torn relocation detected")
 
+// relocationBarrier is the optional interface a machine wrapper
+// implements when relocations may be in flight concurrently with the
+// caller (the multi-hart scheduler in internal/sched). TryRelocate
+// invokes it before touching any shared relocation state — before even
+// reading the machine's fault injector — so the wrapper can drain
+// conflicting in-flight work: another relocation of the same source
+// block (concurrent chain-append is illegal) or any faulted relocation
+// (the journal and armed injector must be exclusively owned).
+// Interceptor chains (tier daemon, chaos relocator) forward it inward.
+type relocationBarrier interface {
+	RelocationBarrier(src mem.Addr)
+}
+
 // Relocate moves nWords words of data from src to tgt and installs tgt
 // as the forwarding address of src, as in Figure 4(a). It is
 // TryRelocate with the paper's abort-on-failure policy: a forwarding
@@ -74,7 +87,24 @@ func Relocate(m app.Machine, src, tgt mem.Addr, nWords int) {
 // read-back verification after the copy phase and after each plant —
 // the detection half of the fault model. Without an injector the
 // instruction sequence is exactly the two phases above.
+//
+// Under concurrent execution (internal/sched) two extra rules apply,
+// both free at harts=1:
+//
+//   - the machine's RelocationBarrier hook (if implemented) runs
+//     first, before the injector is read: the scheduler drains any
+//     in-flight relocation of the same block (chains must not be
+//     appended to concurrently) and any in-flight *faulted* relocation
+//     (the journal and the armed injector are exclusive state);
+//   - each plant refreshes its copy against the chain end's current
+//     value just before the forwarding word is written, making the
+//     read-copy-plant step atomic with respect to mutator stores (a
+//     guest store between the copy phase and the plant would otherwise
+//     commit a stale copy).
 func TryRelocate(m app.Machine, src, tgt mem.Addr, nWords int) error {
+	if b, ok := m.(relocationBarrier); ok {
+		b.RelocationBarrier(src)
+	}
 	inj := m.FaultInjector()
 	var j *fault.Journal
 	if inj != nil {
@@ -151,6 +181,24 @@ func TryRelocate(m app.Machine, src, tgt mem.Addr, nWords int) error {
 	for i, e := range ends {
 		d := tgt + mem.Addr(i*mem.WordSize)
 		m.Inst(1)
+		// Refresh the copy against the chain end's current value: under
+		// concurrent mutators a guest store may have legally landed on e
+		// since the copy phase read it. The reads and the fix-up write
+		// are functional (the timed walk was already charged in phase
+		// 1), and at harts=1 neither branch can fire — e cannot have
+		// changed — so single-hart timing and output are untouched.
+		cur, cfb := fwd.UnforwardedRead(e)
+		if cfb {
+			// e already forwards: unreachable under the scheduler's
+			// barrier discipline (distinct relocations never share a
+			// chain end, and same-block relocations are drained), kept
+			// as a defensive skip — planting over a foreign forwarding
+			// word would orphan its copy.
+			continue
+		}
+		if dv, _ := fwd.UnforwardedRead(d); dv != cur {
+			fwd.UnforwardedWrite(d, cur, false)
+		}
 		m.UnforwardedWrite(e, uint64(d), true)
 		if inj != nil {
 			// Plant verification: corruption after this point is no

@@ -547,3 +547,13 @@ func (r *Relocator) PhaseEnd(name string) { r.inner.PhaseEnd(name) }
 func (r *Relocator) TraceRelocate(src, tgt mem.Addr, nWords int) {
 	r.inner.TraceRelocate(src, tgt, nWords)
 }
+
+// RelocationBarrier forwards opt.TryRelocate's concurrency barrier
+// inward, so a multi-hart scheduling group (internal/sched) beneath the
+// adversary drains conflicting in-flight relocations before a chaos
+// action touches shared relocation state.
+func (r *Relocator) RelocationBarrier(src mem.Addr) {
+	if b, ok := r.inner.(interface{ RelocationBarrier(mem.Addr) }); ok {
+		b.RelocationBarrier(src)
+	}
+}

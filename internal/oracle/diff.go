@@ -6,6 +6,7 @@ import (
 	"memfwd/internal/apps/app"
 	"memfwd/internal/fault"
 	"memfwd/internal/obs"
+	"memfwd/internal/sched"
 	"memfwd/internal/sim"
 )
 
@@ -85,6 +86,18 @@ type ChaosConfig struct {
 	// lands in the caller's flight recorder. Callers may share one
 	// table across episodes to aggregate phase-cost quantiles.
 	Spans *obs.SpanTable
+
+	// Harts, when > 1, additionally runs the chaos-wrapped guest inside
+	// a multi-hart scheduling group (internal/sched): Harts-1 relocator
+	// harts race the guest's loads and stores with concurrent
+	// relocations under a deterministic seeded interleaving, stacked
+	// beneath the (atomic) chaos adversary. With Faults set the group
+	// also injects crashes mid-relocation under contention. SchedSeed
+	// seeds the interleaving (0 takes Seed); SchedInterval is the mean
+	// guest operations between job launches (0 takes the default).
+	Harts         int
+	SchedSeed     int64
+	SchedInterval int
 }
 
 // ChaosEpisode runs app a under cfg once unperturbed on the oracle and
@@ -106,7 +119,11 @@ func ChaosEpisode(a app.App, cfg app.Config, ch ChaosConfig) (*Relocator, error)
 	var inner app.Machine
 	var sm *sim.Machine
 	if ch.Timed {
-		sm = sim.New(ch.SimCfg)
+		simCfg := ch.SimCfg
+		if ch.Harts > simCfg.Harts {
+			simCfg.Harts = ch.Harts
+		}
+		sm = sim.New(simCfg)
 		sm.SetSpans(ch.Spans)
 		inner = sm
 	} else {
@@ -114,11 +131,33 @@ func ChaosEpisode(a app.App, cfg app.Config, ch ChaosConfig) (*Relocator, error)
 		om.SetSpans(ch.Spans)
 		inner = om
 	}
+	var grp *sched.Group
+	if ch.Harts > 1 {
+		schedSeed := ch.SchedSeed
+		if schedSeed == 0 {
+			schedSeed = ch.Seed
+		}
+		var err error
+		grp, err = sched.New(inner, sched.Config{
+			Harts: ch.Harts, Seed: schedSeed, Interval: ch.SchedInterval,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("oracle: %s chaos scheduler: %w", a.Name, err)
+		}
+		if ch.Faults {
+			grp.EnableFaults()
+		}
+		defer grp.Close()
+		inner = grp
+	}
 	rel := NewRelocator(inner, ch.Seed, ch.Interval)
 	if ch.Faults {
 		rel.EnableFaults(ch.FaultKinds)
 	}
 	chaosRes := a.Run(rel, cfg)
+	if grp != nil {
+		grp.Quiesce()
+	}
 	if sm != nil {
 		sm.Finalize()
 	}

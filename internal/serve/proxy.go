@@ -162,3 +162,11 @@ func (p *proxy) PhaseEnd(name string) { p.m.PhaseEnd(name) }
 
 // TraceRelocate delegates.
 func (p *proxy) TraceRelocate(src, tgt mem.Addr, nWords int) { p.m.TraceRelocate(src, tgt, nWords) }
+
+// SetHart forwards to the current machine, so a scheduling group built
+// over the proxy keeps bracketing relocator-hart steps correctly after
+// a live migration swaps the machine underneath it.
+func (p *proxy) SetHart(i int) { p.m.SetHart(i) }
+
+// HartCount forwards to the current machine.
+func (p *proxy) HartCount() int { return p.m.HartCount() }

@@ -176,6 +176,18 @@ type createRequest struct {
 	MigrateEvery int     `json:"migrateEvery,omitempty"`
 	FastFrac     float64 `json:"fastFrac,omitempty"`
 	TierStatic   bool    `json:"tierStatic,omitempty"`
+
+	// Harts builds an app session's machine with n harts (n >= 2; 0 or
+	// 1 means single-hart): harts 1..n-1 are relocator harts a
+	// deterministic seeded scheduling group interleaves against the
+	// guest's operations, racing concurrent relocations under the
+	// forwarding safety net. SchedSeed seeds the interleaving and
+	// SchedInterval is the mean guest operations between job launches
+	// (zero takes the scheduler defaults), mirroring the CLI's -harts
+	// and -sched-seed flags.
+	Harts         int   `json:"harts,omitempty"`
+	SchedSeed     int64 `json:"schedSeed,omitempty"`
+	SchedInterval int   `json:"schedInterval,omitempty"`
 }
 
 // sessionInfo is the JSON view of a session.
@@ -185,6 +197,7 @@ type sessionInfo struct {
 	Shard int    `json:"shard"`
 	Chaos bool   `json:"chaos,omitempty"`
 	Tiers int    `json:"tiers,omitempty"`
+	Harts int    `json:"harts,omitempty"`
 	Ops   uint64 `json:"ops"`
 	Done  bool   `json:"done,omitempty"`
 }
@@ -197,6 +210,7 @@ func (sv *Server) info(s *Session) sessionInfo {
 		Shard: int(s.shard.Load()),
 		Chaos: s.Chaos,
 		Tiers: s.Tiers,
+		Harts: s.Harts,
 		Ops:   s.ops(),
 		Done:  done,
 	}

@@ -10,6 +10,7 @@ import (
 	"memfwd/internal/mem"
 	"memfwd/internal/obs"
 	"memfwd/internal/oracle"
+	"memfwd/internal/sched"
 	"memfwd/internal/sim"
 	"memfwd/internal/tier"
 )
@@ -49,6 +50,7 @@ type Session struct {
 	Mode  string // "raw" or an application name
 	Chaos bool
 	Tiers int // latency tiers the session's machine was built with (0 = untiered)
+	Harts int // harts the session's machine was built with (0 or 1 = single-hart)
 
 	shard atomic.Int32
 
@@ -74,6 +76,13 @@ type Session struct {
 	runnerDone chan struct{}
 	res        app.Result
 	runErr     error
+
+	// Multi-hart (app mode with Harts >= 2): the scheduling group
+	// driving relocator harts against the guest's operations. Host
+	// state, like the tier daemon: it delegates through the proxy, so it
+	// survives live migration unchanged (the proxy forwards SetHart to
+	// whichever machine is current).
+	grp *sched.Group
 
 	// Tiering (app mode with Tiers >= 2): the migrator daemon wrapping
 	// the proxy, and the heat map shared between machine and daemon.
@@ -104,10 +113,28 @@ func newSession(id string, shard int, cfg sim.Config, req createRequest) (*Sessi
 		tc = mem.DefaultTierConfig(req.Tiers, base)
 		cfg.Tiers = tc
 	}
+	// Hart count is machine geometry like the tier spec: it goes into
+	// sim.Config so snapshots rebuild the same machine shape, and app
+	// sessions with Harts >= 2 additionally get the scheduling group.
+	// Validated here, not at the machine, so a bad request is an HTTP
+	// 400 rather than a server panic.
+	if req.Harts < 0 {
+		return nil, fmt.Errorf("harts must be positive (got %d)", req.Harts)
+	}
+	if req.Harts > sim.MaxHarts {
+		return nil, fmt.Errorf("harts must be at most %d (got %d)", sim.MaxHarts, req.Harts)
+	}
+	if req.Harts > 1 {
+		if req.Mode == "" || req.Mode == "raw" {
+			return nil, fmt.Errorf("harts requires an app-mode session (raw sessions have no runner to schedule against)")
+		}
+		cfg.Harts = req.Harts
+	}
 	s := &Session{
 		ID:    id,
 		Mode:  "raw",
 		Tiers: req.Tiers,
+		Harts: req.Harts,
 		cfg:   cfg,
 		hub:   obs.NewBroadcaster(),
 	}
@@ -131,11 +158,23 @@ func newSession(id string, shard int, cfg sim.Config, req createRequest) (*Sessi
 	s.g = newGate()
 	s.px = newProxy(s.g, m)
 	var gm app.Machine = s.px
+	if req.Harts > 1 {
+		grp, err := sched.New(s.px, sched.Config{
+			Harts:    req.Harts,
+			Seed:     req.SchedSeed,
+			Interval: req.SchedInterval,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.grp = grp
+		gm = grp
+	}
 	if tc != nil {
 		h := obs.NewHeatMap(tierHeatObjects, 0)
 		m.SetHeatMap(h)
 		s.heat = h
-		s.td = tier.New(s.px, tier.Config{
+		s.td = tier.New(gm, tier.Config{
 			Tiers:    tc,
 			Seed:     req.Seed,
 			Every:    req.MigrateEvery,
@@ -175,6 +214,11 @@ func newSession(id string, shard int, cfg sim.Config, req createRequest) (*Sessi
 			}
 		}()
 		s.res = a.Run(gm, appCfg)
+		if s.grp != nil {
+			// Commit in-flight relocations so the final state (and any
+			// digest a client reads) reflects whole relocations only.
+			s.grp.Quiesce()
+		}
 		s.px.machine().Finalize()
 	}()
 	return s, nil
@@ -187,6 +231,12 @@ func (s *Session) withMachine(fn func(m *sim.Machine) error) error {
 	if s.g != nil {
 		s.g.pause()
 		defer s.g.resume()
+		if s.grp != nil {
+			// In-flight relocation jobs hold coroutine stacks the machine
+			// state cannot capture; drive them to completion (which also
+			// parks the machine on the guest hart) before fn sees it.
+			s.grp.Quiesce()
+		}
 		return fn(s.px.machine())
 	}
 	return fn(s.m)
@@ -286,6 +336,9 @@ func (s *Session) close() {
 	if s.g != nil {
 		s.g.kill()
 		<-s.runnerDone
+		if s.grp != nil {
+			s.grp.Close()
+		}
 	}
 	s.tr.Close() //nolint:errcheck // flush into a NoClose hub cannot fail
 	s.hub.Close()

@@ -9,6 +9,7 @@ import (
 	"memfwd/internal/mem"
 	"memfwd/internal/opt"
 	"memfwd/internal/oracle"
+	"memfwd/internal/sched"
 	"memfwd/internal/sim"
 )
 
@@ -29,7 +30,7 @@ func interpret(m app.Machine, prog []byte) []uint64 {
 	for pc := 0; pc+2 < len(prog); pc += 3 {
 		op, x, y := prog[pc], prog[pc+1], prog[pc+2]
 		pick := func() int { return int(x) % len(blocks) }
-		switch op % 8 {
+		switch op % 9 {
 		case 0: // malloc
 			if len(blocks) < 64 {
 				size := uint64(x%16+1) * 8
@@ -83,20 +84,40 @@ func interpret(m app.Machine, prog []byte) []uint64 {
 				}
 				emit(v)
 			}
+		case 8: // hart switch (meaningful only under a scheduling group)
+			if hs, ok := m.(interface{ SetGuestHart(int) }); ok {
+				hs.SetGuestHart(int(x) % fuzzHarts)
+			}
 		}
 	}
 	return out
 }
 
+// fuzzHarts is the hart count both scheduling groups in FuzzMachineOps
+// run with — also the modulus of the hart-switch opcode.
+const fuzzHarts = 2
+
 // FuzzMachineOps is the sim-level differential fuzzer: an arbitrary
 // byte program runs on the full out-of-order timing simulator and on
-// the functional oracle; guest-visible traces, final-heap digests
-// modulo forwarding, and every invariant checker must all agree.
+// the functional oracle — first bare, then wrapped in equal-seeded
+// multi-hart scheduling groups whose relocator harts (with crash
+// injection enabled) race the program's own loads, stores, and
+// relocations. Guest-visible traces, final-heap digests modulo
+// forwarding, and every invariant checker must all agree across all
+// four runs: concurrent relocation and crash recovery must be
+// completely invisible to the guest.
 func FuzzMachineOps(f *testing.F) {
 	f.Add([]byte{0, 5, 0, 1, 0, 3, 2, 0, 3, 5, 0, 0, 2, 0, 3})
 	f.Add([]byte{0, 15, 0, 0, 3, 0, 5, 0, 0, 5, 0, 0, 3, 0, 9, 6, 0, 0})
 	f.Add([]byte{0, 1, 0, 0, 2, 0, 7, 0, 1, 4, 0, 5, 3, 0, 5, 5, 1, 0})
 	f.Add(bytes.Repeat([]byte{0, 9, 0, 1, 2, 4, 5, 1, 0, 2, 2, 4}, 8))
+	// A dense load/store stream over one large block with hart switches:
+	// every access is a scheduling point, so group jobs interleave their
+	// copy and plant words throughout — loads race mid-plant forwarding
+	// words, and the hart-switch opcode moves the guest across pipelines
+	// while jobs are in flight.
+	f.Add(append([]byte{0, 15, 0, 1, 0, 1, 1, 0, 2},
+		bytes.Repeat([]byte{2, 0, 1, 8, 1, 0, 2, 0, 3, 1, 0, 4, 8, 0, 0, 2, 0, 5}, 13)...))
 	f.Fuzz(func(t *testing.T, prog []byte) {
 		if len(prog) > 258 {
 			prog = prog[:258]
@@ -107,14 +128,18 @@ func FuzzMachineOps(f *testing.F) {
 		om := oracle.New(oracle.Config{})
 		oraTrace := interpret(om, prog)
 
-		if len(simTrace) != len(oraTrace) {
-			t.Fatalf("trace lengths diverged: sim %d, oracle %d", len(simTrace), len(oraTrace))
-		}
-		for i := range simTrace {
-			if simTrace[i] != oraTrace[i] {
-				t.Fatalf("trace[%d]: sim %#x, oracle %#x", i, simTrace[i], oraTrace[i])
+		diffTraces := func(name string, got, want []uint64) {
+			t.Helper()
+			if len(got) != len(want) {
+				t.Fatalf("%s: trace lengths diverged: %d, want %d", name, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s: trace[%d]: %#x, want %#x", name, i, got[i], want[i])
+				}
 			}
 		}
+		diffTraces("sim vs oracle", simTrace, oraTrace)
 		dSim, err := oracle.DigestModuloForwarding(sm.Mem, sm.Fwd, sm.Alloc)
 		if err != nil {
 			t.Fatal(err)
@@ -131,6 +156,55 @@ func FuzzMachineOps(f *testing.F) {
 		}
 		if err := oracle.CheckForwarding(om.Mem, om.Fwd); err != nil {
 			t.Error(fmt.Errorf("oracle invariants: %w", err))
+		}
+
+		// Round 2: the same program under equal-seeded scheduling groups.
+		// Concurrent (and crashing) relocations must not change a single
+		// guest-visible value relative to the bare runs above, and the
+		// two groups must interleave identically.
+		scfg := sched.Config{Harts: fuzzHarts, Seed: 11, Interval: 6}
+		sm2 := sim.New(sim.Config{Harts: fuzzHarts})
+		sg, err := sched.New(sm2, scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sg.Close()
+		sg.EnableFaults()
+		sgTrace := interpret(sg, prog)
+		sg.Quiesce()
+		sm2.Finalize()
+
+		om2 := oracle.New(oracle.Config{})
+		og, err := sched.New(om2, scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer og.Close()
+		og.EnableFaults()
+		ogTrace := interpret(og, prog)
+		og.Quiesce()
+
+		diffTraces("sim group vs bare", sgTrace, simTrace)
+		diffTraces("oracle group vs bare", ogTrace, oraTrace)
+		dSg, err := oracle.DigestModuloForwarding(sm2.Mem, sm2.Fwd, sm2.Alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dOg, err := oracle.DigestModuloForwarding(om2.Mem, om2.Fwd, om2.Alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dSg != dSim || dOg != dSim {
+			t.Fatalf("group heap digests diverged: sim group %#x, oracle group %#x, want %#x", dSg, dOg, dSim)
+		}
+		if sg.Stats() != og.Stats() {
+			t.Fatalf("group schedules diverged: sim %+v, oracle %+v", sg.Stats(), og.Stats())
+		}
+		if err := oracle.CheckMachine(sm2); err != nil {
+			t.Error(fmt.Errorf("sim group invariants: %w", err))
+		}
+		if err := oracle.CheckForwarding(om2.Mem, om2.Fwd); err != nil {
+			t.Error(fmt.Errorf("oracle group invariants: %w", err))
 		}
 	})
 }

@@ -30,6 +30,13 @@ import (
 type Config struct {
 	LineSize int // bytes; the paper sweeps 32, 64, 128 (and 256 for BH)
 
+	// Harts is the number of hardware threads sharing the machine's
+	// tagged memory (0 and 1 both mean a single hart). Each hart gets a
+	// private pipeline and L1+L2 hierarchy over the shared main memory;
+	// see hart.go for the coherence rules. Hart 0 is the guest mutator;
+	// the scheduler (internal/sched) drives the others.
+	Harts int
+
 	L1Size, L1Assoc, L1MSHRs int
 	L2Size, L2Assoc, L2MSHRs int
 	L1HitLat, L2HitLat       int64
@@ -226,6 +233,15 @@ type Machine struct {
 
 	stats     Stats
 	finalized bool
+
+	// Multi-hart state (nil/zero on a single-hart machine, so the
+	// single-hart hot paths pay one nil check). harts[curHart]'s
+	// mutable scalars are stale while that hart is current — the live
+	// values are the machine fields above; SetHart keeps them in sync.
+	harts    []hartState
+	curHart  int
+	cohInvL1 uint64
+	cohInvL2 uint64
 }
 
 // New builds a machine from cfg (zero fields defaulted).
@@ -285,6 +301,12 @@ func New(cfg Config) *Machine {
 	if cfg.HeapLimit == 0 {
 		cfg.HeapLimit = d.HeapLimit
 	}
+	if cfg.Harts < 1 {
+		cfg.Harts = 1
+	}
+	if cfg.Harts > MaxHarts {
+		panic(fmt.Sprintf("sim: Harts %d exceeds the supported maximum %d", cfg.Harts, MaxHarts))
+	}
 
 	m := mem.New()
 	mm := cache.NewMainMemory(cfg.MemLatency, cfg.MemBusBytesPerCycle, cfg.LineSize)
@@ -322,6 +344,9 @@ func New(cfg Config) *Machine {
 	mach.depCtr = uint32(cfg.DepEvery)
 	mach.hopFn = func(wa mem.Addr, hop int) {
 		mach.hopScratch = append(mach.hopScratch, wa)
+	}
+	if cfg.Harts > 1 {
+		mach.buildHarts(cfg)
 	}
 	return mach
 }
@@ -569,6 +594,7 @@ func (m *Machine) Store(a mem.Addr, v uint64, size uint) {
 	if err := m.Mem.WriteData(final, v, size); err != nil {
 		panic(fmt.Sprintf("sim: store %d @ %#x: %v", size, a, err))
 	}
+	m.snoopStore(final)
 
 	nHops := len(hops)
 	var fwdLat, ordLat int64
@@ -700,6 +726,7 @@ func (m *Machine) UnforwardedRead(a mem.Addr) (uint64, bool) {
 func (m *Machine) UnforwardedWrite(a mem.Addr, v uint64, fbit bool) {
 	wa := mem.WordAlign(a)
 	m.Fwd.UnforwardedWrite(wa, v, fbit)
+	m.snoopStore(wa)
 	r := cpu.Range{Lo: uint64(wa), Hi: uint64(wa) + 8}
 	m.Pipe.Store(r, r, func(start int64) int64 {
 		ready, _ := m.L1.Access(uint64(wa), cache.Store, start)
@@ -798,10 +825,18 @@ func (m *Machine) Snapshot() *Stats {
 	return st
 }
 
-// Finalize closes the pipeline and snapshots all statistics.
+// Finalize closes every hart's pipeline and snapshots all statistics.
+// The returned Stats are the current hart's — hart 0 by convention; the
+// scheduler parks the machine there before the harness finalizes — so
+// single-hart output is bit-for-bit what it always was.
 func (m *Machine) Finalize() *Stats {
 	if !m.finalized {
 		m.Pipe.Finalize()
+		for i := range m.harts {
+			if m.harts[i].pipe != m.Pipe {
+				m.harts[i].pipe.Finalize()
+			}
+		}
 		m.finalized = true
 		if m.series != nil {
 			m.takeSample() // flush the last partial interval
@@ -811,8 +846,14 @@ func (m *Machine) Finalize() *Stats {
 }
 
 func (m *Machine) fill() *Stats {
-	st := m.stats
-	ps := m.Pipe.Stats
+	return m.fillFor(m.Pipe, m.L1, m.L2, m.stats)
+}
+
+// fillFor assembles a Stats view from one hart's timing state plus the
+// shared functional counters (forwarder, allocator, page footprint).
+func (m *Machine) fillFor(pipe *cpu.Pipeline, l1, l2 *cache.Cache, acc Stats) *Stats {
+	st := acc
+	ps := pipe.Stats
 	st.Cycles = ps.Cycles
 	st.Slots = [4]uint64{
 		ps.Slots[cpu.Busy], ps.Slots[cpu.LoadStall],
@@ -823,10 +864,10 @@ func (m *Machine) fill() *Stats {
 	st.Stores = ps.Stores
 	st.DepViolations = ps.DepViolations
 	st.DepBypasses = ps.DepBypasses
-	st.L1 = m.L1.Stats
-	st.L2 = m.L2.Stats
-	st.BytesL1L2 = m.L1.Stats.BytesFromNext + m.L1.Stats.BytesToNext
-	st.BytesL2Mem = m.L2.Stats.BytesFromNext + m.L2.Stats.BytesToNext
+	st.L1 = l1.Stats
+	st.L2 = l2.Stats
+	st.BytesL1L2 = l1.Stats.BytesFromNext + l1.Stats.BytesToNext
+	st.BytesL2Mem = l2.Stats.BytesFromNext + l2.Stats.BytesToNext
 	st.CycleFalseAlarms = m.Fwd.CycleFalseAlarms
 	st.CyclesDetected = m.Fwd.CyclesDetected
 	st.HeapPeak = m.Alloc.PeakLive

@@ -155,9 +155,11 @@ func (m *Machine) SetSampleEvery(n uint64, series *obs.Series) {
 }
 
 // maybeSample is the per-operation sampler check; kept tiny so the
-// disabled path is one comparison.
+// disabled path is one comparison. Sampling tracks hart 0 (the guest
+// mutator): service-hart instruction counts are independent clocks and
+// must not be compared against hart 0's next-sample threshold.
 func (m *Machine) maybeSample() {
-	if m.series != nil && m.Pipe.Stats.Instructions >= m.sampleNext {
+	if m.series != nil && m.curHart == 0 && m.Pipe.Stats.Instructions >= m.sampleNext {
 		m.takeSample()
 	}
 }

@@ -64,6 +64,23 @@ type MachineState struct {
 
 	stats     Stats
 	finalized bool
+
+	// Extra-hart timing state (harts 1..P-1; empty on a single-hart
+	// machine). Hart 0 is the primary state above. The save-side
+	// contract pins curHart to 0, so restore needs no cursor.
+	harts    []hartSnap
+	cohInvL1 uint64
+	cohInvL2 uint64
+}
+
+// hartSnap is one extra hart's private timing state in a snapshot.
+type hartSnap struct {
+	pipe          *cpu.PipelineSnapshot
+	l1, l2        *cache.CacheSnapshot
+	mispredictCtr uint32
+	depCtr        uint32
+	prov          provTable
+	stats         Stats
 }
 
 // Config returns the configuration the state was captured under; a
@@ -72,9 +89,31 @@ func (st *MachineState) Config() Config { return st.cfg }
 
 // SaveState captures a deep snapshot of the machine. The machine must
 // be quiescent (no guest operation in flight); serve sessions guarantee
-// this by parking the runner at an operation boundary first.
+// this by parking the runner at an operation boundary first. A
+// multi-hart machine must additionally be parked on hart 0 — the
+// scheduler restores the guest hart after every service step, so any
+// operation boundary satisfies this.
 func (m *Machine) SaveState() *MachineState {
+	if m.curHart != 0 {
+		panic(fmt.Sprintf("sim: SaveState on hart %d (must be parked on hart 0)", m.curHart))
+	}
+	var harts []hartSnap
+	for i := 1; i < len(m.harts); i++ {
+		h := &m.harts[i]
+		harts = append(harts, hartSnap{
+			pipe:          h.pipe.Snapshot(),
+			l1:            h.l1.Snapshot(),
+			l2:            h.l2.Snapshot(),
+			mispredictCtr: h.mispredictCtr,
+			depCtr:        h.depCtr,
+			prov:          h.ptrProv.clone(),
+			stats:         h.stats,
+		})
+	}
 	return &MachineState{
+		harts:         harts,
+		cohInvL1:      m.cohInvL1,
+		cohInvL2:      m.cohInvL2,
 		cfg:           m.cfg,
 		mem:           m.Mem.Snapshot(),
 		alloc:         m.Alloc.Snapshot(),
@@ -138,5 +177,28 @@ func (m *Machine) LoadState(st *MachineState) error {
 	m.finalized = st.finalized
 	m.hopScratch = m.hopScratch[:0]
 	m.chainScratch = m.chainScratch[:0]
+	// Extra harts: the cfg equality check above guarantees the counts
+	// match (Harts is part of Config). The restored machine parks on
+	// hart 0, mirroring the save-side contract.
+	m.curHart = 0
+	for i := range st.harts {
+		h := &m.harts[i+1]
+		src := &st.harts[i]
+		if err := h.pipe.Restore(src.pipe); err != nil {
+			return fmt.Errorf("sim: LoadState hart %d: %w", i+1, err)
+		}
+		if err := h.l1.Restore(src.l1); err != nil {
+			return fmt.Errorf("sim: LoadState hart %d: %w", i+1, err)
+		}
+		if err := h.l2.Restore(src.l2); err != nil {
+			return fmt.Errorf("sim: LoadState hart %d: %w", i+1, err)
+		}
+		h.mispredictCtr = src.mispredictCtr
+		h.depCtr = src.depCtr
+		h.ptrProv = src.prov.clone()
+		h.stats = src.stats
+	}
+	m.cohInvL1 = st.cohInvL1
+	m.cohInvL2 = st.cohInvL2
 	return nil
 }

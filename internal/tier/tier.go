@@ -920,3 +920,14 @@ func (d *Daemon) PhaseEnd(name string) { d.inner.PhaseEnd(name) }
 func (d *Daemon) TraceRelocate(src, tgt mem.Addr, nWords int) {
 	d.inner.TraceRelocate(src, tgt, nWords)
 }
+
+// RelocationBarrier forwards opt.TryRelocate's concurrency barrier
+// inward, so a multi-hart scheduling group (internal/sched) beneath the
+// daemon drains conflicting in-flight relocations before a guest-level
+// relocation pass touches shared relocation state. The daemon's own
+// migrations call TryRelocate on d.inner and hit the group directly.
+func (d *Daemon) RelocationBarrier(src mem.Addr) {
+	if b, ok := d.inner.(interface{ RelocationBarrier(mem.Addr) }); ok {
+		b.RelocationBarrier(src)
+	}
+}
