@@ -1,0 +1,143 @@
+package cpu
+
+// Binary codec for the pipeline snapshot, built on internal/wire.
+// Decode validates configuration and every ring-buffer index against
+// the invariants New establishes, so corrupt input is an error from
+// the decoder — never a panic or out-of-range index downstream.
+
+import (
+	"memfwd/internal/wire"
+)
+
+const storeEncBytes = 8*4 + 8 // two Ranges + gradTime
+
+// EncodeStats appends a cpu.Stats encoding to w. Exported because
+// sim's aggregate Stats embeds these counters.
+func EncodeStats(w *wire.Writer, s *Stats) {
+	w.I64(s.Cycles)
+	for _, v := range s.Slots {
+		w.U64(v)
+	}
+	w.U64(s.Instructions)
+	w.U64(s.Loads)
+	w.U64(s.Stores)
+	w.U64(s.DepViolations)
+	w.U64(s.DepBypasses)
+}
+
+// DecodeStats reads a Stats encoded by EncodeStats.
+func DecodeStats(r *wire.Reader) Stats {
+	var s Stats
+	s.Cycles = r.I64()
+	for i := range s.Slots {
+		s.Slots[i] = r.U64()
+	}
+	s.Instructions = r.U64()
+	s.Loads = r.U64()
+	s.Stores = r.U64()
+	s.DepViolations = r.U64()
+	s.DepBypasses = r.U64()
+	return s
+}
+
+// EncodeWire appends the pipeline snapshot's encoding to w.
+func (s *PipelineSnapshot) EncodeWire(w *wire.Writer) {
+	w.Int(s.cfg.Width)
+	w.Int(s.cfg.ROB)
+	w.Int(s.cfg.StoreBuffer)
+	w.I64(s.cfg.DepPenalty)
+	w.I64(s.dispCycle)
+	w.Int(s.dispUsed)
+	w.I64(s.gradCycle)
+	w.Int(s.gradUsed)
+	w.U32(uint32(len(s.robGrad)))
+	for _, v := range s.robGrad {
+		w.I64(v)
+	}
+	w.Int(s.robPos)
+	w.U64(s.robSeen)
+	w.U32(uint32(len(s.sb)))
+	for _, v := range s.sb {
+		w.I64(v)
+	}
+	w.Int(s.sbHead)
+	w.Int(s.sbCount)
+	w.U32(uint32(len(s.stores)))
+	for _, st := range s.stores {
+		w.U64(st.init.Lo)
+		w.U64(st.init.Hi)
+		w.U64(st.final.Lo)
+		w.U64(st.final.Hi)
+		w.I64(st.gradTime)
+	}
+	w.Bool(s.finalized)
+	EncodeStats(w, &s.stats)
+}
+
+// DecodePipelineSnapshot reads a snapshot encoded by EncodeWire.
+// Errors latch on r.
+func DecodePipelineSnapshot(r *wire.Reader) *PipelineSnapshot {
+	s := &PipelineSnapshot{}
+	s.cfg.Width = r.Int()
+	s.cfg.ROB = r.Int()
+	s.cfg.StoreBuffer = r.Int()
+	s.cfg.DepPenalty = r.I64()
+	if r.Err() != nil {
+		return s
+	}
+	if s.cfg.Width <= 0 || s.cfg.ROB <= 0 || s.cfg.StoreBuffer <= 0 {
+		r.Failf("cpu: config width=%d rob=%d sb=%d invalid", s.cfg.Width, s.cfg.ROB, s.cfg.StoreBuffer)
+		return s
+	}
+	s.dispCycle = r.I64()
+	s.dispUsed = r.Int()
+	s.gradCycle = r.I64()
+	s.gradUsed = r.Int()
+
+	nROB := r.Count(8)
+	if r.Err() == nil && nROB != s.cfg.ROB {
+		r.Failf("cpu: robGrad has %d entries, config says %d", nROB, s.cfg.ROB)
+		return s
+	}
+	s.robGrad = make([]int64, nROB)
+	for i := range s.robGrad {
+		s.robGrad[i] = r.I64()
+	}
+	s.robPos = r.Int()
+	if r.Err() == nil && (s.robPos < 0 || s.robPos >= s.cfg.ROB) {
+		r.Failf("cpu: robPos %d outside ROB of %d", s.robPos, s.cfg.ROB)
+		return s
+	}
+	s.robSeen = r.U64()
+
+	nSB := r.Count(8)
+	if r.Err() == nil && nSB != s.cfg.StoreBuffer {
+		r.Failf("cpu: store-buffer ring has %d entries, config says %d", nSB, s.cfg.StoreBuffer)
+		return s
+	}
+	s.sb = make([]int64, nSB)
+	for i := range s.sb {
+		s.sb[i] = r.I64()
+	}
+	s.sbHead = r.Int()
+	s.sbCount = r.Int()
+	if r.Err() == nil && (s.sbHead < 0 || s.sbHead >= s.cfg.StoreBuffer ||
+		s.sbCount < 0 || s.sbCount > s.cfg.StoreBuffer) {
+		r.Failf("cpu: store-buffer cursor head=%d count=%d outside buffer of %d",
+			s.sbHead, s.sbCount, s.cfg.StoreBuffer)
+		return s
+	}
+
+	nStores := r.Count(storeEncBytes)
+	s.stores = make([]inflightStore, nStores)
+	for i := range s.stores {
+		s.stores[i].init.Lo = r.U64()
+		s.stores[i].init.Hi = r.U64()
+		s.stores[i].final.Lo = r.U64()
+		s.stores[i].final.Hi = r.U64()
+		s.stores[i].gradTime = r.I64()
+	}
+	s.finalized = r.Bool()
+	s.stats = DecodeStats(r)
+	return s
+}

@@ -1,0 +1,275 @@
+package fault
+
+// Disk-fault injection: the persistence-layer sibling of the in-memory
+// Injector. Where the Injector tears relocations at instruction
+// boundaries, the DiskInjector tears the durable store's writes — a
+// torn append, a short write, a crash between write and rename, a bit
+// flipped on the way to the platter — at deterministic, visit-counted
+// points, so the serve plane's restart-recovery tests can kill the
+// store at every point of its protocol and prove the recovered session
+// lands on a digest the uncrashed control also reaches.
+//
+// Unlike the instruction-level injector, disk faults are delivered as
+// errors (or silently corrupted data for DiskFlip), not panics: the
+// store sits in an HTTP request path and must degrade, not unwind. A
+// fault with Fatal()==true models the process dying mid-write — the
+// store latches dead and every subsequent operation fails, exactly
+// what a kill -9 leaves behind.
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// DiskKind classifies an injected disk fault.
+type DiskKind uint8
+
+const (
+	// DiskNone is the zero DiskKind; an injector with no plans is inert.
+	DiskNone DiskKind = iota
+
+	// DiskCrash stops the process at the point: the write (if any) never
+	// happens, and nothing after the point executes. Fatal.
+	DiskCrash
+
+	// DiskTorn cuts a write at a seeded prefix length and then stops the
+	// process — the classic torn write of a crash mid-append. Fatal.
+	DiskTorn
+
+	// DiskShort cuts a write at a seeded prefix length but the process
+	// survives: a transient short write the caller may retry.
+	DiskShort
+
+	// DiskFlip flips one seeded bit of the data written. The write
+	// "succeeds"; only read-back verification or a checksum catches it.
+	DiskFlip
+)
+
+func (k DiskKind) String() string {
+	switch k {
+	case DiskNone:
+		return "none"
+	case DiskCrash:
+		return "crash"
+	case DiskTorn:
+		return "torn"
+	case DiskShort:
+		return "short"
+	case DiskFlip:
+		return "flip"
+	}
+	return fmt.Sprintf("DiskKind(%d)", uint8(k))
+}
+
+// Fatal reports whether the fault models process death: after it
+// fires, the store is dead and no later operation may run.
+func (k DiskKind) Fatal() bool { return k == DiskCrash || k == DiskTorn }
+
+// DiskPoint names a persistence point in the store's write protocols.
+type DiskPoint string
+
+const (
+	// Atomic snapshot-file protocol, in order: write the tmp file, fsync
+	// it, rename over the live file, fsync the directory.
+	DiskSnapWrite   DiskPoint = "store.snap.write"
+	DiskSnapSync    DiskPoint = "store.snap.sync"
+	DiskSnapRename  DiskPoint = "store.snap.rename"
+	DiskSnapRenamed DiskPoint = "store.snap.renamed"
+
+	// WAL protocol: append a record, fsync the log, reset (truncate)
+	// after a checkpoint.
+	DiskWALAppend DiskPoint = "store.wal.append"
+	DiskWALSync   DiskPoint = "store.wal.sync"
+	DiskWALReset  DiskPoint = "store.wal.reset"
+)
+
+// DiskPoints lists every disk fault point (test enumeration and flag
+// validation).
+func DiskPoints() []DiskPoint {
+	return []DiskPoint{
+		DiskSnapWrite, DiskSnapSync, DiskSnapRename, DiskSnapRenamed,
+		DiskWALAppend, DiskWALSync, DiskWALReset,
+	}
+}
+
+// DataPoint reports whether p carries data through the injector
+// (FilterData) — only there can torn/short/flip faults be realized.
+// The remaining points are pure control points where only DiskCrash is
+// meaningful.
+func (p DiskPoint) DataPoint() bool {
+	return p == DiskSnapWrite || p == DiskWALAppend
+}
+
+func validDiskPoint(p DiskPoint) bool {
+	for _, q := range DiskPoints() {
+		if p == q {
+			return true
+		}
+	}
+	return false
+}
+
+// DiskFault is the error delivered when a plan fires at a point.
+type DiskFault struct {
+	Kind  DiskKind
+	Point DiskPoint
+	Visit int
+}
+
+func (e *DiskFault) Error() string {
+	return fmt.Sprintf("fault: injected disk %s at %s (visit %d)", e.Kind, e.Point, e.Visit)
+}
+
+// Fatal reports whether this fault models process death.
+func (e *DiskFault) Fatal() bool { return e.Kind.Fatal() }
+
+// DiskShot records one fired disk fault.
+type DiskShot struct {
+	Kind  DiskKind
+	Point DiskPoint
+	Visit int
+	// Cut is the prefix length a torn/short write was cut to, and Bit
+	// the index a flip targeted; -1 when not applicable.
+	Cut int
+	Bit int
+}
+
+func (s DiskShot) String() string {
+	return fmt.Sprintf("%s@%s:%d", s.Kind, s.Point, s.Visit)
+}
+
+type diskPlan struct {
+	kind  DiskKind
+	point DiskPoint
+	visit int
+	fired bool
+}
+
+// DiskInjector is a deterministic, seeded disk-fault source. Nil is
+// inert — every method no-ops on a nil receiver — so the store threads
+// an optional injector with no branching. Like the instruction
+// injector it is visit-counted: the i-th arrival at a point fires the
+// armed plan, independent of timing.
+//
+// Not safe for concurrent use with itself; the store serializes its
+// persistence operations per session, and tests arm one injector per
+// scenario.
+type DiskInjector struct {
+	rng    *rand.Rand
+	plans  []diskPlan
+	visits map[DiskPoint]int
+
+	// Shots logs every fault fired, in firing order.
+	Shots []DiskShot
+}
+
+// NewDisk returns a disk injector whose random choices (cut lengths,
+// bit indices) derive from seed.
+func NewDisk(seed int64) *DiskInjector {
+	return &DiskInjector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Arm schedules kind to fire on the visit-th arrival (1-based) at
+// point. Torn/short/flip plans require a data point. Returns the
+// injector for chaining.
+func (in *DiskInjector) Arm(kind DiskKind, point DiskPoint, visit int) *DiskInjector {
+	if !validDiskPoint(point) {
+		panic(fmt.Sprintf("fault: Arm at unknown disk point %q", point))
+	}
+	if kind != DiskCrash && !point.DataPoint() {
+		panic(fmt.Sprintf("fault: %s fault needs a data point, %q is control-only", kind, point))
+	}
+	if visit < 1 {
+		visit = 1
+	}
+	in.plans = append(in.plans, diskPlan{kind: kind, point: point, visit: visit})
+	return in
+}
+
+func (in *DiskInjector) bump(p DiskPoint) int {
+	if in.visits == nil {
+		in.visits = make(map[DiskPoint]int)
+	}
+	in.visits[p]++
+	return in.visits[p]
+}
+
+// Visits returns how many times point has been reached so far.
+func (in *DiskInjector) Visits(p DiskPoint) int {
+	if in == nil {
+		return 0
+	}
+	return in.visits[p]
+}
+
+// Fired reports whether any plan has fired.
+func (in *DiskInjector) Fired() bool { return in != nil && len(in.Shots) > 0 }
+
+// Point visits a control point. A DiskCrash plan armed for this
+// (point, visit) fires by returning its *DiskFault; the caller must
+// not perform the guarded operation and must latch the store dead.
+func (in *DiskInjector) Point(p DiskPoint) error {
+	if in == nil {
+		return nil
+	}
+	n := in.bump(p)
+	for i := range in.plans {
+		pl := &in.plans[i]
+		if pl.fired || pl.kind != DiskCrash || pl.point != p || pl.visit != n {
+			continue
+		}
+		pl.fired = true
+		in.Shots = append(in.Shots, DiskShot{Kind: DiskCrash, Point: p, Visit: n, Cut: -1, Bit: -1})
+		return &DiskFault{Kind: DiskCrash, Point: p, Visit: n}
+	}
+	return nil
+}
+
+// FilterData visits a data point with the bytes about to be written
+// and returns what actually reaches the file plus the fault, if one
+// fired:
+//
+//   - DiskCrash: (nil, fault) — nothing was written.
+//   - DiskTorn / DiskShort: a strict prefix of b (seeded cut) and the
+//     fault; the caller writes the prefix, then treats the fault as
+//     fatal (torn) or transient (short).
+//   - DiskFlip: a copy of b with one seeded bit flipped, and NO error —
+//     the write path cannot see the corruption; only verification can.
+//
+// With no matching plan, returns (b, nil) unchanged.
+func (in *DiskInjector) FilterData(p DiskPoint, b []byte) ([]byte, error) {
+	if in == nil {
+		return b, nil
+	}
+	n := in.bump(p)
+	for i := range in.plans {
+		pl := &in.plans[i]
+		if pl.fired || pl.point != p || pl.visit != n {
+			continue
+		}
+		pl.fired = true
+		shot := DiskShot{Kind: pl.kind, Point: p, Visit: n, Cut: -1, Bit: -1}
+		switch pl.kind {
+		case DiskCrash:
+			in.Shots = append(in.Shots, shot)
+			return nil, &DiskFault{Kind: DiskCrash, Point: p, Visit: n}
+		case DiskTorn, DiskShort:
+			shot.Cut = 0
+			if len(b) > 0 {
+				shot.Cut = in.rng.Intn(len(b)) // strict prefix: 0..len-1
+			}
+			in.Shots = append(in.Shots, shot)
+			return b[:shot.Cut], &DiskFault{Kind: pl.kind, Point: p, Visit: n}
+		case DiskFlip:
+			cp := append([]byte(nil), b...)
+			if len(cp) > 0 {
+				bit := in.rng.Intn(8 * len(cp))
+				shot.Bit = bit
+				cp[bit/8] ^= 1 << uint(bit%8)
+			}
+			in.Shots = append(in.Shots, shot)
+			return cp, nil
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,114 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestDiskInjectorNilIsInert(t *testing.T) {
+	var in *DiskInjector
+	if err := in.Point(DiskSnapSync); err != nil {
+		t.Fatal(err)
+	}
+	b := []byte{1, 2, 3}
+	out, err := in.FilterData(DiskSnapWrite, b)
+	if err != nil || !bytes.Equal(out, b) {
+		t.Fatalf("nil FilterData = (%v, %v)", out, err)
+	}
+	if in.Visits(DiskSnapWrite) != 0 || in.Fired() {
+		t.Fatal("nil injector kept state")
+	}
+}
+
+func TestDiskCrashAtControlPoint(t *testing.T) {
+	in := NewDisk(1).Arm(DiskCrash, DiskSnapRename, 2)
+	if err := in.Point(DiskSnapRename); err != nil {
+		t.Fatalf("visit 1 fired: %v", err)
+	}
+	err := in.Point(DiskSnapRename)
+	var df *DiskFault
+	if !errors.As(err, &df) || df.Point != DiskSnapRename || df.Visit != 2 {
+		t.Fatalf("visit 2: %v", err)
+	}
+	if !df.Fatal() {
+		t.Fatal("crash fault not fatal")
+	}
+	if err := in.Point(DiskSnapRename); err != nil {
+		t.Fatalf("plan fired twice: %v", err)
+	}
+	if len(in.Shots) != 1 {
+		t.Fatalf("shots = %v", in.Shots)
+	}
+}
+
+func TestDiskTornAndShortCutStrictPrefix(t *testing.T) {
+	data := bytes.Repeat([]byte{0xAB}, 100)
+	for _, kind := range []DiskKind{DiskTorn, DiskShort} {
+		in := NewDisk(7).Arm(kind, DiskWALAppend, 1)
+		out, err := in.FilterData(DiskWALAppend, data)
+		var df *DiskFault
+		if !errors.As(err, &df) || df.Kind != kind {
+			t.Fatalf("%v: err = %v", kind, err)
+		}
+		if len(out) >= len(data) {
+			t.Fatalf("%v: cut %d not a strict prefix of %d", kind, len(out), len(data))
+		}
+		if !bytes.Equal(out, data[:len(out)]) {
+			t.Fatalf("%v: output is not a prefix", kind)
+		}
+		if df.Fatal() != (kind == DiskTorn) {
+			t.Fatalf("%v: Fatal() = %v", kind, df.Fatal())
+		}
+	}
+}
+
+func TestDiskFlipCorruptsSilently(t *testing.T) {
+	data := bytes.Repeat([]byte{0x55}, 64)
+	in := NewDisk(3).Arm(DiskFlip, DiskSnapWrite, 1)
+	out, err := in.FilterData(DiskSnapWrite, data)
+	if err != nil {
+		t.Fatalf("flip returned error: %v", err)
+	}
+	if bytes.Equal(out, data) {
+		t.Fatal("flip changed nothing")
+	}
+	diff := 0
+	for i := range out {
+		diff += bitsSet(out[i] ^ data[i])
+	}
+	if diff != 1 {
+		t.Fatalf("flip changed %d bits, want 1", diff)
+	}
+	if !bytes.Equal(data, bytes.Repeat([]byte{0x55}, 64)) {
+		t.Fatal("flip mutated the caller's buffer")
+	}
+}
+
+func TestDiskInjectorDeterministic(t *testing.T) {
+	cut := func(seed int64) int {
+		in := NewDisk(seed).Arm(DiskTorn, DiskWALAppend, 1)
+		out, _ := in.FilterData(DiskWALAppend, make([]byte, 1000))
+		return len(out)
+	}
+	if cut(42) != cut(42) {
+		t.Fatal("same seed, different cut")
+	}
+}
+
+func TestDiskArmRejectsDataFaultAtControlPoint(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Arm(torn, control point) did not panic")
+		}
+	}()
+	NewDisk(1).Arm(DiskTorn, DiskWALSync, 1)
+}
+
+func bitsSet(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}

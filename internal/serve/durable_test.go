@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"memfwd/internal/fault"
+)
+
+// TestTransientExhaustionDropsDurability: a disk that stays transiently
+// broken past the retry budget must not wedge the session — it drops to
+// memory-only, its stale artifacts are removed (a later recovery must
+// not resurrect a state that silently lost acked operations), and the
+// shard takes enough strikes to be quarantined out of new placements.
+func TestTransientExhaustionDropsDurability(t *testing.T) {
+	st := openTestStore(t, StoreConfig{Retries: 1})
+	st.SetDiskInjector(fault.NewDisk(3).
+		Arm(fault.DiskShort, fault.DiskWALAppend, 1).
+		Arm(fault.DiskShort, fault.DiskWALAppend, 2))
+	sv := New(Config{Shards: 2, Store: st, QuarantineAfter: 1})
+	shard0 := 0
+	s, err := sv.createSession(createRequest{Mode: "raw", Shard: &shard0})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s.mu.Lock()
+	results, err := sv.execOps(s, []opRequest{{Op: "malloc", Size: 64}})
+	logDropped := s.log == nil
+	s.mu.Unlock()
+	if err != nil {
+		t.Fatalf("op should survive losing durability: %v", err)
+	}
+	if len(results) != 1 || results[0].Addr == 0 {
+		t.Fatalf("malloc result %+v", results)
+	}
+	if !logDropped {
+		t.Fatal("session kept its WAL after retry exhaustion")
+	}
+	if got := sv.durabilityLost.Load(); got != 1 {
+		t.Fatalf("durabilityLost %d, want 1", got)
+	}
+	if st.Dead() {
+		t.Fatal("transient exhaustion latched the store dead")
+	}
+	if _, serr := os.Stat(st.sessionDir(s.ID)); !os.IsNotExist(serr) {
+		t.Fatalf("stale session dir still on disk (stat err %v)", serr)
+	}
+	if !sv.shards[0].quarantined.Load() {
+		t.Fatal("shard not quarantined after the strike")
+	}
+
+	// Placement: pinning to the quarantined shard is refused, while
+	// round-robin routes around it.
+	if _, err := sv.createSession(createRequest{Mode: "raw", Shard: &shard0}); err == nil {
+		t.Fatal("create pinned to a quarantined shard succeeded")
+	}
+	for i := 0; i < 3; i++ {
+		s2, err := sv.createSession(createRequest{Mode: "raw"})
+		if err != nil {
+			t.Fatalf("round-robin create %d: %v", i, err)
+		}
+		if got := int(s2.shard.Load()); got != 1 {
+			t.Fatalf("round-robin landed on quarantined shard %d", got)
+		}
+	}
+
+	// The degraded session keeps serving memory-only.
+	s.mu.Lock()
+	_, err = sv.execOps(s, []opRequest{{Op: "malloc", Size: 32}})
+	s.mu.Unlock()
+	if err != nil {
+		t.Fatalf("memory-only session refused work: %v", err)
+	}
+
+	m := sv.MetricsSnapshot()
+	if m["serve.durability_lost"] != 1 || m["serve.shards.quarantined"] != 1 {
+		t.Fatalf("metrics: durability_lost=%v quarantined=%v",
+			m["serve.durability_lost"], m["serve.shards.quarantined"])
+	}
+}
+
+// TestLoadSheddingSheds429: per-shard admission control rejects excess
+// inflight requests with 429 + Retry-After instead of queueing without
+// bound, and recovers as soon as slots free up.
+func TestLoadSheddingSheds429(t *testing.T) {
+	sv := New(Config{Shards: 1, MaxInflight: 1})
+	s, err := sv.createSession(createRequest{Mode: "raw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	release, ok := sv.admit(httptest.NewRecorder(), s)
+	if !ok {
+		t.Fatal("first request shed at inflight=0")
+	}
+	rec := httptest.NewRecorder()
+	if _, ok := sv.admit(rec, s); ok {
+		t.Fatal("second request admitted past MaxInflight=1")
+	}
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("shed status %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After %q, want \"1\"", got)
+	}
+	if sv.shedCount.Load() != 1 || sv.shards[0].shed.Load() != 1 {
+		t.Fatalf("shed counters: server %d, shard %d", sv.shedCount.Load(), sv.shards[0].shed.Load())
+	}
+
+	release()
+	release2, ok := sv.admit(httptest.NewRecorder(), s)
+	if !ok {
+		t.Fatal("request shed after the slot was released")
+	}
+	release2()
+
+	if m := sv.MetricsSnapshot(); m["serve.shed"] != 1 {
+		t.Fatalf("serve.shed metric %v, want 1", m["serve.shed"])
+	}
+}
+
+// TestOversizeBodyRejected: a request body past the 1 MiB cap comes
+// back as a clean 413, not a hung read or a 500.
+func TestOversizeBodyRejected(t *testing.T) {
+	sv := startServer(t, Config{Shards: 1})
+	body := `{"mode":"` + strings.Repeat("a", (1<<20)+512) + `"}`
+	resp, err := http.Post("http://"+sv.Addr()+"/sessions", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+}

@@ -85,7 +85,7 @@ func TestSnapshotMigrateMidChaos(t *testing.T) {
 					if err != nil {
 						t.Fatalf("live digest: %v", err)
 					}
-					snapID := sv.snapshotSession(s)
+					snapID, _ := sv.snapshotSession(s)
 					restoreShard := (next + 2) % shards
 					rs, err := sv.restoreSnapshot(snapID, &restoreShard)
 					if err != nil {

@@ -24,9 +24,24 @@ type SelftestConfig struct {
 	Ops      int   // script length per session (default 160)
 	Seed     int64 // base seed; session i runs script Seed+i (default 1)
 	Sim      sim.Config
+
+	// Short shrinks the zero-field defaults (200 sessions, 16 workers,
+	// 80 ops) for quick smoke runs; explicitly set fields still win.
+	Short bool
 }
 
 func (c SelftestConfig) norm() SelftestConfig {
+	if c.Short {
+		if c.Sessions <= 0 {
+			c.Sessions = 200
+		}
+		if c.Workers <= 0 {
+			c.Workers = 16
+		}
+		if c.Ops <= 0 {
+			c.Ops = 80
+		}
+	}
 	if c.Sessions <= 0 {
 		c.Sessions = 1000
 	}

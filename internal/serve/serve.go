@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net"
@@ -28,6 +29,21 @@ type Config struct {
 	// Sim configures every session's machine (zero fields take the
 	// simulator defaults).
 	Sim sim.Config
+
+	// Store persists every session to disk (see store.go); nil serves
+	// memory-only. A server recovering a store must be built with the
+	// same Shards and Sim configuration that wrote it.
+	Store *Store
+
+	// MaxInflight caps concurrently admitted /op and /step requests per
+	// shard (default 1024); excess load is shed with 429 + Retry-After
+	// rather than queued without bound.
+	MaxInflight int
+
+	// QuarantineAfter takes a shard out of new-session placement after
+	// this many storage strikes (default 3). Quarantined shards keep
+	// serving their existing sessions — degradation, not eviction.
+	QuarantineAfter int
 }
 
 // shard is one session home: a unit of placement with its own arena
@@ -39,6 +55,14 @@ type shard struct {
 	created     atomic.Uint64
 	migratedIn  atomic.Uint64
 	migratedOut atomic.Uint64
+
+	// Robustness accounting: admitted-but-unfinished requests (load
+	// shedding), requests shed, storage strikes, and the quarantine
+	// latch strikes trip.
+	inflight    atomic.Int64
+	shed        atomic.Uint64
+	strikes     atomic.Int64
+	quarantined atomic.Bool
 }
 
 // Server owns a pool of simulated machines sharded across workers and
@@ -67,6 +91,13 @@ type Server struct {
 	opsRetired    atomic.Uint64 // ops of closed sessions
 	eventsRetired atomic.Uint64 // hub event totals of closed sessions
 	dropsRetired  atomic.Uint64
+
+	shedCount      atomic.Uint64 // requests shed with 429 across shards
+	durabilityLost atomic.Uint64 // sessions dropped to memory-only
+
+	// recovered is the last Recover() report (guarded by mu; zero when
+	// the server never recovered a store).
+	recovered RecoverReport
 }
 
 // storedSnapshot is one server-held machine snapshot. The underlying
@@ -84,6 +115,12 @@ type storedSnapshot struct {
 func New(cfg Config) *Server {
 	if cfg.Shards <= 0 {
 		cfg.Shards = 4
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 1024
+	}
+	if cfg.QuarantineAfter <= 0 {
+		cfg.QuarantineAfter = 3
 	}
 	sv := &Server{
 		cfg:      cfg,
@@ -119,7 +156,17 @@ func (sv *Server) Start(addr string) error {
 	mux.HandleFunc("GET /sessions/{id}/events", sv.handleEvents)
 	mux.HandleFunc("POST /restore", sv.handleRestore)
 	sv.ln = ln
-	sv.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	// Hardened defaults: a stalled or hostile client cannot hold a
+	// connection open indefinitely or feed an unbounded header. The
+	// /step and /events handlers, which legitimately outlive these
+	// deadlines, clear them per-request via http.ResponseController.
+	sv.srv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		MaxHeaderBytes:    64 << 10,
+	}
 	go sv.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
 	return nil
 }
@@ -216,20 +263,48 @@ func (sv *Server) info(s *Session) sessionInfo {
 	}
 }
 
-// createSession builds and registers a session (also the entry point
-// the in-process proof tests use).
-func (sv *Server) createSession(req createRequest) (*Session, error) {
-	shardID := int(sv.rr.Add(1)-1) % len(sv.shards)
-	if req.Shard != nil {
-		if *req.Shard < 0 || *req.Shard >= len(sv.shards) {
-			return nil, fmt.Errorf("shard %d out of range [0,%d)", *req.Shard, len(sv.shards))
+// pickShard resolves a placement request against the shard pool,
+// skipping quarantined shards when round-robining. Pinning to a
+// quarantined shard is refused: the client asked for a home the server
+// knows it cannot keep durable.
+func (sv *Server) pickShard(req *int) (int, error) {
+	if req != nil {
+		if *req < 0 || *req >= len(sv.shards) {
+			return 0, fmt.Errorf("shard %d out of range [0,%d)", *req, len(sv.shards))
 		}
-		shardID = *req.Shard
+		if sv.shards[*req].quarantined.Load() {
+			return 0, fmt.Errorf("shard %d is quarantined", *req)
+		}
+		return *req, nil
+	}
+	for i := 0; i < len(sv.shards); i++ {
+		id := int(sv.rr.Add(1)-1) % len(sv.shards)
+		if !sv.shards[id].quarantined.Load() {
+			return id, nil
+		}
+	}
+	return 0, errors.New("all shards quarantined")
+}
+
+// createSession builds, persists, and registers a session (also the
+// entry point the in-process proof tests use).
+func (sv *Server) createSession(req createRequest) (*Session, error) {
+	shardID, err := sv.pickShard(req.Shard)
+	if err != nil {
+		return nil, err
 	}
 	id := fmt.Sprintf("s-%d", sv.nextSession.Add(1))
 	s, err := newSession(id, shardID, sv.cfg.Sim, req)
 	if err != nil {
 		return nil, err
+	}
+	s.reqJSON, _ = json.Marshal(req) //nolint:errcheck // plain struct cannot fail
+	if err := sv.persistNewSession(s); err != nil {
+		sv.strike(shardID)
+		s.mu.Lock()
+		s.close()
+		s.mu.Unlock()
+		return nil, fmt.Errorf("persist session: %w", err)
 	}
 	sv.mu.Lock()
 	sv.sessions[id] = s
@@ -269,11 +344,20 @@ func (sv *Server) migrateSession(s *Session, to int) error {
 		sv.shards[to].migratedIn.Add(1)
 	}
 	sv.migrations.Add(1)
+	// The durable meta records the shard (and, for raw sessions, the
+	// arena cursor the shard implies), so it must follow the move. A
+	// failed rewrite leaves a meta that would replay relocations against
+	// the wrong arena region — drop durability rather than keep a lie.
+	if s.log != nil {
+		if err := sv.persistCheckpoint(s); err != nil {
+			sv.dropDurability(s, err)
+		}
+	}
 	return nil
 }
 
 // snapshotSession captures s into the server-held snapshot store.
-func (sv *Server) snapshotSession(s *Session) string {
+func (sv *Server) snapshotSession(s *Session) (string, *storedSnapshot) {
 	s.mu.Lock()
 	snap := &storedSnapshot{
 		st:       s.save(),
@@ -288,7 +372,7 @@ func (sv *Server) snapshotSession(s *Session) string {
 	sv.snaps[id] = snap
 	sv.mu.Unlock()
 	sv.snapshots.Add(1)
-	return id
+	return id, snap
 }
 
 // restoreSnapshot instantiates a stored snapshot as a new raw session
@@ -303,12 +387,9 @@ func (sv *Server) restoreSnapshot(snapID string, shardReq *int) (*Session, error
 	if !ok {
 		return nil, fmt.Errorf("unknown snapshot %q", snapID)
 	}
-	shardID := int(sv.rr.Add(1)-1) % len(sv.shards)
-	if shardReq != nil {
-		if *shardReq < 0 || *shardReq >= len(sv.shards) {
-			return nil, fmt.Errorf("shard %d out of range [0,%d)", *shardReq, len(sv.shards))
-		}
-		shardID = *shardReq
+	shardID, err := sv.pickShard(shardReq)
+	if err != nil {
+		return nil, err
 	}
 	id := fmt.Sprintf("s-%d", sv.nextSession.Add(1))
 	s := &Session{
@@ -328,6 +409,13 @@ func (sv *Server) restoreSnapshot(snapID string, shardReq *int) (*Session, error
 	s.rawOps = snap.ops
 	s.arenaOff = snap.arenaOff
 	s.arenaNext = shardArenaBase(shardID) + snap.arenaOff
+	if err := sv.persistNewSession(s); err != nil {
+		sv.strike(shardID)
+		s.mu.Lock()
+		s.close()
+		s.mu.Unlock()
+		return nil, fmt.Errorf("persist session: %w", err)
+	}
 	sv.mu.Lock()
 	sv.sessions[id] = s
 	sv.mu.Unlock()
@@ -350,6 +438,9 @@ func (sv *Server) deleteSession(id string) bool {
 		return false
 	}
 	sv.retire(s)
+	if st := sv.cfg.Store; st != nil {
+		st.removeSession(id) //nolint:errcheck // deletion is best-effort on a dead store
+	}
 	return true
 }
 
@@ -421,22 +512,14 @@ func (s *Session) execOp(req opRequest) (res opResult, err error) {
 	case "final":
 		res.Addr = uint64(s.m.FinalAddr(mem.Addr(req.Addr)))
 	case "relocate":
-		blockSize, ok := s.m.Allocator().SizeOf(mem.Addr(req.Addr))
-		if !ok {
-			return res, fmt.Errorf("relocate of non-live block %#x", req.Addr)
+		src, words, bytes, perr := s.relocatePlan(req)
+		if perr != nil {
+			return res, perr
 		}
-		words := req.Words
-		if words <= 0 {
-			words = int(blockSize / mem.WordSize)
-		}
-		if uint64(words)*mem.WordSize > blockSize {
-			return res, fmt.Errorf("relocate of %d words exceeds block size %d", words, blockSize)
-		}
-		bytes := (uint64(words)*mem.WordSize + 0xFFF) &^ uint64(0xFFF)
 		tgt := s.arenaNext
 		s.arenaNext += mem.Addr(bytes)
 		s.arenaOff += mem.Addr(bytes)
-		if err := opt.TryRelocate(s.m, mem.Addr(req.Addr), tgt, words); err != nil {
+		if err := opt.TryRelocate(s.m, src, tgt, words); err != nil {
 			return res, err
 		}
 		res.Target = uint64(tgt)
@@ -456,6 +539,38 @@ func (s *Session) execOp(req opRequest) (res opResult, err error) {
 	return res, nil
 }
 
+// relocatePlan validates a relocate request without mutating anything:
+// the source block, the word count (default: the whole block), and the
+// page-rounded arena bytes the relocation will consume. The durable
+// path needs the plan before execution so the WAL intent precedes the
+// state change.
+func (s *Session) relocatePlan(req opRequest) (src mem.Addr, words int, bytes uint64, err error) {
+	blockSize, ok := s.m.Allocator().SizeOf(mem.Addr(req.Addr))
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("relocate of non-live block %#x", req.Addr)
+	}
+	words = req.Words
+	if words <= 0 {
+		words = int(blockSize / mem.WordSize)
+	}
+	if uint64(words)*mem.WordSize > blockSize {
+		return 0, 0, 0, fmt.Errorf("relocate of %d words exceeds block size %d", words, blockSize)
+	}
+	bytes = (uint64(words)*mem.WordSize + 0xFFF) &^ uint64(0xFFF)
+	return mem.Addr(req.Addr), words, bytes, nil
+}
+
+// tryRelocate runs TryRelocate with execOp's panic containment (the
+// durable path and WAL replay call it outside execOp).
+func (s *Session) tryRelocate(src, tgt mem.Addr, words int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("relocate: %v", r)
+		}
+	}()
+	return opt.TryRelocate(s.m, src, tgt, words)
+}
+
 // --- HTTP plumbing ----------------------------------------------------
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -472,10 +587,24 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+			return false
+		}
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return false
 	}
 	return true
+}
+
+// clearDeadlines lifts the server's read/write timeouts for a handler
+// that legitimately outlives them (long-blocking /step, streaming
+// /events).
+func clearDeadlines(w http.ResponseWriter) {
+	rc := http.NewResponseController(w)
+	rc.SetReadDeadline(time.Time{})  //nolint:errcheck // best-effort
+	rc.SetWriteDeadline(time.Time{}) //nolint:errcheck // best-effort
 }
 
 func (sv *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -497,7 +626,25 @@ func (sv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	sv.mu.Lock()
 	n := len(sv.sessions)
 	sv.mu.Unlock()
-	writeJSON(w, map[string]any{"ok": true, "shards": len(sv.shards), "sessions": n})
+	quarantined := 0
+	for _, sh := range sv.shards {
+		if sh.quarantined.Load() {
+			quarantined++
+		}
+	}
+	resp := map[string]any{
+		"ok":          quarantined < len(sv.shards),
+		"shards":      len(sv.shards),
+		"quarantined": quarantined,
+		"sessions":    n,
+	}
+	if st := sv.cfg.Store; st != nil {
+		resp["store"] = map[string]any{"dir": st.Dir(), "dead": st.Dead()}
+		if st.Dead() {
+			resp["ok"] = false
+		}
+	}
+	writeJSON(w, resp)
 }
 
 func (sv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -533,6 +680,11 @@ func (sv *Server) handleOp(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusConflict, "session %s runs app %q; use /step", s.ID, s.Mode)
 		return
 	}
+	release, ok := sv.admit(w, s)
+	if !ok {
+		return
+	}
+	defer release()
 	var req opRequest
 	if !decode(w, r, &req) {
 		return
@@ -542,23 +694,23 @@ func (sv *Server) handleOp(w http.ResponseWriter, r *http.Request) {
 	if single {
 		batch = []opRequest{req}
 	}
-	results := make([]opResult, 0, len(batch))
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		writeErr(w, http.StatusGone, "session %s is closed", s.ID)
 		return
 	}
-	for i, op := range batch {
-		res, err := s.execOp(op)
-		if err != nil {
-			s.mu.Unlock()
-			writeErr(w, http.StatusUnprocessableEntity, "op %d: %v", i, err)
+	results, err := sv.execOps(s, batch)
+	s.mu.Unlock()
+	if err != nil {
+		var ge *guestOpError
+		if errors.As(err, &ge) {
+			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
 			return
 		}
-		results = append(results, res)
+		writeErr(w, http.StatusServiceUnavailable, "storage: %v", err)
+		return
 	}
-	s.mu.Unlock()
 	if single {
 		writeJSON(w, results[0])
 		return
@@ -590,6 +742,11 @@ func (sv *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusConflict, "session %s is raw; use /op", s.ID)
 		return
 	}
+	release, admitted := sv.admit(w, s)
+	if !admitted {
+		return
+	}
+	defer release()
 	var req struct {
 		Ops int64 `json:"ops"`
 	}
@@ -600,10 +757,14 @@ func (sv *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "ops must be positive")
 		return
 	}
-	// Deliberately no s.mu here: stepping blocks until the grant is
-	// consumed, and control-plane calls must stay able to pause the
-	// runner mid-grant.
-	used, done := s.g.step(req.Ops)
+	// Stepping blocks until the runner consumes the grant, which can
+	// outlive the server's write deadline.
+	clearDeadlines(w)
+	used, done, serr := sv.stepSession(s, req.Ops)
+	if serr != nil {
+		writeErr(w, http.StatusServiceUnavailable, "storage: %v", serr)
+		return
+	}
 	resp := stepResponse{Used: used, Done: done}
 	if done {
 		res, err := s.result()
@@ -658,8 +819,20 @@ func (sv *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "unknown session")
 		return
 	}
-	id := sv.snapshotSession(s)
-	writeJSON(w, map[string]any{"snapshot": id, "session": sv.info(s)})
+	id, snap := sv.snapshotSession(s)
+	resp := map[string]any{"snapshot": id, "session": sv.info(s)}
+	if st := sv.cfg.Store; st != nil {
+		// The in-memory snapshot is already taken; persistence failure
+		// degrades the reply, not the capture.
+		if err := st.writeSnapshot(id, snap); err != nil {
+			sv.strike(int(s.shard.Load()))
+			resp["durable"] = false
+			resp["storeError"] = err.Error()
+		} else {
+			resp["durable"] = true
+		}
+	}
+	writeJSON(w, resp)
 }
 
 func (sv *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
@@ -716,6 +889,7 @@ func (sv *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	sub := s.hub.Subscribe(64)
 	defer sub.Unsubscribe()
+	clearDeadlines(w) // the stream outlives any fixed write deadline
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
@@ -822,13 +996,48 @@ func (sv *Server) MetricsSnapshot() map[string]float64 {
 		"serve.tier.near.bytesLive": float64(tierAgg.NearBytes),
 		"serve.tier.far.bytesLive":  float64(tierAgg.FarBytes),
 	}
+	quarantined := 0
 	for _, sh := range sv.shards {
 		prefix := fmt.Sprintf("serve.shard.%d.", sh.id)
 		vals[prefix+"active"] = float64(sh.active.Load())
 		vals[prefix+"created"] = float64(sh.created.Load())
 		vals[prefix+"migrated_in"] = float64(sh.migratedIn.Load())
 		vals[prefix+"migrated_out"] = float64(sh.migratedOut.Load())
+		vals[prefix+"inflight"] = float64(sh.inflight.Load())
+		vals[prefix+"shed"] = float64(sh.shed.Load())
+		vals[prefix+"strikes"] = float64(sh.strikes.Load())
+		q := 0.0
+		if sh.quarantined.Load() {
+			q = 1
+			quarantined++
+		}
+		vals[prefix+"quarantined"] = q
 	}
+	vals["serve.shed"] = float64(sv.shedCount.Load())
+	vals["serve.durability_lost"] = float64(sv.durabilityLost.Load())
+	vals["serve.shards.quarantined"] = float64(quarantined)
+	if st := sv.cfg.Store; st != nil {
+		vals["serve.store.appends"] = float64(st.appends.Load())
+		vals["serve.store.syncs"] = float64(st.syncs.Load())
+		vals["serve.store.retries"] = float64(st.retries.Load())
+		vals["serve.store.failures"] = float64(st.failures.Load())
+		vals["serve.store.checkpoints"] = float64(st.checkpoints.Load())
+		dead := 0.0
+		if st.Dead() {
+			dead = 1
+		}
+		vals["serve.store.dead"] = dead
+	}
+	sv.mu.Lock()
+	rec := sv.recovered
+	sv.mu.Unlock()
+	vals["serve.recovered.sessions"] = float64(rec.Sessions)
+	vals["serve.recovered.snapshots"] = float64(rec.Snapshots)
+	vals["serve.recovered.replayed_ops"] = float64(rec.ReplayedOps)
+	vals["serve.recovered.replayed_grants"] = float64(rec.ReplayedGrants)
+	vals["serve.recovered.tail_rollbacks"] = float64(rec.TailRollbacks)
+	vals["serve.recovered.scavenges"] = float64(rec.Scavenges)
+	vals["serve.recovered.damaged"] = float64(rec.Damaged)
 	for k, v := range vals {
 		vals[k] = scrub(v)
 	}

@@ -69,6 +69,13 @@ type Session struct {
 	arenaNext mem.Addr // raw-mode relocation cursor within the shard region
 	arenaOff  mem.Addr // cursor offset, preserved across migrations
 
+	// Durability (nil when the server has no store, or after a storage
+	// failure dropped this session to memory-only). Guarded by mu; the
+	// create request rides along so checkpoints and app-mode recovery
+	// can rewrite the session's recipe.
+	log     *sessLog
+	reqJSON []byte
+
 	// App mode.
 	g          *gate
 	px         *proxy
@@ -342,6 +349,8 @@ func (s *Session) close() {
 	}
 	s.tr.Close() //nolint:errcheck // flush into a NoClose hub cannot fail
 	s.hub.Close()
+	s.log.close() //nolint:errcheck // nil-safe; the fd is all that's left
+	s.log = nil
 }
 
 // result returns the app run's outcome; valid only once the run is

@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"memfwd/internal/fault"
+	"memfwd/internal/wire"
+)
+
+// noSleep is the backoff seam for tests that should not wait out real
+// retry delays.
+func noSleep(time.Duration) {}
+
+// openTestStore opens a store in a fresh temp dir with instant backoff.
+func openTestStore(t testing.TB, cfg StoreConfig) *Store {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = noSleep
+	}
+	st, err := OpenStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestWALRecordCodecRoundTrip: every record kind survives the
+// encode / frame / decode cycle exactly.
+func TestWALRecordCodecRoundTrip(t *testing.T) {
+	records := []*walRecord{
+		{seq: 1, kind: recOp, opCode: opMalloc, addr: 0, size: 128},
+		{seq: 2, kind: recOp, opCode: opStore, addr: 0x1008, size: 8, value: 0xDEAD},
+		{seq: 3, kind: recOp, opCode: opFBit, addr: 0x1000},
+		{seq: 4, kind: recIntent, src: 0x1000, tgt: 0x4_0000_0000, words: 16},
+		{seq: 5, kind: recCommit, tgt: 0x4_0000_0000, ok: true},
+		{seq: 6, kind: recCommit, tgt: 0x4_0000_1000, ok: false},
+		{seq: 7, kind: recGrant, used: 1 << 40},
+	}
+	var buf []byte
+	for _, rec := range records {
+		buf = rec.encode(buf)
+	}
+	rest := buf
+	for i, want := range records {
+		payload, next, err := wire.NextRecord(rest)
+		if err != nil || payload == nil {
+			t.Fatalf("record %d: NextRecord: payload=%v err=%v", i, payload, err)
+		}
+		got, err := decodeWALRecord(payload)
+		if err != nil {
+			t.Fatalf("record %d: decode: %v", i, err)
+		}
+		if *got != *want {
+			t.Fatalf("record %d round-trip: got %+v, want %+v", i, got, want)
+		}
+		rest = next
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes after all records", len(rest))
+	}
+}
+
+// TestSessionMetaCodec: the snapshot-file payload round-trips, and any
+// single corrupt byte or truncation is rejected cleanly, never decoded.
+func TestSessionMetaCodec(t *testing.T) {
+	meta := &sessionMeta{
+		id:       "s-7",
+		mode:     "raw",
+		shard:    3,
+		req:      []byte(`{"mode":"raw"}`),
+		rawOps:   42,
+		arenaOff: 0x3000,
+		walSeq:   9,
+		state:    []byte{1, 2, 3, 4, 5, 6, 7, 8},
+	}
+	frame := meta.encode()
+	got, err := decodeSessionMeta(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.id != meta.id || got.mode != meta.mode || got.shard != meta.shard ||
+		got.rawOps != meta.rawOps || got.arenaOff != meta.arenaOff || got.walSeq != meta.walSeq ||
+		string(got.req) != string(meta.req) || string(got.state) != string(meta.state) {
+		t.Fatalf("round-trip: got %+v, want %+v", got, meta)
+	}
+	for i := range frame {
+		corrupt := append([]byte(nil), frame...)
+		corrupt[i] ^= 0x40
+		if _, err := decodeSessionMeta(corrupt); err == nil {
+			t.Fatalf("flipped byte %d accepted", i)
+		}
+	}
+	for n := 0; n < len(frame); n += 7 {
+		if _, err := decodeSessionMeta(frame[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+// TestReadWALRollsBackDamagedTail: garbage (or a torn record) after the
+// last intact record is rolled back, keeping the valid prefix.
+func TestReadWALRollsBackDamagedTail(t *testing.T) {
+	st := openTestStore(t, StoreConfig{})
+	l, err := st.openSessionLog("s-1", 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.append(&walRecord{kind: recOp, opCode: opMalloc, size: 64}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.sync(); err != nil {
+		t.Fatal(err)
+	}
+	wantLen := l.end
+	if err := l.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.OpenFile(st.sessionWALPath("s-1"), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("torn garbage after the last fsync")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	recs, validLen, rolledBack, err := st.readWAL("s-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rolledBack {
+		t.Fatal("damaged tail not reported")
+	}
+	if validLen != wantLen {
+		t.Fatalf("valid prefix %d bytes, want %d", validLen, wantLen)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("recovered %d records, want 3", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.seq != uint64(1+i) || rec.kind != recOp || rec.opCode != opMalloc {
+			t.Fatalf("record %d: %+v", i, rec)
+		}
+	}
+}
+
+// TestRetryBackoffSchedule: transient faults are retried through the
+// Sleep seam with doubling backoff, and the write eventually lands
+// intact.
+func TestRetryBackoffSchedule(t *testing.T) {
+	var slept []time.Duration
+	st := openTestStore(t, StoreConfig{
+		Retries:      3,
+		RetryBackoff: time.Millisecond,
+		Sleep:        func(d time.Duration) { slept = append(slept, d) },
+	})
+	st.SetDiskInjector(fault.NewDisk(11).
+		Arm(fault.DiskShort, fault.DiskWALAppend, 1).
+		Arm(fault.DiskShort, fault.DiskWALAppend, 2))
+	l, err := st.openSessionLog("s-1", 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.append(&walRecord{kind: recGrant, used: 99}); err != nil {
+		t.Fatalf("append after transient faults: %v", err)
+	}
+	if err := l.sync(); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond}
+	if len(slept) != len(want) || slept[0] != want[0] || slept[1] != want[1] {
+		t.Fatalf("backoff schedule %v, want %v", slept, want)
+	}
+	if got := st.retries.Load(); got != 2 {
+		t.Fatalf("retries counter %d, want 2", got)
+	}
+	if st.Dead() {
+		t.Fatal("store died on a transient fault")
+	}
+	recs, _, rolledBack, err := st.readWAL("s-1")
+	if err != nil || rolledBack || len(recs) != 1 || recs[0].used != 99 {
+		t.Fatalf("post-retry WAL: recs=%v rolledBack=%v err=%v", recs, rolledBack, err)
+	}
+}
+
+// TestAtomicReplaceKeepsOldFileAcrossCrash: a crash before the rename
+// leaves the previous snapshot file untouched and decodable.
+func TestAtomicReplaceKeepsOldFileAcrossCrash(t *testing.T) {
+	st := openTestStore(t, StoreConfig{})
+	old := &sessionMeta{id: "s-1", mode: "raw", walSeq: 1, rawOps: 7}
+	if err := st.writeSessionMeta(old); err != nil {
+		t.Fatal(err)
+	}
+	st.SetDiskInjector(fault.NewDisk(5).Arm(fault.DiskCrash, fault.DiskSnapRename, 1))
+	if err := st.writeSessionMeta(&sessionMeta{id: "s-1", mode: "raw", walSeq: 9, rawOps: 8}); err == nil {
+		t.Fatal("crash before rename reported success")
+	}
+	if !st.Dead() {
+		t.Fatal("fatal fault did not latch the store dead")
+	}
+	data, err := os.ReadFile(st.sessionSnapPath("s-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeSessionMeta(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.rawOps != old.rawOps || got.walSeq != old.walSeq {
+		t.Fatalf("live file holds %+v, want the pre-crash meta %+v", got, old)
+	}
+}
+
+// BenchmarkWALAppend is the WAL hot-path leg of BENCH_store.json:
+// encode + positioned write + read-back verification, no fsync.
+func BenchmarkWALAppend(b *testing.B) {
+	st := openTestStore(b, StoreConfig{Dir: b.TempDir()})
+	l, err := st.openSessionLog("bench", 0, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.close()
+	rec := &walRecord{kind: recOp, opCode: opStore, addr: 0x1008, size: 8, value: 0xABCD}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"memfwd/internal/mem"
+)
+
+// FuzzSnapshotDecode: arbitrary bytes must produce an error or a fully
+// valid state — never a panic, and never a silently-wrong machine. The
+// corpus is seeded with valid snapshots plus truncations and
+// single-byte corruptions of them, so the fuzzer starts at the
+// boundary of validity instead of deep in garbage.
+func FuzzSnapshotDecode(f *testing.F) {
+	for _, cfg := range []Config{
+		{LineSize: 64},
+		{LineSize: 32, Harts: 2, Tiers: mem.DefaultTierConfig(2, 70)},
+	} {
+		m := New(cfg)
+		blocks := exerciseMachine(m)
+		if m.HartCount() > 1 {
+			exerciseHarts(m, blocks)
+		}
+		data, err := EncodeState(m.SaveState())
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		for _, cut := range []int{0, 1, len(data) / 3, len(data) - 1} {
+			f.Add(append([]byte(nil), data[:cut]...))
+		}
+		for _, i := range []int{0, 9, 13, 25, len(data) / 2, len(data) - 2} {
+			bad := append([]byte(nil), data...)
+			bad[i] ^= 0x80
+			f.Add(bad)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := DecodeState(data)
+		if err != nil {
+			return
+		}
+		// A successful decode must be usable: New on its config cannot
+		// panic, LoadState must succeed, and re-encoding must
+		// reproduce the input exactly (the encoding is canonical, so
+		// any divergence means the decoder dropped or invented state).
+		reenc, err := EncodeState(st)
+		if err != nil {
+			t.Fatalf("decoded state failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(reenc, data) {
+			t.Fatalf("re-encode differs from accepted input (%d vs %d bytes)", len(reenc), len(data))
+		}
+		m := New(st.Config())
+		if err := m.LoadState(st); err != nil {
+			t.Fatalf("decoded state failed to load: %v", err)
+		}
+	})
+}

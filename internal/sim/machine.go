@@ -244,8 +244,11 @@ type Machine struct {
 	cohInvL2 uint64
 }
 
-// New builds a machine from cfg (zero fields defaulted).
-func New(cfg Config) *Machine {
+// withDefaults returns cfg with every zero field replaced by its
+// default — exactly the normalization New applies before building. The
+// snapshot codec validates against the normalized form, so a decoded
+// Config that passes validation can always be handed to New safely.
+func (cfg Config) withDefaults() Config {
 	d := DefaultConfig()
 	if cfg.LineSize == 0 {
 		cfg.LineSize = d.LineSize
@@ -304,6 +307,12 @@ func New(cfg Config) *Machine {
 	if cfg.Harts < 1 {
 		cfg.Harts = 1
 	}
+	return cfg
+}
+
+// New builds a machine from cfg (zero fields defaulted).
+func New(cfg Config) *Machine {
+	cfg = cfg.withDefaults()
 	if cfg.Harts > MaxHarts {
 		panic(fmt.Sprintf("sim: Harts %d exceeds the supported maximum %d", cfg.Harts, MaxHarts))
 	}

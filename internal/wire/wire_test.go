@@ -1,0 +1,180 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var w Writer
+	w.U8(7)
+	w.U32(0xDEADBEEF)
+	w.U64(1<<63 | 12345)
+	w.I64(-42)
+	w.Int(-7)
+	w.Bool(true)
+	w.Bool(false)
+	w.String("hello")
+	w.Blob([]byte{1, 2, 3})
+	w.String("")
+
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if got := r.U32(); got != 0xDEADBEEF {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != 1<<63|12345 {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.Int(); got != -7 {
+		t.Errorf("Int = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Errorf("Bool round trip broken")
+	}
+	if got := r.String(); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.Blob(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Blob = %v", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("empty String = %q", got)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	var w Writer
+	w.U64(1)
+	full := w.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		r.U64()
+		if r.Err() == nil {
+			t.Errorf("cut at %d: no error", cut)
+		}
+	}
+}
+
+func TestReaderErrorLatches(t *testing.T) {
+	r := NewReader([]byte{1})
+	r.U64() // truncated
+	first := r.Err()
+	if first == nil {
+		t.Fatal("expected truncation error")
+	}
+	_ = r.U32()
+	_ = r.String()
+	if r.Err() != first {
+		t.Fatalf("error did not latch: %v then %v", first, r.Err())
+	}
+}
+
+func TestReaderBadBool(t *testing.T) {
+	r := NewReader([]byte{2})
+	r.Bool()
+	if r.Err() == nil {
+		t.Fatal("bool byte 2 accepted")
+	}
+}
+
+func TestReaderCountBounds(t *testing.T) {
+	// A huge count must fail before allocating.
+	var w Writer
+	w.U32(1 << 30)
+	r := NewReader(w.Bytes())
+	if n := r.Count(8); n != 0 || r.Err() == nil {
+		t.Fatalf("Count accepted %d with %d remaining", n, r.Remaining())
+	}
+}
+
+func TestReaderTrailingBytes(t *testing.T) {
+	r := NewReader([]byte{0, 0, 0, 0, 99})
+	r.U32()
+	if err := r.Close(); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("Close = %v, want trailing-bytes error", err)
+	}
+}
+
+func TestFileFrame(t *testing.T) {
+	payload := []byte("the payload")
+	frame := SealFrame("TESTMAGC", 3, payload)
+	v, got, err := OpenFrame("TESTMAGC", frame)
+	if err != nil || v != 3 || !bytes.Equal(got, payload) {
+		t.Fatalf("OpenFrame = (%d, %q, %v)", v, got, err)
+	}
+	if _, _, err := OpenFrame("OTHERMAG", frame); err == nil {
+		t.Error("wrong magic accepted")
+	}
+	for cut := 0; cut < len(frame); cut++ {
+		if _, _, err := OpenFrame("TESTMAGC", frame[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	for i := range frame {
+		bad := append([]byte(nil), frame...)
+		bad[i] ^= 0x40
+		if _, _, err := OpenFrame("TESTMAGC", bad); err == nil {
+			t.Errorf("bit flip at byte %d accepted", i)
+		}
+	}
+}
+
+func TestRecordFrame(t *testing.T) {
+	var log []byte
+	payloads := [][]byte{[]byte("one"), []byte(""), []byte("three")}
+	for _, p := range payloads {
+		log = AppendRecord(log, p)
+	}
+	rest := log
+	for i, want := range payloads {
+		var p []byte
+		var err error
+		p, rest, err = NextRecord(rest)
+		if err != nil || !bytes.Equal(p, want) {
+			t.Fatalf("record %d = (%q, %v), want %q", i, p, err, want)
+		}
+	}
+	if p, rest, err := NextRecord(rest); p != nil || rest != nil || err != nil {
+		t.Fatalf("clean EOF = (%v, %v, %v)", p, rest, err)
+	}
+}
+
+func TestRecordTornTail(t *testing.T) {
+	log := AppendRecord(nil, []byte("intact"))
+	second := AppendRecord(nil, []byte("torn away"))
+	for cut := 1; cut < len(second); cut++ {
+		data := append(append([]byte(nil), log...), second[:cut]...)
+		p, rest, err := NextRecord(data)
+		if err != nil || string(p) != "intact" {
+			t.Fatalf("cut %d: first record = (%q, %v)", cut, p, err)
+		}
+		if _, _, err := NextRecord(rest); !errors.Is(err, ErrTornRecord) {
+			t.Fatalf("cut %d: torn tail error = %v", cut, err)
+		}
+	}
+}
+
+func TestRecordCorruption(t *testing.T) {
+	rec := AppendRecord(nil, []byte("payload!"))
+	for i := range rec {
+		bad := append([]byte(nil), rec...)
+		bad[i] ^= 0x10
+		if _, _, err := NextRecord(bad); !errors.Is(err, ErrTornRecord) {
+			// A flip in the length header can also produce a
+			// plausible-but-short length that reads as truncation;
+			// both must be ErrTornRecord.
+			t.Errorf("flip at byte %d: err = %v", i, err)
+		}
+	}
+}
